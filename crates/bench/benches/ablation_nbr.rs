@@ -1,0 +1,40 @@
+//! Ablation: NBR vs NBR+ signal traffic (the motivation for Section 5).
+//!
+//! Runs the same update-heavy DGT workload under NBR and NBR+ and reports
+//! signals sent, records freed and the signals-per-thousand-frees ratio. The
+//! paper's claim: NBR needs O(n²) signals for all threads to reclaim, NBR+
+//! piggybacks on relaxed grace periods and gets by with far fewer.
+
+use smr_harness::experiments::{ablation_signal_counts, ExperimentScale};
+use smr_harness::report;
+
+fn main() {
+    let mut scale = ExperimentScale::quick();
+    // Use the largest host thread count so piggybacking has someone to
+    // piggyback on.
+    scale.thread_counts = vec![*scale.thread_counts.last().unwrap_or(&2)];
+    let results = ablation_signal_counts(&scale);
+    println!("{}", report::to_table("Ablation — NBR vs NBR+ signal traffic", &results));
+    for r in &results {
+        let signals = r.smr_totals.signals_sent;
+        let frees = r.smr_totals.frees.max(1);
+        println!(
+            "{:>5}: {:>8} signals, {:>9} frees, {:>8.2} signals per 1000 freed records, {} RGP piggyback reclaims",
+            r.smr,
+            signals,
+            r.smr_totals.frees,
+            signals as f64 * 1000.0 / frees as f64,
+            r.smr_totals.rgp_reclaims,
+        );
+    }
+    let nbr = results.iter().find(|r| r.smr == "NBR");
+    let plus = results.iter().find(|r| r.smr == "NBR+");
+    if let (Some(nbr), Some(plus)) = (nbr, plus) {
+        let nbr_ratio = nbr.smr_totals.signals_sent as f64 / nbr.smr_totals.frees.max(1) as f64;
+        let plus_ratio = plus.smr_totals.signals_sent as f64 / plus.smr_totals.frees.max(1) as f64;
+        println!(
+            "\nsignals per freed record: NBR = {nbr_ratio:.4}, NBR+ = {plus_ratio:.4} ({}x reduction)",
+            if plus_ratio > 0.0 { nbr_ratio / plus_ratio } else { f64::INFINITY }
+        );
+    }
+}

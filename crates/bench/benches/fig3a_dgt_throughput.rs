@@ -1,0 +1,44 @@
+//! Figure 3a (experiment E1): throughput of the DGT external BST under the
+//! update-intensive, balanced and search-intensive mixes, one Criterion series
+//! per reclaimer.
+//!
+//! CI-scale parameters (key range 65 536, host core count threads); the
+//! comparison of interest is the ordering of the reclaimers, reproduced in
+//! full by `cargo run -p nbr-bench --release --bin experiments -- --e1-tree`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nbr_bench::helpers;
+use smr_harness::families::DgtTreeFamily;
+use smr_harness::{run_with, WorkloadMix};
+
+const KEY_RANGE: u64 = 65_536;
+
+fn bench_fig3a(c: &mut Criterion) {
+    let threads = helpers::bench_threads();
+    let (samples, warm, meas) = helpers::criterion_times();
+    for (mix, mix_label) in [
+        (WorkloadMix::UPDATE_HEAVY, "50i-50d"),
+        (WorkloadMix::BALANCED, "25i-25d"),
+        (WorkloadMix::READ_HEAVY, "5i-5d"),
+    ] {
+        let mut group = c.benchmark_group(format!("fig3a_dgt_{mix_label}"));
+        group
+            .sample_size(samples)
+            .warm_up_time(warm)
+            .measurement_time(meas)
+            .throughput(Throughput::Elements(helpers::OPS_PER_ITER));
+        for &kind in helpers::bench_smr_set() {
+            group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+                b.iter_custom(|iters| {
+                    let spec = helpers::spec_for_iters(mix, KEY_RANGE, threads, iters);
+                    let r = run_with::<DgtTreeFamily>(kind, &spec, helpers::bench_config());
+                    r.duration
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig3a);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 3b (experiment E1): throughput of the lazy list (LL05) under the
+//! three operation mixes, one Criterion series per reclaimer. The expected
+//! shape (paper, Section 7): the EBR family and NBR+ cluster together, HP and
+//! IBR trail far behind because of their per-hop protection cost on the long
+//! list traversals.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nbr_bench::helpers;
+use smr_harness::families::LazyListFamily;
+use smr_harness::{run_with, WorkloadMix};
+
+const KEY_RANGE: u64 = 2_048;
+
+fn bench_fig3b(c: &mut Criterion) {
+    let threads = helpers::bench_threads();
+    let (samples, warm, meas) = helpers::criterion_times();
+    for (mix, mix_label) in [
+        (WorkloadMix::UPDATE_HEAVY, "50i-50d"),
+        (WorkloadMix::BALANCED, "25i-25d"),
+        (WorkloadMix::READ_HEAVY, "5i-5d"),
+    ] {
+        let mut group = c.benchmark_group(format!("fig3b_lazylist_{mix_label}"));
+        group
+            .sample_size(samples)
+            .warm_up_time(warm)
+            .measurement_time(meas)
+            .throughput(Throughput::Elements(helpers::OPS_PER_ITER));
+        for &kind in helpers::bench_smr_set() {
+            group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+                b.iter_custom(|iters| {
+                    let spec = helpers::spec_for_iters(mix, KEY_RANGE, threads, iters);
+                    let r = run_with::<LazyListFamily>(kind, &spec, helpers::bench_config());
+                    r.duration
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig3b);
+criterion_main!(benches);

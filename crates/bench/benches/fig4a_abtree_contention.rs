@@ -1,0 +1,42 @@
+//! Figure 4a (experiment E3): (a,b)-tree throughput at a large key range (low
+//! contention) and at a tiny key range of 200 (high contention, every
+//! operation restarts from the root frequently), for NBR+, NBR, DEBRA and the
+//! leaky baseline. The paper's expectation: NBR+ ≥ DEBRA at low contention and
+//! comparable at high contention — i.e. restarting from the root costs little.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nbr_bench::helpers;
+use smr_harness::families::AbTreeFamily;
+use smr_harness::{run_with, SmrKind, WorkloadMix};
+
+fn bench_fig4a(c: &mut Criterion) {
+    let threads = helpers::bench_threads();
+    let (samples, warm, meas) = helpers::criterion_times();
+    let kinds = [SmrKind::NbrPlus, SmrKind::Nbr, SmrKind::Debra, SmrKind::Leaky];
+    for (key_range, label) in [(65_536u64, "range64k"), (200u64, "range200")] {
+        let mut group = c.benchmark_group(format!("fig4a_abtree_{label}"));
+        group
+            .sample_size(samples)
+            .warm_up_time(warm)
+            .measurement_time(meas)
+            .throughput(Throughput::Elements(helpers::OPS_PER_ITER));
+        for &kind in &kinds {
+            group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+                b.iter_custom(|iters| {
+                    let spec = helpers::spec_for_iters(
+                        WorkloadMix::UPDATE_HEAVY,
+                        key_range,
+                        threads,
+                        iters,
+                    );
+                    let r = run_with::<AbTreeFamily>(kind, &spec, helpers::bench_config());
+                    r.duration
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig4a);
+criterion_main!(benches);

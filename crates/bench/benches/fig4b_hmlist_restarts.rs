@@ -1,0 +1,60 @@
+//! Figure 4b (experiment E4): the cost of forcing the Harris-Michael list to
+//! restart from the root after auxiliary unlinks. Four configurations, as in
+//! the paper: NBR+ on the restart variant, DEBRA on the restart variant
+//! ("debra-restarts"), DEBRA on the original list ("debra-norestarts"), and
+//! the leaky baseline on the restart variant.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nbr_bench::helpers;
+use smr_harness::families::{HmListNoRestartFamily, HmListRestartFamily};
+use smr_harness::{run_with, SmrKind, WorkloadMix};
+
+fn bench_fig4b(c: &mut Criterion) {
+    let threads = helpers::bench_threads();
+    let (samples, warm, meas) = helpers::criterion_times();
+    for (key_range, label) in [(2_048u64, "range2k"), (200u64, "range200")] {
+        let mut group = c.benchmark_group(format!("fig4b_hmlist_{label}"));
+        group
+            .sample_size(samples)
+            .warm_up_time(warm)
+            .measurement_time(meas)
+            .throughput(Throughput::Elements(helpers::OPS_PER_ITER));
+
+        group.bench_function("nbr+-restarts", |b| {
+            b.iter_custom(|iters| {
+                let spec =
+                    helpers::spec_for_iters(WorkloadMix::UPDATE_HEAVY, key_range, threads, iters);
+                run_with::<HmListRestartFamily>(SmrKind::NbrPlus, &spec, helpers::bench_config())
+                    .duration
+            });
+        });
+        group.bench_function("debra-restarts", |b| {
+            b.iter_custom(|iters| {
+                let spec =
+                    helpers::spec_for_iters(WorkloadMix::UPDATE_HEAVY, key_range, threads, iters);
+                run_with::<HmListRestartFamily>(SmrKind::Debra, &spec, helpers::bench_config())
+                    .duration
+            });
+        });
+        group.bench_function("debra-norestarts", |b| {
+            b.iter_custom(|iters| {
+                let spec =
+                    helpers::spec_for_iters(WorkloadMix::UPDATE_HEAVY, key_range, threads, iters);
+                run_with::<HmListNoRestartFamily>(SmrKind::Debra, &spec, helpers::bench_config())
+                    .duration
+            });
+        });
+        group.bench_function("none-restarts", |b| {
+            b.iter_custom(|iters| {
+                let spec =
+                    helpers::spec_for_iters(WorkloadMix::UPDATE_HEAVY, key_range, threads, iters);
+                run_with::<HmListRestartFamily>(SmrKind::Leaky, &spec, helpers::bench_config())
+                    .duration
+            });
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig4b);
+criterion_main!(benches);

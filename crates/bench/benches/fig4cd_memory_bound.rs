@@ -1,0 +1,53 @@
+//! Figures 4c and 4d (experiment E2): peak memory of the DGT tree under the
+//! update-intensive workload, with one thread stalled inside an operation
+//! (4c) and without (4d).
+//!
+//! This target is not a timing benchmark: it installs the counting global
+//! allocator, runs one trial per reclaimer for each scenario and prints the
+//! peak-live-heap table. Expected shape (paper): with a stalled thread the
+//! unbounded schemes (DEBRA, QSBR, RCU) keep growing, while NBR+, HP and IBR
+//! stay flat; without a stalled thread everyone is flat.
+
+use smr_harness::experiments::{e2_peak_memory, ExperimentScale};
+use smr_harness::report;
+
+#[global_allocator]
+static ALLOC: smr_harness::alloc_track::CountingAlloc = smr_harness::alloc_track::CountingAlloc;
+
+fn main() {
+    // `cargo bench` passes `--bench`; accept and ignore any arguments.
+    let mut scale = ExperimentScale::quick();
+    scale.thread_counts = vec![2];
+    println!("Running E2 peak-memory experiment (this is a measurement, not a Criterion bench)\n");
+
+    let stalled = e2_peak_memory(&scale, true);
+    println!(
+        "{}",
+        report::to_table("Figure 4c — peak memory WITH one stalled thread", &stalled)
+    );
+
+    let unstalled = e2_peak_memory(&scale, false);
+    println!(
+        "{}",
+        report::to_table("Figure 4d — peak memory with NO stalled thread", &unstalled)
+    );
+
+    // Headline check mirrored from the paper: bounded schemes must not blow up
+    // when a thread stalls.
+    let get = |rows: &[smr_harness::TrialResult], name: &str| {
+        rows.iter()
+            .find(|r| r.smr == name)
+            .map(|r| r.outstanding_garbage())
+            .unwrap_or(0)
+    };
+    let nbr_garbage = get(&stalled, "NBR+");
+    let debra_garbage = get(&stalled, "DEBRA");
+    println!(
+        "unreclaimed records with a stalled thread: NBR+ = {nbr_garbage}, DEBRA = {debra_garbage}"
+    );
+    if debra_garbage > nbr_garbage {
+        println!("OK: NBR+ bounds garbage while DEBRA does not (paper's E2 conclusion).");
+    } else {
+        println!("WARNING: expected DEBRA to accumulate more garbage than NBR+ in this scenario.");
+    }
+}

@@ -1,0 +1,26 @@
+//! Figure 5 (appendix): DGT tree throughput across key-range sizes
+//! (the paper sweeps 20 K and 20 M; at CI scale 4 K and 64 K are used).
+//!
+//! Prints one throughput table per size; the full sweep is available via the
+//! `experiments` binary (`--fig5`).
+
+use smr_harness::experiments::{fig5_dgt_sizes, ExperimentScale};
+use smr_harness::report;
+
+fn main() {
+    let mut scale = ExperimentScale::smoke();
+    scale.thread_counts = vec![2];
+    let sizes = [4_096u64, 65_536u64];
+    let results = fig5_dgt_sizes(&scale, &sizes);
+    for &size in &sizes {
+        let rows: Vec<_> = results
+            .iter()
+            .filter(|r| r.key_range == size)
+            .cloned()
+            .collect();
+        println!(
+            "{}",
+            report::to_table(&format!("Figure 5 — DGT tree, key range {size}"), &rows)
+        );
+    }
+}

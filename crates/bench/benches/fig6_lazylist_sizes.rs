@@ -1,0 +1,23 @@
+//! Figure 6 (appendix): lazy-list throughput across small key-range sizes
+//! (the paper sweeps 200 and 2 K). Prints one throughput table per size.
+
+use smr_harness::experiments::{fig6_lazylist_sizes, ExperimentScale};
+use smr_harness::report;
+
+fn main() {
+    let mut scale = ExperimentScale::smoke();
+    scale.thread_counts = vec![2];
+    let sizes = [200u64, 2_048u64];
+    let results = fig6_lazylist_sizes(&scale, &sizes);
+    for &size in &sizes {
+        let rows: Vec<_> = results
+            .iter()
+            .filter(|r| r.key_range == size)
+            .cloned()
+            .collect();
+        println!(
+            "{}",
+            report::to_table(&format!("Figure 6 — lazy list, key range {size}"), &rows)
+        );
+    }
+}

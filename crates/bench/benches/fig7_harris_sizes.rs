@@ -1,0 +1,40 @@
+//! Figure 7 (appendix, E3 extension): Harris lock-free list throughput across
+//! list sizes. At CI scale two sizes are swept (small = high contention,
+//! larger = moderate); the full sweep (200 / 2 K / 20 K × three mixes) is
+//! available via `cargo run -p nbr-bench --release --bin experiments -- --fig7`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nbr_bench::helpers;
+use smr_harness::families::HarrisListFamily;
+use smr_harness::{run_with, WorkloadMix};
+
+fn bench_fig7(c: &mut Criterion) {
+    let threads = helpers::bench_threads();
+    let (samples, warm, meas) = helpers::criterion_times();
+    for (key_range, label) in [(200u64, "range200"), (2_048u64, "range2k")] {
+        let mut group = c.benchmark_group(format!("fig7_harris_{label}"));
+        group
+            .sample_size(samples)
+            .warm_up_time(warm)
+            .measurement_time(meas)
+            .throughput(Throughput::Elements(helpers::OPS_PER_ITER));
+        for &kind in helpers::bench_smr_set() {
+            group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+                b.iter_custom(|iters| {
+                    let spec = helpers::spec_for_iters(
+                        WorkloadMix::UPDATE_HEAVY,
+                        key_range,
+                        threads,
+                        iters,
+                    );
+                    let r = run_with::<HarrisListFamily>(kind, &spec, helpers::bench_config());
+                    r.duration
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 8 (appendix): (a,b)-tree throughput across key-range sizes
+//! (the paper sweeps 2 M and 20 M; at CI scale 8 K and 64 K are used).
+//! Prints one throughput table per size.
+
+use smr_harness::experiments::{fig8_abtree_sizes, ExperimentScale};
+use smr_harness::report;
+
+fn main() {
+    let mut scale = ExperimentScale::smoke();
+    scale.thread_counts = vec![2];
+    let sizes = [8_192u64, 65_536u64];
+    let results = fig8_abtree_sizes(&scale, &sizes);
+    for &size in &sizes {
+        let rows: Vec<_> = results
+            .iter()
+            .filter(|r| r.key_range == size)
+            .cloned()
+            .collect();
+        println!(
+            "{}",
+            report::to_table(&format!("Figure 8 — (a,b)-tree, key range {size}"), &rows)
+        );
+    }
+}

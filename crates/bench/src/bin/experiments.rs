@@ -1,0 +1,161 @@
+//! `experiments` — regenerates the tables behind every figure of the paper's
+//! evaluation and prints them (the output recorded in `EXPERIMENTS.md`).
+//!
+//! ```text
+//! cargo run -p nbr-bench --release --bin experiments -- [--quick|--full] [--csv] [SELECTORS...]
+//!
+//! selectors (default: all):
+//!   --e1-tree   Figure 3a   DGT tree throughput
+//!   --e1-list   Figure 3b   lazy-list throughput
+//!   --e2        Figures 4c/4d  peak memory with/without a stalled thread
+//!   --e3        Figure 4a   (a,b)-tree low/high contention
+//!   --e4        Figure 4b   HM-list restart cost
+//!   --fig5      Figure 5    DGT tree across sizes
+//!   --fig6      Figure 6    lazy list across sizes
+//!   --fig7      Figure 7    Harris list across sizes
+//!   --fig8      Figure 8    (a,b)-tree across sizes
+//!   --ablation  Section 5   NBR vs NBR+ signal traffic
+//! ```
+
+use smr_harness::experiments::{
+    ablation_signal_counts, e1_dgt_throughput, e1_lazylist_throughput, e2_peak_memory,
+    e3_abtree_contention, e4_hmlist_restarts, fig5_dgt_sizes, fig6_lazylist_sizes,
+    fig7_harris_sizes, fig8_abtree_sizes, ExperimentScale,
+};
+use smr_harness::{report, TrialResult};
+
+#[global_allocator]
+static ALLOC: smr_harness::alloc_track::CountingAlloc = smr_harness::alloc_track::CountingAlloc;
+
+struct Options {
+    scale: ExperimentScale,
+    csv: bool,
+    selected: Vec<String>,
+}
+
+fn parse_args() -> Options {
+    let mut scale = ExperimentScale::quick();
+    let mut csv = false;
+    let mut selected = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--full" => scale = ExperimentScale::full(),
+            "--quick" => scale = ExperimentScale::quick(),
+            "--smoke" => scale = ExperimentScale::smoke(),
+            "--csv" => csv = true,
+            s if s.starts_with("--") => selected.push(s.trim_start_matches("--").to_string()),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    Options {
+        scale,
+        csv,
+        selected,
+    }
+}
+
+fn emit(opts: &Options, title: &str, rows: &[TrialResult]) {
+    if opts.csv {
+        println!("# {title}");
+        println!("{}", report::to_csv(rows));
+    } else {
+        println!("{}", report::to_table(title, rows));
+        println!("{}", report::to_throughput_series(title, rows));
+    }
+}
+
+fn wants(opts: &Options, name: &str) -> bool {
+    opts.selected.is_empty() || opts.selected.iter().any(|s| s == name)
+}
+
+fn main() {
+    let opts = parse_args();
+    let scale = &opts.scale;
+    eprintln!(
+        "running experiments: threads={:?}, tree range={}, list range={}",
+        scale.thread_counts, scale.tree_key_range, scale.list_key_range
+    );
+
+    if wants(&opts, "e1-tree") {
+        emit(
+            &opts,
+            "Figure 3a (E1) — DGT tree throughput",
+            &e1_dgt_throughput(scale),
+        );
+    }
+    if wants(&opts, "e1-list") {
+        emit(
+            &opts,
+            "Figure 3b (E1) — lazy-list throughput",
+            &e1_lazylist_throughput(scale),
+        );
+    }
+    if wants(&opts, "e2") {
+        emit(
+            &opts,
+            "Figure 4c (E2) — peak memory, one thread stalled",
+            &e2_peak_memory(scale, true),
+        );
+        emit(
+            &opts,
+            "Figure 4d (E2) — peak memory, no stalled thread",
+            &e2_peak_memory(scale, false),
+        );
+    }
+    if wants(&opts, "e3") {
+        emit(
+            &opts,
+            "Figure 4a (E3) — (a,b)-tree, low vs high contention",
+            &e3_abtree_contention(scale),
+        );
+    }
+    if wants(&opts, "e4") {
+        emit(
+            &opts,
+            "Figure 4b (E4) — HM-list restart-from-root cost",
+            &e4_hmlist_restarts(scale),
+        );
+    }
+    if wants(&opts, "fig5") {
+        let sizes = [scale.list_key_range.max(4_096), scale.tree_key_range];
+        emit(
+            &opts,
+            "Figure 5 — DGT tree across key-range sizes",
+            &fig5_dgt_sizes(scale, &sizes),
+        );
+    }
+    if wants(&opts, "fig6") {
+        let sizes = [scale.small_key_range, 2_048];
+        emit(
+            &opts,
+            "Figure 6 — lazy list across key-range sizes",
+            &fig6_lazylist_sizes(scale, &sizes),
+        );
+    }
+    if wants(&opts, "fig7") {
+        let sizes = [scale.small_key_range, 2_048, scale.list_key_range];
+        emit(
+            &opts,
+            "Figure 7 — Harris list across key-range sizes",
+            &fig7_harris_sizes(scale, &sizes),
+        );
+    }
+    if wants(&opts, "fig8") {
+        let sizes = [scale.tree_key_range / 8, scale.tree_key_range];
+        emit(
+            &opts,
+            "Figure 8 — (a,b)-tree across key-range sizes",
+            &fig8_abtree_sizes(scale, &sizes),
+        );
+    }
+    if wants(&opts, "ablation") {
+        emit(
+            &opts,
+            "Ablation — NBR vs NBR+ signal traffic",
+            &ablation_signal_counts(scale),
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! `stress` — long-running randomized stress driver used for shaking out
+//! concurrency bugs (each configuration is announced on stderr before it runs,
+//! so a crash identifies the offending combination).
+//!
+//! ```text
+//! cargo run -p nbr-bench --release --bin stress -- [rounds]
+//! ```
+
+use smr_harness::families::{run_with, HarrisListFamily, SmrKind};
+use smr_harness::{StopCondition, WorkloadMix, WorkloadSpec};
+use smr_common::SmrConfig;
+use std::time::Duration;
+
+fn main() {
+    let rounds: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let kinds = [
+        SmrKind::NbrPlus,
+        SmrKind::Nbr,
+        SmrKind::Debra,
+        SmrKind::Hp,
+        SmrKind::Ibr,
+        SmrKind::Leaky,
+    ];
+    let sizes = [200u64, 2_048];
+    let mixes = [
+        WorkloadMix::UPDATE_HEAVY,
+        WorkloadMix::BALANCED,
+        WorkloadMix::READ_HEAVY,
+    ];
+    let threads_sweep = [1usize, 2, 4];
+    for round in 0..rounds {
+        for &size in &sizes {
+            for &mix in &mixes {
+                for &threads in &threads_sweep {
+                    for &kind in &kinds {
+                        eprintln!(
+                            "[round {round}] harris-list size={size} mix={} threads={threads} smr={}",
+                            mix.label(),
+                            kind.label()
+                        );
+                        let spec = WorkloadSpec::new(
+                            mix,
+                            size,
+                            threads,
+                            StopCondition::Duration(Duration::from_millis(120)),
+                        );
+                        let config = SmrConfig::default()
+                            .with_max_threads(threads + 4)
+                            .with_watermarks(1024, 256)
+                            .with_signal_cost_ns(2_000);
+                        let r = run_with::<HarrisListFamily>(kind, &spec, config);
+                        eprintln!(
+                            "    ok: {:.3} Mops/s, {} retired, {} freed",
+                            r.mops, r.smr_totals.retires, r.smr_totals.frees
+                        );
+                    }
+                }
+            }
+        }
+    }
+    println!("stress completed");
+}

@@ -1,0 +1,345 @@
+//! Ergonomic integration layer: how a data-structure author uses NBR.
+//!
+//! The paper argues (Section 5.3, Figure 2) that integrating NBR is about as
+//! hard as two-phase locking: bracket the traversal with `begin_read_phase` /
+//! `end_read_phase(reservations)` and restart from the root when neutralized.
+//! The raw [`Smr`] hooks express exactly that, but the restart control flow is
+//! easy to get subtly wrong (e.g. forgetting to discard a pointer obtained in
+//! the aborted read phase). This module offers a structured wrapper:
+//!
+//! ```
+//! use nbr::{NbrPlus, OpResult, ReadPhase, SmrHandle};
+//! use smr_common::{Atomic, NodeHeader, Smr, SmrConfig};
+//!
+//! struct Node { header: NodeHeader, value: u64 }
+//! smr_common::impl_smr_node!(Node);
+//!
+//! let smr = NbrPlus::new(SmrConfig::for_tests());
+//! let mut handle = SmrHandle::register(&smr, 0);
+//! let slot = Atomic::<Node>::null();
+//!
+//! // Publish a node, then read it back through a guarded read phase.
+//! let node = handle.alloc(Node { header: NodeHeader::new(), value: 7 });
+//! slot.store(node, std::sync::atomic::Ordering::Release);
+//!
+//! let value = handle.run(|phase: &mut ReadPhase<'_, NbrPlus>| {
+//!     let p = phase.load(0, &slot)?;                       // checkpointed load
+//!     let value = unsafe { p.deref().value };
+//!     phase.reserve(&[p.untagged_usize()]);                // enter Φ_write
+//!     OpResult::done(value)
+//! });
+//! assert_eq!(value, 7);
+//! # let old = slot.swap(smr_common::Shared::null(), std::sync::atomic::Ordering::AcqRel);
+//! # unsafe { handle.retire(old) };
+//! ```
+
+use smr_common::{Atomic, Shared, Smr, SmrNode, ThreadStats};
+
+/// Error type signalling that the current read phase was neutralized and every
+/// pointer obtained in it must be discarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Neutralized;
+
+impl std::fmt::Display for Neutralized {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "read phase neutralized; restart from the root")
+    }
+}
+
+impl std::error::Error for Neutralized {}
+
+/// Result of one attempt at an operation body run by [`SmrHandle::run`].
+pub enum OpResult<T> {
+    /// The operation completed with a value.
+    Done(T),
+    /// The operation must be retried from the top (validation failed, lost a
+    /// CAS, or was neutralized).
+    Retry,
+}
+
+impl<T> OpResult<T> {
+    /// Convenience constructor used at the end of an operation body.
+    pub fn done(value: T) -> Result<Self, Neutralized> {
+        Ok(Self::Done(value))
+    }
+
+    /// Convenience constructor requesting a retry.
+    pub fn retry() -> Result<Self, Neutralized> {
+        Ok(Self::Retry)
+    }
+}
+
+impl<T> From<Neutralized> for OpResult<T> {
+    fn from(_: Neutralized) -> Self {
+        Self::Retry
+    }
+}
+
+/// A registered thread's handle: the reclaimer reference plus the thread
+/// context, with deregistration on drop.
+pub struct SmrHandle<'s, S: Smr> {
+    smr: &'s S,
+    ctx: Option<S::ThreadCtx>,
+}
+
+impl<'s, S: Smr> SmrHandle<'s, S> {
+    /// Registers the calling thread under slot `tid`.
+    pub fn register(smr: &'s S, tid: usize) -> Self {
+        Self {
+            smr,
+            ctx: Some(smr.register(tid)),
+        }
+    }
+
+    /// The underlying reclaimer.
+    pub fn smr(&self) -> &'s S {
+        self.smr
+    }
+
+    /// Borrows the raw thread context (for calling [`Smr`] hooks directly).
+    pub fn ctx_mut(&mut self) -> &mut S::ThreadCtx {
+        self.ctx.as_mut().expect("handle already deregistered")
+    }
+
+    /// Splits the handle into the reclaimer and the thread context, which is
+    /// the shape the data-structure methods expect.
+    pub fn parts(&mut self) -> (&'s S, &mut S::ThreadCtx) {
+        (self.smr, self.ctx.as_mut().expect("handle already deregistered"))
+    }
+
+    /// Allocates a node through the reclaimer (stamping its birth era).
+    pub fn alloc<T: SmrNode>(&mut self, value: T) -> Shared<T> {
+        let (smr, ctx) = self.parts();
+        smr.alloc(ctx, value)
+    }
+
+    /// Retires an unlinked node.
+    ///
+    /// # Safety
+    /// Same contract as [`Smr::retire`].
+    pub unsafe fn retire<T: SmrNode>(&mut self, ptr: Shared<T>) {
+        let (smr, ctx) = self.parts();
+        smr.retire(ctx, ptr);
+    }
+
+    /// This thread's SMR counters.
+    pub fn stats(&self) -> ThreadStats {
+        self.smr.thread_stats(self.ctx.as_ref().expect("handle already deregistered"))
+    }
+
+    /// Attempts to reclaim everything that is currently safe.
+    pub fn flush(&mut self) {
+        let (smr, ctx) = self.parts();
+        smr.flush(ctx);
+    }
+
+    /// Runs one data-structure operation with automatic neutralization /
+    /// retry handling.
+    ///
+    /// The body is invoked with a [`ReadPhase`] guard; loads through the guard
+    /// are checkpointed, and returning `Err(Neutralized)` (which the `?`
+    /// operator produces from [`ReadPhase::load`]) or `Ok(OpResult::Retry)`
+    /// restarts the body from the top — i.e. from the root of the structure,
+    /// which is exactly the restriction Section 5.2 imposes.
+    pub fn run<T>(
+        &mut self,
+        mut body: impl FnMut(&mut ReadPhase<'_, S>) -> Result<OpResult<T>, Neutralized>,
+    ) -> T {
+        let (smr, ctx) = self.parts();
+        smr.begin_op(ctx);
+        let result = loop {
+            smr.begin_read_phase(ctx);
+            let mut phase = ReadPhase { smr, ctx, reserved: false };
+            match body(&mut phase) {
+                Ok(OpResult::Done(v)) => break v,
+                Ok(OpResult::Retry) | Err(Neutralized) => continue,
+            }
+        };
+        smr.clear_protections(ctx);
+        smr.end_op(ctx);
+        result
+    }
+}
+
+impl<S: Smr> Drop for SmrHandle<'_, S> {
+    fn drop(&mut self) {
+        if let Some(mut ctx) = self.ctx.take() {
+            self.smr.unregister(&mut ctx);
+        }
+    }
+}
+
+/// Guard representing the current read phase of an operation run through
+/// [`SmrHandle::run`].
+pub struct ReadPhase<'a, S: Smr> {
+    smr: &'a S,
+    ctx: &'a mut S::ThreadCtx,
+    reserved: bool,
+}
+
+impl<S: Smr> ReadPhase<'_, S> {
+    /// Loads a shared pointer with protection (for HP-style reclaimers) and a
+    /// neutralization checkpoint (for NBR). Returns `Err(Neutralized)` when the
+    /// read phase must restart; propagate it with `?`.
+    pub fn load<T: SmrNode>(
+        &mut self,
+        slot: usize,
+        src: &Atomic<T>,
+    ) -> Result<Shared<T>, Neutralized> {
+        let p = self.smr.protect(self.ctx, slot, src);
+        if self.smr.checkpoint(self.ctx) {
+            Err(Neutralized)
+        } else {
+            Ok(p)
+        }
+    }
+
+    /// Explicit checkpoint (e.g. once per loop iteration in long scans).
+    pub fn checkpoint(&mut self) -> Result<(), Neutralized> {
+        if self.smr.checkpoint(self.ctx) {
+            Err(Neutralized)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Ends the read phase, reserving the records the write phase will access
+    /// (their untagged addresses). After this the operation may lock/CAS
+    /// exactly those records.
+    pub fn reserve(&mut self, records: &[usize]) {
+        self.smr.end_read_phase(self.ctx, records);
+        self.reserved = true;
+    }
+
+    /// Allocates a node (permitted in the write phase / preamble only; calling
+    /// it before [`ReadPhase::reserve`] is a phase-rule violation for NBR —
+    /// see Section 4.1 — so this is gated on the reservation having happened).
+    pub fn alloc<T: SmrNode>(&mut self, value: T) -> Shared<T> {
+        debug_assert!(
+            self.reserved || !S::USES_PHASES,
+            "allocation inside a Φ_read violates the NBR phase rules (Section 4.1)"
+        );
+        self.smr.alloc(self.ctx, value)
+    }
+
+    /// Retires an unlinked record (write phase only).
+    ///
+    /// # Safety
+    /// Same contract as [`Smr::retire`].
+    pub unsafe fn retire<T: SmrNode>(&mut self, ptr: Shared<T>) {
+        debug_assert!(
+            self.reserved || !S::USES_PHASES,
+            "retire inside a Φ_read violates the NBR phase rules (Section 4.1)"
+        );
+        self.smr.retire(self.ctx, ptr);
+    }
+
+    /// Raw access to the underlying reclaimer and context for anything not
+    /// covered by the guard methods.
+    pub fn raw(&mut self) -> (&S, &mut S::ThreadCtx) {
+        (self.smr, self.ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Nbr, NbrPlus};
+    use smr_common::{NodeHeader, SmrConfig};
+    use std::sync::atomic::Ordering;
+
+    struct Node {
+        header: NodeHeader,
+        value: u64,
+    }
+    smr_common::impl_smr_node!(Node);
+
+    #[test]
+    fn run_completes_simple_operation() {
+        let smr = NbrPlus::new(SmrConfig::for_tests());
+        let mut handle = SmrHandle::register(&smr, 0);
+        let slot = Atomic::<Node>::null();
+        let node = handle.alloc(Node {
+            header: NodeHeader::new(),
+            value: 5,
+        });
+        slot.store(node, Ordering::Release);
+
+        let v = handle.run(|phase| {
+            let p = phase.load(0, &slot)?;
+            let value = unsafe { p.deref().value };
+            phase.reserve(&[p.untagged_usize()]);
+            OpResult::done(value)
+        });
+        assert_eq!(v, 5);
+
+        let old = slot.swap(Shared::null(), Ordering::AcqRel);
+        unsafe { handle.retire(old) };
+    }
+
+    #[test]
+    fn run_retries_until_done() {
+        let smr = Nbr::new(SmrConfig::for_tests());
+        let mut handle = SmrHandle::register(&smr, 0);
+        let mut attempts = 0;
+        let out = handle.run(|phase| {
+            attempts += 1;
+            phase.reserve(&[]);
+            if attempts < 3 {
+                OpResult::retry()
+            } else {
+                OpResult::done(attempts)
+            }
+        });
+        assert_eq!(out, 3);
+    }
+
+    #[test]
+    fn neutralized_load_restarts_the_body() {
+        let smr = NbrPlus::new(SmrConfig::for_tests().with_max_threads(2));
+        // A second participant whose signal will neutralize us.
+        let signaller_ctx = smr.register(1);
+        let mut handle = SmrHandle::register(&smr, 0);
+        let slot = Atomic::<Node>::null();
+        let node = handle.alloc(Node {
+            header: NodeHeader::new(),
+            value: 11,
+        });
+        slot.store(node, Ordering::Release);
+
+        let mut first = true;
+        let v = handle.run(|phase| {
+            if first {
+                first = false;
+                // Simulate a concurrent reclaimer broadcasting mid-Φ_read.
+                phase.raw().0.neutralization().signal_all(1);
+                // The next guarded load must observe the neutralization.
+                let err = phase.load(0, &slot);
+                assert_eq!(err.unwrap_err(), Neutralized);
+                return Err(Neutralized);
+            }
+            let p = phase.load(0, &slot)?;
+            let value = unsafe { p.deref().value };
+            phase.reserve(&[p.untagged_usize()]);
+            OpResult::done(value)
+        });
+        assert_eq!(v, 11);
+        assert!(handle.stats().neutralizations >= 1);
+
+        let old = slot.swap(Shared::null(), Ordering::AcqRel);
+        unsafe { handle.retire(old) };
+        drop(handle);
+        let mut ctx = signaller_ctx;
+        smr.unregister(&mut ctx);
+    }
+
+    #[test]
+    fn handle_drop_deregisters() {
+        let smr = NbrPlus::new(SmrConfig::for_tests());
+        {
+            let _h = SmrHandle::register(&smr, 3);
+            assert!(smr.neutralization().registry().is_active(3));
+        }
+        assert!(!smr.neutralization().registry().is_active(3));
+    }
+}

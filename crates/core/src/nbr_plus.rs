@@ -1,0 +1,432 @@
+//! NBR+ — the optimized reclaimer (Algorithm 2 of the paper).
+//!
+//! NBR sends `n-1` signals every time any thread wants to empty its limbo bag,
+//! i.e. `O(n²)` signals for all threads to reclaim once. NBR+ lets threads
+//! piggyback on *relaxed grace periods* (RGPs) induced by other threads:
+//!
+//! * When a thread's limbo bag crosses the **LoWatermark** it bookmarks its
+//!   current bag tail and snapshots every thread's announcement timestamp.
+//! * A thread whose bag reaches the **HiWatermark** announces an RGP (odd
+//!   timestamp), broadcasts signals, verifies the handshake, announces the RGP
+//!   complete (even timestamp), and reclaims — exactly like NBR plus the
+//!   announcements.
+//! * A thread waiting at the LoWatermark periodically re-reads the
+//!   announcement timestamps; once any *other* thread's timestamp has advanced
+//!   through a complete RGP since the snapshot, every thread has been
+//!   neutralized since the bookmark, so the waiter reclaims every unreserved
+//!   record it retired before the bookmark — **without sending any signals**.
+//!
+//! In the best case all `n` threads reclaim after a single RGP (`n-1`
+//! signals). The benches report `signals_sent` so this effect is visible
+//! (see the `ablation_nbr` bench and EXPERIMENTS.md).
+
+use crate::neutralize::{HandshakeOutcome, NeutralizationCore};
+use smr_common::{LimboBag, Retired, Shared, Smr, SmrConfig, SmrNode, ThreadStats};
+
+/// How many retire calls at the LoWatermark are amortized over one scan of the
+/// announcement timestamps (Section 5.1: "we amortize the overhead of scanning
+/// announceTS over many retire operations").
+const LO_WM_SCAN_PERIOD: u64 = 4;
+
+/// Per-thread context for [`NbrPlus`].
+pub struct NbrPlusCtx {
+    tid: usize,
+    limbo: LimboBag,
+    stats: ThreadStats,
+    /// True until the thread (re-)enters the LoWatermark region
+    /// (`firstLoWmEntryFlag` of Algorithm 2).
+    first_lo_wm_entry: bool,
+    /// Bag length at the moment the LoWatermark was entered (`bookmarkTail`).
+    bookmark: usize,
+    /// Announcement-timestamp snapshot taken at the LoWatermark (`scanTS`).
+    scan_snapshot: Vec<u64>,
+    /// Retires since the last announcement scan (amortization counter).
+    lo_wm_scan_tick: u64,
+}
+
+impl NbrPlusCtx {
+    /// The thread's slot index.
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+}
+
+/// The NBR+ reclaimer (Algorithm 2).
+pub struct NbrPlus {
+    core: NeutralizationCore,
+}
+
+impl NbrPlus {
+    /// Access to the shared neutralization core.
+    pub fn neutralization(&self) -> &NeutralizationCore {
+        &self.core
+    }
+
+    /// Reset the LoWatermark bookkeeping (Algorithm 2, `cleanUp`).
+    fn clean_up(ctx: &mut NbrPlusCtx) {
+        ctx.first_lo_wm_entry = true;
+        ctx.lo_wm_scan_tick = 0;
+    }
+
+    /// Free every unreserved record in the prefix `[0, up_to)` of the bag.
+    fn reclaim_freeable(&self, ctx: &mut NbrPlusCtx, up_to: usize) -> usize {
+        let reserved = self.core.collect_reservations(ctx.tid);
+        // SAFETY: callers establish that every record in the prefix was
+        // retired before a verified RGP (HiWatermark path) or before the
+        // bookmark of an observed RGP (LoWatermark path); unreserved records
+        // are therefore safe (Lemmas 8/9 of the paper).
+        unsafe {
+            ctx.limbo.reclaim_prefix_if(
+                up_to,
+                |r| reserved.binary_search(&r.address()).is_err(),
+                &mut ctx.stats,
+            )
+        }
+    }
+
+    /// HiWatermark path: induce an RGP (signals + verified handshake) and
+    /// reclaim everything retired before the broadcast.
+    fn reclaim_at_hi_watermark(&self, ctx: &mut NbrPlusCtx) -> usize {
+        let tail = ctx.limbo.len();
+        if tail == 0 {
+            return 0;
+        }
+        ctx.stats.reclaim_scans += 1;
+        self.core.announce_rgp_begin(ctx.tid);
+        let (seq, sent) = self.core.signal_all(ctx.tid);
+        ctx.stats.signals_sent += sent;
+        match self.core.await_neutralization(ctx.tid, seq) {
+            HandshakeOutcome::TimedOut => {
+                // The RGP could not be verified: roll the announcement back so
+                // LoWatermark observers cannot mistake it for a completed one.
+                self.core.announce_rgp_abort(ctx.tid);
+                ctx.stats.reclaim_skips += 1;
+                0
+            }
+            HandshakeOutcome::AllNeutralized => {
+                self.core.announce_rgp_end(ctx.tid);
+                let freed = self.reclaim_freeable(ctx, tail);
+                Self::clean_up(ctx);
+                freed
+            }
+        }
+    }
+
+    /// LoWatermark path: bookmark, snapshot, and opportunistically reclaim if
+    /// some other thread completed an RGP since the snapshot.
+    fn try_reclaim_at_lo_watermark(&self, ctx: &mut NbrPlusCtx) -> usize {
+        if ctx.first_lo_wm_entry {
+            ctx.bookmark = ctx.limbo.len();
+            ctx.scan_snapshot = self.core.snapshot_announcements();
+            ctx.first_lo_wm_entry = false;
+            ctx.lo_wm_scan_tick = 0;
+            return 0;
+        }
+        ctx.lo_wm_scan_tick += 1;
+        if ctx.lo_wm_scan_tick % LO_WM_SCAN_PERIOD != 0 {
+            return 0;
+        }
+        if self.core.rgp_elapsed_since(ctx.tid, &ctx.scan_snapshot) {
+            let bookmark = ctx.bookmark;
+            let freed = self.reclaim_freeable(ctx, bookmark);
+            ctx.stats.rgp_reclaims += 1;
+            Self::clean_up(ctx);
+            freed
+        } else {
+            0
+        }
+    }
+}
+
+impl Smr for NbrPlus {
+    type ThreadCtx = NbrPlusCtx;
+
+    const NAME: &'static str = "NBR+";
+    const USES_PHASES: bool = true;
+
+    fn new(config: SmrConfig) -> Self {
+        Self {
+            core: NeutralizationCore::new(config),
+        }
+    }
+
+    fn config(&self) -> &SmrConfig {
+        self.core.config()
+    }
+
+    fn register(&self, tid: usize) -> NbrPlusCtx {
+        self.core.register(tid);
+        NbrPlusCtx {
+            tid,
+            limbo: LimboBag::with_capacity(self.core.config().hi_watermark + 1),
+            stats: ThreadStats::default(),
+            first_lo_wm_entry: true,
+            bookmark: 0,
+            scan_snapshot: Vec::new(),
+            lo_wm_scan_tick: 0,
+        }
+    }
+
+    fn unregister(&self, ctx: &mut NbrPlusCtx) {
+        self.reclaim_at_hi_watermark(ctx);
+        let leftovers = ctx.limbo.drain();
+        self.core.adopt_orphans(leftovers);
+        self.core.deregister(ctx.tid);
+    }
+
+    #[inline]
+    fn begin_read_phase(&self, ctx: &mut NbrPlusCtx) {
+        self.core.begin_read_phase(ctx.tid);
+    }
+
+    #[inline]
+    fn end_read_phase(&self, ctx: &mut NbrPlusCtx, reservations: &[usize]) {
+        self.core.end_read_phase(ctx.tid, reservations);
+    }
+
+    #[inline]
+    fn checkpoint(&self, ctx: &mut NbrPlusCtx) -> bool {
+        if self.core.checkpoint(ctx.tid) {
+            ctx.stats.neutralizations += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    #[inline]
+    fn end_op(&self, ctx: &mut NbrPlusCtx) {
+        self.core.quiesce(ctx.tid);
+    }
+
+    unsafe fn retire<T: SmrNode>(&self, ctx: &mut NbrPlusCtx, ptr: Shared<T>) {
+        debug_assert!(!ptr.is_null());
+        ctx.limbo.push(Retired::new(ptr.as_raw(), 0));
+        ctx.stats.retires += 1;
+        ctx.stats.observe_limbo(ctx.limbo.len());
+        let len = ctx.limbo.len();
+        let cfg = self.core.config();
+        if len >= cfg.hi_watermark {
+            self.reclaim_at_hi_watermark(ctx);
+        } else if len >= cfg.lo_watermark {
+            self.try_reclaim_at_lo_watermark(ctx);
+        }
+    }
+
+    fn flush(&self, ctx: &mut NbrPlusCtx) {
+        self.reclaim_at_hi_watermark(ctx);
+    }
+
+    fn thread_stats(&self, ctx: &NbrPlusCtx) -> ThreadStats {
+        ctx.stats
+    }
+
+    fn thread_stats_mut<'a>(&self, ctx: &'a mut NbrPlusCtx) -> &'a mut ThreadStats {
+        &mut ctx.stats
+    }
+
+    fn limbo_len(&self, ctx: &NbrPlusCtx) -> usize {
+        ctx.limbo.len()
+    }
+}
+
+impl Drop for NbrPlus {
+    fn drop(&mut self) {
+        self.core.drain_orphans();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smr_common::NodeHeader;
+
+    struct Node {
+        header: NodeHeader,
+        #[allow(dead_code)]
+        key: u64,
+    }
+    smr_common::impl_smr_node!(Node);
+
+    fn new_nbr_plus() -> NbrPlus {
+        NbrPlus::new(SmrConfig::for_tests().with_max_threads(4))
+    }
+
+    fn alloc_and_retire(smr: &NbrPlus, ctx: &mut NbrPlusCtx, n: usize) {
+        for i in 0..n {
+            let p = smr.alloc(
+                ctx,
+                Node {
+                    header: NodeHeader::new(),
+                    key: i as u64,
+                },
+            );
+            unsafe { smr.retire(ctx, p) };
+        }
+    }
+
+    #[test]
+    fn hi_watermark_reclaims_and_announces() {
+        let smr = new_nbr_plus();
+        let hi = smr.config().hi_watermark;
+        let mut ctx = smr.register(0);
+        let before = smr.neutralization().slot(0).announce_ts();
+        alloc_and_retire(&smr, &mut ctx, hi);
+        assert_eq!(smr.limbo_len(&ctx), 0);
+        let after = smr.neutralization().slot(0).announce_ts();
+        assert_eq!(after, before + 2, "a verified RGP bumps the timestamp twice");
+        assert_eq!(after % 2, 0);
+        smr.unregister(&mut ctx);
+    }
+
+    #[test]
+    fn lo_watermark_piggybacks_on_other_threads_rgp() {
+        let smr = new_nbr_plus();
+        let cfg = smr.config().clone();
+        let mut waiter = smr.register(0);
+        let mut reclaimer = smr.register(1);
+
+        // Waiter retires enough to pass the LoWatermark (but not Hi), which
+        // bookmarks its bag, plus a few more to tick the amortized scan.
+        alloc_and_retire(&smr, &mut waiter, cfg.lo_watermark + 1);
+        let waiting = smr.limbo_len(&waiter);
+        assert!(waiting > 0);
+        assert_eq!(smr.thread_stats(&waiter).signals_sent, 0);
+
+        // Another thread crosses its HiWatermark, inducing a verified RGP.
+        alloc_and_retire(&smr, &mut reclaimer, cfg.hi_watermark);
+        assert!(smr.thread_stats(&reclaimer).signals_sent > 0);
+
+        // The waiter's next few retires must detect the RGP and reclaim the
+        // bookmarked prefix without sending a single signal.
+        alloc_and_retire(&smr, &mut waiter, LO_WM_SCAN_PERIOD as usize + 1);
+        let s = smr.thread_stats(&waiter);
+        assert_eq!(s.signals_sent, 0, "the waiter must not signal");
+        assert_eq!(s.rgp_reclaims, 1, "the waiter must piggyback exactly once here");
+        assert!(
+            smr.limbo_len(&waiter) < waiting,
+            "bookmarked prefix must have been reclaimed"
+        );
+
+        smr.unregister(&mut waiter);
+        smr.unregister(&mut reclaimer);
+    }
+
+    #[test]
+    fn lo_watermark_does_not_reclaim_without_rgp() {
+        let smr = new_nbr_plus();
+        let cfg = smr.config().clone();
+        let mut waiter = smr.register(0);
+        let _other = smr.register(1);
+        alloc_and_retire(&smr, &mut waiter, cfg.hi_watermark - 1);
+        let s = smr.thread_stats(&waiter);
+        assert_eq!(s.frees, 0, "no RGP observed, nothing may be freed");
+        assert_eq!(s.rgp_reclaims, 0);
+        smr.unregister(&mut waiter);
+    }
+
+    #[test]
+    fn aborted_rgp_is_invisible_to_waiters() {
+        let mut cfg = SmrConfig::for_tests().with_max_threads(4);
+        cfg.ack_spin_limit = 16;
+        let smr = NbrPlus::new(cfg);
+        let cfg = smr.config().clone();
+        let mut waiter = smr.register(0);
+        let mut reclaimer = smr.register(1);
+        let mut silent_reader = smr.register(2);
+
+        // A reader that never acknowledges forces the HiWatermark RGP to abort.
+        smr.begin_read_phase(&mut silent_reader);
+
+        alloc_and_retire(&smr, &mut waiter, cfg.lo_watermark + 1);
+        alloc_and_retire(&smr, &mut reclaimer, cfg.hi_watermark);
+        assert_eq!(
+            smr.thread_stats(&reclaimer).frees,
+            0,
+            "HiWatermark reclaim must have been conceded"
+        );
+
+        alloc_and_retire(&smr, &mut waiter, LO_WM_SCAN_PERIOD as usize + 1);
+        assert_eq!(
+            smr.thread_stats(&waiter).rgp_reclaims,
+            0,
+            "an aborted RGP must not be detected by waiters"
+        );
+
+        // Reader finally acknowledges; everything can drain.
+        assert!(smr.checkpoint(&mut silent_reader));
+        smr.end_op(&mut silent_reader);
+        smr.flush(&mut reclaimer);
+        smr.flush(&mut waiter);
+        assert_eq!(smr.limbo_len(&reclaimer), 0);
+        assert_eq!(smr.limbo_len(&waiter), 0);
+
+        smr.unregister(&mut silent_reader);
+        smr.unregister(&mut reclaimer);
+        smr.unregister(&mut waiter);
+    }
+
+    #[test]
+    fn nbr_plus_sends_fewer_signals_than_nbr_for_same_workload() {
+        // The headline claim of Section 5: a thread that retires slowly can
+        // piggyback on the RGPs of a fast-retiring thread instead of sending
+        // its own signals. Thread `a` retires 3 records per round, thread `b`
+        // one — under NBR both must broadcast to empty their bags, under NBR+
+        // `b` reclaims by observing `a`'s RGPs.
+        let rounds = 600usize;
+
+        fn run<S: Smr>(rounds: usize) -> u64 {
+            let cfg = SmrConfig::for_tests().with_max_threads(4);
+            let smr = S::new(cfg);
+            let mut a = smr.register(0);
+            let mut b = smr.register(1);
+            let retire_n = |ctx: &mut S::ThreadCtx, n: usize| {
+                for i in 0..n {
+                    let p = smr.alloc(
+                        ctx,
+                        Node {
+                            header: NodeHeader::new(),
+                            key: i as u64,
+                        },
+                    );
+                    unsafe { smr.retire(ctx, p) };
+                }
+            };
+            for _ in 0..rounds {
+                retire_n(&mut a, 3);
+                retire_n(&mut b, 1);
+            }
+            let sig = smr.thread_stats(&a).signals_sent + smr.thread_stats(&b).signals_sent;
+            smr.unregister(&mut a);
+            smr.unregister(&mut b);
+            sig
+        }
+
+        let nbr_signals = run::<crate::Nbr>(rounds);
+        let plus_signals = run::<NbrPlus>(rounds);
+        assert!(
+            plus_signals < nbr_signals,
+            "NBR+ must send fewer signals than NBR ({plus_signals} vs {nbr_signals})"
+        );
+    }
+
+    #[test]
+    fn garbage_is_bounded_by_watermark_plus_reservations() {
+        let smr = new_nbr_plus();
+        let cfg = smr.config().clone();
+        let mut ctx = smr.register(0);
+        let bound = cfg.hi_watermark + cfg.max_reservations * (cfg.max_threads - 1);
+        for i in 0..(cfg.hi_watermark * 8) {
+            let p = smr.alloc(
+                &mut ctx,
+                Node {
+                    header: NodeHeader::new(),
+                    key: i as u64,
+                },
+            );
+            unsafe { smr.retire(&mut ctx, p) };
+            assert!(smr.limbo_len(&ctx) <= bound);
+        }
+        smr.unregister(&mut ctx);
+    }
+}

@@ -1,0 +1,598 @@
+//! The neutralization substrate: per-thread signal slots and the
+//! reader/writer/reclaimer handshakes of Sections 4.2–4.3.
+//!
+//! # Substitution for POSIX signals (DESIGN.md, S1)
+//!
+//! The paper delivers neutralization with `pthread_kill` + a handler that
+//! `siglongjmp`s back to the start of the read phase. Jumping over Rust frames
+//! is undefined behaviour unless every skipped frame is a plain-old-frame, and
+//! an async signal handler cannot be expressed safely in Rust, so this
+//! reproduction delivers neutralization **cooperatively**:
+//!
+//! * "Sending a signal" to thread `t` = `pending[t].fetch_max(seq, SeqCst)`.
+//! * "Receiving the signal" = thread `t` observing `pending[t] > acked[t]` at a
+//!   *checkpoint* — data structures place a checkpoint after every shared
+//!   pointer load inside a read phase, before the loaded pointer is
+//!   dereferenced. On receipt the thread stores `acked[t] = pending[t]` and
+//!   restarts its read phase from the root (structured control flow instead of
+//!   `siglongjmp`).
+//! * A reclaimer may treat thread `t` as neutralized once it observes either
+//!   `restartable[t] == false` (t is in a write phase or quiescent — its
+//!   *reservations* are honoured, exactly as in Algorithm 1) or
+//!   `acked[t] >= seq` (t has discarded every read-phase pointer it obtained
+//!   before the signal).
+//!
+//! This preserves Assumption 4 of the paper ("a signalled thread executes its
+//! handler before dereferencing any reference field") *by construction*: a
+//! reader never dereferences a pointer loaded in a read phase without first
+//! passing a checkpoint, and the reclaimer never frees until the handshake
+//! above has been observed for every registered thread. The cost of the
+//! substitution is that a reclaimer may have to *skip* a reclamation round if
+//! some reader has not reached a checkpoint within a bounded spin window
+//! (`SmrConfig::ack_spin_limit`); with real signals the kernel would preempt
+//! that reader instead. Safety is unaffected; the garbage bound holds as long
+//! as readers keep executing checkpoints, which they do on every pointer hop.
+//!
+//! # Memory-ordering notes (Algorithm 1, lines 8 and 12)
+//!
+//! The paper uses CAS-as-fence on x86 to order (a) the `restartable := true`
+//! write before any subsequent read of shared records, and (b) the reservation
+//! writes before `restartable := false`. Here both transitions are `SeqCst`
+//! read-modify-writes (`swap`), and the reservation stores are `SeqCst`, so the
+//! store-buffer interleavings the paper worries about are excluded under the
+//! C11/Rust model: a reclaimer that reads `restartable[t] == false` also
+//! observes every reservation `t` published before flipping the flag
+//! (release/acquire via the RMW), and a reader that acknowledges a signal has
+//! a happens-before edge from the reclaimer's unlinks to its restarted
+//! traversal (it read the reclaimer's `pending` store).
+
+use smr_common::{CachePadded, Registry, SmrConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Per-thread shared neutralization state (single-writer for `restartable`,
+/// `acked`, `reservations`, `announce_ts`; multi-writer for `pending`).
+#[derive(Debug)]
+pub struct SignalSlot {
+    /// True while the owning thread is inside a read phase (Φ_read) and may be
+    /// neutralized (Algorithm 1, line 3).
+    restartable: AtomicBool,
+    /// Highest neutralization sequence number "delivered" to this thread.
+    pending: AtomicU64,
+    /// Highest sequence number the thread has acknowledged (it holds no
+    /// read-phase pointers obtained before that signal).
+    acked: AtomicU64,
+    /// NBR+ announcement timestamp (Algorithm 2): odd while the owner is
+    /// broadcasting signals, even otherwise; two completed increments after a
+    /// snapshot ⇒ a relaxed grace period elapsed.
+    announce_ts: AtomicU64,
+    /// The records the owner will access in its write phase (Algorithm 1,
+    /// line 5: the SWMR reservations array). A zero entry is empty.
+    reservations: Box<[AtomicUsize]>,
+}
+
+impl SignalSlot {
+    fn new(max_reservations: usize) -> Self {
+        Self {
+            restartable: AtomicBool::new(false),
+            pending: AtomicU64::new(0),
+            acked: AtomicU64::new(0),
+            announce_ts: AtomicU64::new(0),
+            reservations: (0..max_reservations).map(|_| AtomicUsize::new(0)).collect(),
+        }
+    }
+
+    /// The owner's announcement timestamp (NBR+).
+    #[inline]
+    pub fn announce_ts(&self) -> u64 {
+        self.announce_ts.load(Ordering::SeqCst)
+    }
+}
+
+/// The shared core used by both `Nbr` and `NbrPlus`: thread registry, signal
+/// slots, the global signal sequence, and the orphan pool for records whose
+/// retiring thread deregistered before they became safe.
+pub struct NeutralizationCore {
+    config: SmrConfig,
+    registry: Registry,
+    slots: Vec<CachePadded<SignalSlot>>,
+    signal_seq: AtomicU64,
+    orphans: std::sync::Mutex<Vec<smr_common::Retired>>,
+}
+
+impl std::fmt::Debug for NeutralizationCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NeutralizationCore")
+            .field("threads", &self.registry.registered())
+            .field("signal_seq", &self.signal_seq.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Outcome of a reclaimer's attempt to observe neutralization of all threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandshakeOutcome {
+    /// Every registered thread was observed neutralized (acknowledged the
+    /// signal) or non-restartable; reclamation may proceed.
+    AllNeutralized,
+    /// Some thread stayed in a read phase without acknowledging within the
+    /// bounded spin window; the reclaimer must skip this round.
+    TimedOut,
+}
+
+impl NeutralizationCore {
+    /// Creates the shared state for `config.max_threads` threads.
+    pub fn new(config: SmrConfig) -> Self {
+        config.validate();
+        let slots = (0..config.max_threads)
+            .map(|_| CachePadded::new(SignalSlot::new(config.max_reservations)))
+            .collect();
+        Self {
+            registry: Registry::new(config.max_threads),
+            slots,
+            signal_seq: AtomicU64::new(0),
+            orphans: std::sync::Mutex::new(Vec::new()),
+            config,
+        }
+    }
+
+    /// The configuration.
+    #[inline]
+    pub fn config(&self) -> &SmrConfig {
+        &self.config
+    }
+
+    /// The thread registry.
+    #[inline]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The signal slot of thread `tid`.
+    #[inline]
+    pub fn slot(&self, tid: usize) -> &SignalSlot {
+        &self.slots[tid]
+    }
+
+    /// Registers the calling thread under slot `tid`, resetting its slot.
+    pub fn register(&self, tid: usize) {
+        assert!(
+            self.registry.register_tid(tid),
+            "thread slot {tid} already registered"
+        );
+        let slot = self.slot(tid);
+        slot.restartable.store(false, Ordering::SeqCst);
+        // Catch up with the global sequence: this thread holds no pointers, so
+        // it trivially acknowledges everything that has been sent so far.
+        let seq = self.signal_seq.load(Ordering::SeqCst);
+        slot.pending.store(seq, Ordering::SeqCst);
+        slot.acked.store(seq, Ordering::SeqCst);
+        for r in slot.reservations.iter() {
+            r.store(0, Ordering::SeqCst);
+        }
+    }
+
+    /// Deregisters a thread slot.
+    pub fn deregister(&self, tid: usize) {
+        let slot = self.slot(tid);
+        slot.restartable.store(false, Ordering::SeqCst);
+        for r in slot.reservations.iter() {
+            r.store(0, Ordering::SeqCst);
+        }
+        self.registry.deregister(tid);
+    }
+
+    /// Moves records that could not be reclaimed before deregistration into
+    /// the orphan pool; they are destroyed when the reclaimer itself drops.
+    pub fn adopt_orphans(&self, records: Vec<smr_common::Retired>) {
+        if records.is_empty() {
+            return;
+        }
+        self.orphans.lock().unwrap().extend(records);
+    }
+
+    /// Frees every orphaned record. Only called from `Drop` of the owning
+    /// reclaimer, at which point no thread can hold references.
+    pub(crate) fn drain_orphans(&self) {
+        let mut orphans = self.orphans.lock().unwrap();
+        for r in orphans.drain(..) {
+            // SAFETY: the reclaimer is being dropped; all threads have
+            // deregistered, so no references to retired records remain.
+            unsafe { r.reclaim() };
+        }
+    }
+
+    /// Number of records currently parked in the orphan pool.
+    pub fn orphan_count(&self) -> usize {
+        self.orphans.lock().unwrap().len()
+    }
+
+    // ------------------------------------------------------------------
+    // Reader-side protocol.
+    // ------------------------------------------------------------------
+
+    /// Begins a read phase for `tid` (Algorithm 1, lines 6–9): clears the
+    /// reservations, trivially acknowledges any pending signal (the thread
+    /// holds no shared pointers at this boundary), and becomes restartable.
+    #[inline]
+    pub fn begin_read_phase(&self, tid: usize) {
+        let slot = self.slot(tid);
+        for r in slot.reservations.iter() {
+            if r.load(Ordering::Relaxed) != 0 {
+                r.store(0, Ordering::SeqCst);
+            }
+        }
+        let pending = slot.pending.load(Ordering::SeqCst);
+        slot.acked.store(pending, Ordering::SeqCst);
+        // SeqCst RMW: the paper's CAS-as-fence (line 8). Ensures no read of a
+        // shared record in the upcoming Φ_read can be ordered before the
+        // thread became restartable.
+        slot.restartable.swap(true, Ordering::SeqCst);
+    }
+
+    /// Neutralization checkpoint for `tid`. Returns `true` if a signal arrived
+    /// since the last acknowledgement; the caller must then discard all
+    /// read-phase pointers and restart from the root. The acknowledgement is
+    /// published here, which is what un-blocks the signalling reclaimer.
+    #[inline]
+    pub fn checkpoint(&self, tid: usize) -> bool {
+        let slot = self.slot(tid);
+        let pending = slot.pending.load(Ordering::SeqCst);
+        if pending > slot.acked.load(Ordering::Relaxed) {
+            slot.acked.store(pending, Ordering::SeqCst);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Ends the read phase (Algorithm 1, lines 10–13): publishes the records
+    /// the write phase will access and becomes non-restartable. The `SeqCst`
+    /// swap guarantees every reservation is visible to any reclaimer that
+    /// subsequently observes `restartable == false`.
+    #[inline]
+    pub fn end_read_phase(&self, tid: usize, reservations: &[usize]) {
+        let slot = self.slot(tid);
+        assert!(
+            reservations.len() <= slot.reservations.len(),
+            "too many reservations: {} > max_reservations {}",
+            reservations.len(),
+            slot.reservations.len()
+        );
+        for (i, r) in slot.reservations.iter().enumerate() {
+            let val = reservations.get(i).copied().unwrap_or(0);
+            r.store(val, Ordering::SeqCst);
+        }
+        // SeqCst RMW: the paper's CAS-as-fence (line 12).
+        slot.restartable.swap(false, Ordering::SeqCst);
+    }
+
+    /// Leaves any phase (end of operation): the thread is quiescent.
+    #[inline]
+    pub fn quiesce(&self, tid: usize) {
+        let slot = self.slot(tid);
+        if slot.restartable.load(Ordering::Relaxed) {
+            slot.restartable.swap(false, Ordering::SeqCst);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reclaimer-side protocol.
+    // ------------------------------------------------------------------
+
+    /// Sends a neutralization signal to every registered thread except
+    /// `sender` (Algorithm 1, line 16). Returns the sequence number of this
+    /// broadcast and the number of signals sent.
+    pub fn signal_all(&self, sender: usize) -> (u64, u64) {
+        let seq = self.signal_seq.fetch_add(1, Ordering::SeqCst) + 1;
+        let mut sent = 0u64;
+        for tid in self.registry.active_tids() {
+            if tid == sender {
+                continue;
+            }
+            self.slot(tid).pending.fetch_max(seq, Ordering::SeqCst);
+            sent += 1;
+            self.simulate_signal_cost();
+        }
+        (seq, sent)
+    }
+
+    /// Busy-waits for the configured per-signal cost, modelling the
+    /// user↔kernel round trip of a real `pthread_kill` so that the
+    /// signal-count trade-off between NBR and NBR+ remains measurable.
+    #[inline]
+    fn simulate_signal_cost(&self) {
+        let ns = self.config.signal_cost_ns;
+        if ns == 0 {
+            return;
+        }
+        let start = std::time::Instant::now();
+        let budget = Duration::from_nanos(ns);
+        while start.elapsed() < budget {
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Waits (bounded) until every registered thread other than `sender` is
+    /// observed neutralized with respect to `seq`: either non-restartable or
+    /// having acknowledged `seq`.
+    ///
+    /// The wait backs off from spinning to yielding so that, on oversubscribed
+    /// machines, a descheduled reader gets the CPU it needs to reach its next
+    /// checkpoint (with real signals the kernel would deliver the handler
+    /// regardless of scheduling; the yield is the cooperative substitute). The
+    /// total number of iterations is bounded by `SmrConfig::ack_spin_limit`;
+    /// on expiry the round is conceded and the caller skips reclamation.
+    pub fn await_neutralization(&self, sender: usize, seq: u64) -> HandshakeOutcome {
+        for tid in self.registry.active_tids() {
+            if tid == sender {
+                continue;
+            }
+            let slot = self.slot(tid);
+            let mut backoff = smr_common::Backoff::new();
+            let mut iterations = 0usize;
+            loop {
+                if !slot.restartable.load(Ordering::SeqCst) {
+                    break;
+                }
+                if slot.acked.load(Ordering::SeqCst) >= seq {
+                    break;
+                }
+                iterations += 1;
+                if iterations > self.config.ack_spin_limit {
+                    return HandshakeOutcome::TimedOut;
+                }
+                backoff.snooze();
+            }
+        }
+        HandshakeOutcome::AllNeutralized
+    }
+
+    /// Collects every reservation currently announced by any registered thread
+    /// other than `collector` (Algorithm 1, line 22). The result is a small
+    /// sorted vector (at most `R × N` entries) used to exclude reserved
+    /// records from reclamation.
+    pub fn collect_reservations(&self, collector: usize) -> Vec<usize> {
+        let mut reserved =
+            Vec::with_capacity(self.config.max_reservations * self.registry.registered());
+        for tid in self.registry.active_tids() {
+            if tid == collector {
+                continue;
+            }
+            for r in self.slot(tid).reservations.iter() {
+                let addr = r.load(Ordering::SeqCst);
+                if addr != 0 {
+                    reserved.push(addr);
+                }
+            }
+        }
+        reserved.sort_unstable();
+        reserved.dedup();
+        reserved
+    }
+
+    // ------------------------------------------------------------------
+    // NBR+ announcement timestamps.
+    // ------------------------------------------------------------------
+
+    /// Marks the beginning of a relaxed grace period by `tid` (odd timestamp,
+    /// Algorithm 2 line 7).
+    #[inline]
+    pub fn announce_rgp_begin(&self, tid: usize) {
+        self.slot(tid).announce_ts.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Marks the end of a *verified* relaxed grace period by `tid` (even
+    /// timestamp, Algorithm 2 line 9). In the cooperative substitution the end
+    /// is only announced once `await_neutralization` succeeded, so observers
+    /// may rely on "advanced to the next even value ⇒ every thread was
+    /// neutralized in between".
+    #[inline]
+    pub fn announce_rgp_end(&self, tid: usize) {
+        self.slot(tid).announce_ts.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Rolls back an announced-but-unverified grace period (the cooperative
+    /// handshake timed out). `announce_ts` is single-writer, so the subtraction
+    /// cannot race with other increments by the same thread.
+    #[inline]
+    pub fn announce_rgp_abort(&self, tid: usize) {
+        self.slot(tid).announce_ts.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Snapshot of every thread's announcement timestamp (Algorithm 2,
+    /// line 15). Index = tid; inactive slots report their last value, which is
+    /// harmless (they cannot regress).
+    pub fn snapshot_announcements(&self) -> Vec<u64> {
+        self.slots.iter().map(|s| s.announce_ts()).collect()
+    }
+
+    /// True if, relative to `snapshot`, some *other* thread has completed an
+    /// entire relaxed grace period (begun **and** verified after the snapshot
+    /// was taken) — Algorithm 2, lines 17–23.
+    pub fn rgp_elapsed_since(&self, observer: usize, snapshot: &[u64]) -> bool {
+        for tid in self.registry.active_tids() {
+            if tid == observer || tid >= snapshot.len() {
+                continue;
+            }
+            let snap = snapshot[tid];
+            // If the snapshot caught an odd value (mid-broadcast), the RGP that
+            // was in flight may have begun before our bookmark, so we need the
+            // *next* full RGP: require one more increment than the paper's
+            // "+2" (which assumes an even snapshot).
+            let required = if snap % 2 == 0 { snap + 2 } else { snap + 3 };
+            if self.slot(tid).announce_ts() >= required {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Current value of the global signal sequence (diagnostics/tests).
+    pub fn signal_sequence(&self) -> u64 {
+        self.signal_seq.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core_with(threads: usize) -> NeutralizationCore {
+        let cfg = SmrConfig::for_tests().with_max_threads(threads);
+        NeutralizationCore::new(cfg)
+    }
+
+    #[test]
+    fn register_catches_up_with_sequence() {
+        let core = core_with(4);
+        core.register(0);
+        core.signal_all(0);
+        core.signal_all(0);
+        // A thread registering later must not be considered a straggler for
+        // signals sent before it existed.
+        core.register(1);
+        assert_eq!(
+            core.await_neutralization(0, core.signal_sequence()),
+            HandshakeOutcome::AllNeutralized
+        );
+    }
+
+    #[test]
+    fn checkpoint_observes_signal_once() {
+        let core = core_with(2);
+        core.register(0);
+        core.register(1);
+        core.begin_read_phase(1);
+        assert!(!core.checkpoint(1), "no signal yet");
+        let (seq, sent) = core.signal_all(0);
+        assert_eq!(sent, 1);
+        assert!(core.checkpoint(1), "signal must be observed");
+        assert!(!core.checkpoint(1), "signal must be consumed by the ack");
+        assert_eq!(
+            core.await_neutralization(0, seq),
+            HandshakeOutcome::AllNeutralized
+        );
+    }
+
+    #[test]
+    fn write_phase_thread_does_not_block_reclaimer() {
+        let core = core_with(2);
+        core.register(0);
+        core.register(1);
+        core.begin_read_phase(1);
+        core.end_read_phase(1, &[0xdead0, 0xbeef0]);
+        let (seq, _) = core.signal_all(0);
+        assert_eq!(
+            core.await_neutralization(0, seq),
+            HandshakeOutcome::AllNeutralized,
+            "a non-restartable (write-phase) thread must not block the handshake"
+        );
+        let reserved = core.collect_reservations(0);
+        assert_eq!(reserved, vec![0xbeef0, 0xdead0]);
+    }
+
+    #[test]
+    fn reader_that_never_acks_times_out() {
+        let mut cfg = SmrConfig::for_tests().with_max_threads(2);
+        cfg.ack_spin_limit = 64;
+        let core = NeutralizationCore::new(cfg);
+        core.register(0);
+        core.register(1);
+        core.begin_read_phase(1);
+        let (seq, _) = core.signal_all(0);
+        assert_eq!(
+            core.await_neutralization(0, seq),
+            HandshakeOutcome::TimedOut,
+            "an unacknowledged reader must force the reclaimer to concede"
+        );
+    }
+
+    #[test]
+    fn begin_read_phase_clears_reservations() {
+        let core = core_with(2);
+        core.register(0);
+        core.register(1);
+        core.begin_read_phase(1);
+        core.end_read_phase(1, &[0x1000]);
+        assert_eq!(core.collect_reservations(0), vec![0x1000]);
+        core.begin_read_phase(1);
+        assert!(core.collect_reservations(0).is_empty());
+    }
+
+    #[test]
+    fn rgp_detection_requires_begin_and_verified_end() {
+        let core = core_with(3);
+        core.register(0);
+        core.register(1);
+        core.register(2);
+        let snap = core.snapshot_announcements();
+        assert!(!core.rgp_elapsed_since(2, &snap));
+        core.announce_rgp_begin(0);
+        assert!(
+            !core.rgp_elapsed_since(2, &snap),
+            "an RGP that has only begun must not be observable"
+        );
+        core.announce_rgp_end(0);
+        assert!(core.rgp_elapsed_since(2, &snap));
+        // The sender itself must not count its own RGP.
+        assert!(!core.rgp_elapsed_since(0, &snap));
+    }
+
+    #[test]
+    fn rgp_detection_with_odd_snapshot_needs_next_full_rgp() {
+        let core = core_with(2);
+        core.register(0);
+        core.register(1);
+        core.announce_rgp_begin(0); // observer snapshots mid-broadcast
+        let snap = core.snapshot_announcements();
+        core.announce_rgp_end(0);
+        assert!(
+            !core.rgp_elapsed_since(1, &snap),
+            "completing the in-flight RGP is not enough for an odd snapshot"
+        );
+        core.announce_rgp_begin(0);
+        assert!(!core.rgp_elapsed_since(1, &snap));
+        core.announce_rgp_end(0);
+        assert!(core.rgp_elapsed_since(1, &snap));
+    }
+
+    #[test]
+    fn rgp_abort_is_not_observable() {
+        let core = core_with(2);
+        core.register(0);
+        core.register(1);
+        let snap = core.snapshot_announcements();
+        core.announce_rgp_begin(0);
+        core.announce_rgp_abort(0);
+        assert!(!core.rgp_elapsed_since(1, &snap));
+        // A later, successful RGP is still detected.
+        core.announce_rgp_begin(0);
+        core.announce_rgp_end(0);
+        assert!(core.rgp_elapsed_since(1, &snap));
+    }
+
+    #[test]
+    fn signal_all_skips_sender_and_inactive() {
+        let core = core_with(8);
+        core.register(0);
+        core.register(3);
+        core.register(5);
+        let (_, sent) = core.signal_all(3);
+        assert_eq!(sent, 2);
+    }
+
+    #[test]
+    fn quiesce_clears_restartable() {
+        let core = core_with(2);
+        core.register(0);
+        core.register(1);
+        core.begin_read_phase(1);
+        core.quiesce(1);
+        let (seq, _) = core.signal_all(0);
+        assert_eq!(
+            core.await_neutralization(0, seq),
+            HandshakeOutcome::AllNeutralized
+        );
+    }
+}

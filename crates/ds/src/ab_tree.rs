@@ -1,0 +1,765 @@
+//! A leaf-oriented concurrent (a,b)-tree, standing in for Brown's lock-free
+//! ABTree in experiment E3 (see DESIGN.md, substitution S3).
+//!
+//! Shape and behaviour relevant to the paper's experiment:
+//!
+//! * **Leaf-oriented**: internal nodes only route; every set element lives in
+//!   a leaf of up to [`LEAF_CAP`] keys, so the tree is shallow and traversals
+//!   are short — the contention profile E3 studies (key range 2 M vs. 200).
+//! * **Synchronization-free searches** with per-node version validation
+//!   (seqlock style): a reader that observes a concurrent structural change
+//!   restarts **from the root**, which is exactly the pattern that makes the
+//!   structure NBR-compatible (Section 5.2).
+//! * **Copy-on-write leaves**: every insert/remove builds a new leaf and swings
+//!   the parent's child pointer, retiring the old leaf — the same record
+//!   turnover per update as Brown's LLX/SCX-based ABTree, which is what
+//!   exercises the reclaimers.
+//! * **In-place internal nodes**: routing keys/children are mutated under the
+//!   node's versioned lock; internal nodes are never retired (they only gain
+//!   keys or are split). Deep splits (a full parent of a full leaf) are rare
+//!   and serialized behind a structure-wide mutex. Underflow is handled
+//!   lazily: a leaf may become empty and is simply kept (a *relaxed* (a,b)-tree);
+//!   this does not affect correctness and is documented as part of S3.
+//!
+//! NBR integration: the search is the Φ_read; updates reserve
+//! `[parent, leaf]` before their Φ_write (2 reservations).
+
+use crate::{check_key, ConcurrentSet};
+use smr_common::{Atomic, NodeHeader, SeqLock, Shared, Smr, SmrConfig};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Maximum keys per leaf node (the `b` of the (a,b)-tree for leaves).
+pub const LEAF_CAP: usize = 16;
+/// Maximum routing keys per internal node.
+pub const INT_CAP: usize = 16;
+
+/// A node of the (a,b)-tree. `height == 0` ⇒ leaf.
+pub struct AbNode {
+    header: NodeHeader,
+    lock: SeqLock,
+    removed: AtomicBool,
+    /// Distance to the leaves; immutable after construction.
+    height: usize,
+    // --- leaf payload (immutable after publication) ---
+    leaf_len: usize,
+    leaf_keys: [u64; LEAF_CAP],
+    // --- internal payload (mutated only under `lock`) ---
+    int_len: AtomicUsize,
+    int_keys: [AtomicU64; INT_CAP],
+    children: [Atomic<AbNode>; INT_CAP + 1],
+}
+smr_common::impl_smr_node!(AbNode);
+
+impl AbNode {
+    fn new_leaf(keys: &[u64]) -> Self {
+        debug_assert!(keys.len() <= LEAF_CAP);
+        let mut leaf_keys = [0u64; LEAF_CAP];
+        leaf_keys[..keys.len()].copy_from_slice(keys);
+        Self {
+            header: NodeHeader::new(),
+            lock: SeqLock::new(),
+            removed: AtomicBool::new(false),
+            height: 0,
+            leaf_len: keys.len(),
+            leaf_keys,
+            int_len: AtomicUsize::new(0),
+            int_keys: std::array::from_fn(|_| AtomicU64::new(0)),
+            children: std::array::from_fn(|_| Atomic::null()),
+        }
+    }
+
+    fn new_internal(height: usize, keys: &[u64], children: &[Shared<AbNode>]) -> Self {
+        debug_assert!(height >= 1);
+        debug_assert_eq!(children.len(), keys.len() + 1);
+        debug_assert!(keys.len() <= INT_CAP);
+        let node = Self {
+            header: NodeHeader::new(),
+            lock: SeqLock::new(),
+            removed: AtomicBool::new(false),
+            height,
+            leaf_len: 0,
+            leaf_keys: [0u64; LEAF_CAP],
+            int_len: AtomicUsize::new(keys.len()),
+            int_keys: std::array::from_fn(|i| AtomicU64::new(keys.get(i).copied().unwrap_or(0))),
+            children: std::array::from_fn(|i| match children.get(i) {
+                Some(&c) => Atomic::new(c),
+                None => Atomic::null(),
+            }),
+        };
+        node
+    }
+
+    #[inline]
+    fn is_leaf(&self) -> bool {
+        self.height == 0
+    }
+
+    #[inline]
+    fn leaf_keys(&self) -> &[u64] {
+        &self.leaf_keys[..self.leaf_len]
+    }
+
+    #[inline]
+    fn leaf_contains(&self, key: u64) -> bool {
+        self.leaf_keys().binary_search(&key).is_ok()
+    }
+
+    /// Index of the child an operation on `key` must follow (internal nodes,
+    /// caller must hold the lock or validate the version afterwards).
+    #[inline]
+    fn route(&self, key: u64, len: usize) -> usize {
+        let mut idx = len;
+        for i in 0..len {
+            if key < self.int_keys[i].load(Ordering::Acquire) {
+                idx = i;
+                break;
+            }
+        }
+        idx
+    }
+
+    /// Finds the child slot currently holding `child`, if any. Caller holds
+    /// the lock.
+    fn slot_of(&self, child: Shared<AbNode>) -> Option<usize> {
+        let len = self.int_len.load(Ordering::Acquire);
+        (0..=len).find(|&i| self.children[i].load(Ordering::Acquire).ptr_eq(child))
+    }
+
+    /// Inserts a routing key and the child to its right at `pos`, shifting the
+    /// suffix right by one. Caller holds the lock and has checked capacity.
+    fn insert_routing(&self, pos: usize, key: u64, right_child: Shared<AbNode>) {
+        let len = self.int_len.load(Ordering::Acquire);
+        debug_assert!(len < INT_CAP);
+        debug_assert!(pos <= len);
+        let mut i = len;
+        while i > pos {
+            let k = self.int_keys[i - 1].load(Ordering::Acquire);
+            self.int_keys[i].store(k, Ordering::Release);
+            let c = self.children[i].load(Ordering::Acquire);
+            self.children[i + 1].store(c, Ordering::Release);
+            i -= 1;
+        }
+        self.int_keys[pos].store(key, Ordering::Release);
+        self.children[pos + 1].store(right_child, Ordering::Release);
+        self.int_len.store(len + 1, Ordering::Release);
+    }
+}
+
+/// The relaxed concurrent (a,b)-tree.
+pub struct AbTree<S: Smr> {
+    smr: S,
+    root: Atomic<AbNode>,
+    root_lock: SeqLock,
+    structure_lock: Mutex<()>,
+}
+
+unsafe impl<S: Smr> Send for AbTree<S> {}
+unsafe impl<S: Smr> Sync for AbTree<S> {}
+
+/// Result of a search: the leaf responsible for the key and its parent
+/// (`None` when the leaf is the root).
+struct SearchResult {
+    parent: Option<Shared<AbNode>>,
+    leaf: Shared<AbNode>,
+    /// Protection slot holding the leaf (for `protect_copy` if ever needed).
+    _leaf_slot: usize,
+}
+
+enum SearchOutcome {
+    Found(SearchResult),
+    /// Neutralized or version validation failed: restart from the root.
+    Restart,
+}
+
+impl<S: Smr> AbTree<S> {
+    /// Creates an empty tree whose reclaimer is configured by `config`.
+    pub fn new(config: SmrConfig) -> Self {
+        Self::with_smr(S::new(config))
+    }
+
+    /// Creates an empty tree around an existing reclaimer instance.
+    pub fn with_smr(smr: S) -> Self {
+        let root = Shared::from_raw(Box::into_raw(Box::new(AbNode::new_leaf(&[]))));
+        Self {
+            smr,
+            root: Atomic::new(root),
+            root_lock: SeqLock::new(),
+            structure_lock: Mutex::new(()),
+        }
+    }
+
+    /// One optimistic descent from the root to the leaf owning `key`.
+    fn search(&self, ctx: &mut S::ThreadCtx, key: u64) -> SearchOutcome {
+        let mut parent: Option<Shared<AbNode>> = None;
+        let mut slot = 0usize;
+        let mut node = self.smr.protect(ctx, slot, &self.root);
+        if self.smr.checkpoint(ctx) {
+            return SearchOutcome::Restart;
+        }
+        loop {
+            let node_ref = unsafe { node.deref() };
+            if node_ref.is_leaf() {
+                return SearchOutcome::Found(SearchResult {
+                    parent,
+                    leaf: node,
+                    _leaf_slot: slot,
+                });
+            }
+            // Version-validated read of the routing decision.
+            let version = node_ref.lock.read_version();
+            if SeqLock::version_is_locked(version) {
+                if self.smr.checkpoint(ctx) {
+                    return SearchOutcome::Restart;
+                }
+                std::hint::spin_loop();
+                continue; // retry this node (internal nodes are never freed)
+            }
+            let len = node_ref.int_len.load(Ordering::Acquire).min(INT_CAP);
+            let idx = node_ref.route(key, len);
+            let next_slot = (slot + 1) % 3;
+            let child = self.smr.protect(ctx, next_slot, &node_ref.children[idx]);
+            fence(Ordering::Acquire);
+            if !node_ref.lock.validate(version) {
+                // Concurrent structural change: restart from the root, as the
+                // NBR-compatibility argument of Section 5.2 requires.
+                return SearchOutcome::Restart;
+            }
+            if self.smr.checkpoint(ctx) {
+                return SearchOutcome::Restart;
+            }
+            if child.is_null() {
+                // Transient inconsistency (should have been caught by the
+                // validation); restart defensively.
+                return SearchOutcome::Restart;
+            }
+            parent = Some(node);
+            node = child;
+            slot = next_slot;
+        }
+    }
+
+    /// Locks the parent slot of `leaf` (either the parent node or the root
+    /// slot) and validates that it still points at `leaf`. On success returns
+    /// the child index (`None` for the root slot); the caller must unlock.
+    fn lock_parent_of(
+        &self,
+        parent: Option<Shared<AbNode>>,
+        leaf: Shared<AbNode>,
+    ) -> Result<Option<usize>, ()> {
+        match parent {
+            None => {
+                self.root_lock.lock();
+                if self.root.load(Ordering::Acquire).ptr_eq(leaf) {
+                    Ok(None)
+                } else {
+                    self.root_lock.unlock();
+                    Err(())
+                }
+            }
+            Some(p) => {
+                let p_ref = unsafe { p.deref() };
+                p_ref.lock.lock();
+                if !p_ref.removed.load(Ordering::Acquire) {
+                    if let Some(idx) = p_ref.slot_of(leaf) {
+                        return Ok(Some(idx));
+                    }
+                }
+                p_ref.lock.unlock();
+                Err(())
+            }
+        }
+    }
+
+    fn unlock_parent(&self, parent: Option<Shared<AbNode>>) {
+        match parent {
+            None => self.root_lock.unlock(),
+            Some(p) => unsafe { p.deref() }.lock.unlock(),
+        }
+    }
+
+    /// Publishes `new_child` in the slot that held `leaf` and retires `leaf`.
+    /// The parent slot must be locked (via [`AbTree::lock_parent_of`]).
+    fn replace_child(
+        &self,
+        ctx: &mut S::ThreadCtx,
+        parent: Option<Shared<AbNode>>,
+        slot_idx: Option<usize>,
+        leaf: Shared<AbNode>,
+        new_child: Shared<AbNode>,
+    ) {
+        match (parent, slot_idx) {
+            (None, _) => self.root.store(new_child, Ordering::Release),
+            (Some(p), Some(idx)) => {
+                unsafe { p.deref() }.children[idx].store(new_child, Ordering::Release)
+            }
+            (Some(_), None) => unreachable!("validated parent must contain the leaf"),
+        }
+        unsafe { leaf.deref() }.removed.store(true, Ordering::Release);
+        // SAFETY: the old leaf was just unlinked under the parent lock held by
+        // this thread, so it is retired exactly once.
+        unsafe { self.smr.retire(ctx, leaf) };
+    }
+
+    /// Splits a full leaf under an already-locked parent that has room.
+    /// Returns `true` on success (the caller's key has been inserted).
+    fn split_leaf_into_parent(
+        &self,
+        ctx: &mut S::ThreadCtx,
+        parent: Shared<AbNode>,
+        idx: usize,
+        leaf: Shared<AbNode>,
+        key: u64,
+    ) -> bool {
+        let parent_ref = unsafe { parent.deref() };
+        if parent_ref.int_len.load(Ordering::Acquire) >= INT_CAP {
+            return false;
+        }
+        let leaf_ref = unsafe { leaf.deref() };
+        let mut all: Vec<u64> = leaf_ref.leaf_keys().to_vec();
+        match all.binary_search(&key) {
+            Ok(_) => return true, // already present (cannot happen: caller checked)
+            Err(pos) => all.insert(pos, key),
+        }
+        let mid = all.len() / 2;
+        let left = self.smr.alloc(ctx, AbNode::new_leaf(&all[..mid]));
+        let right = self.smr.alloc(ctx, AbNode::new_leaf(&all[mid..]));
+        let separator = all[mid];
+        // Publish: left replaces the old leaf in place, then the separator and
+        // right sibling are spliced in. Readers are protected by the parent's
+        // version lock (they restart if they raced with this).
+        parent_ref.children[idx].store(left, Ordering::Release);
+        parent_ref.insert_routing(idx, separator, right);
+        leaf_ref.removed.store(true, Ordering::Release);
+        // SAFETY: unlinked above under the parent lock.
+        unsafe { self.smr.retire(ctx, leaf) };
+        true
+    }
+
+    /// Splits the root when it is a full leaf.
+    fn split_root_leaf(&self, ctx: &mut S::ThreadCtx, leaf: Shared<AbNode>, key: u64) -> bool {
+        self.root_lock.lock();
+        if !self.root.load(Ordering::Acquire).ptr_eq(leaf) {
+            self.root_lock.unlock();
+            return false;
+        }
+        let leaf_ref = unsafe { leaf.deref() };
+        let mut all: Vec<u64> = leaf_ref.leaf_keys().to_vec();
+        match all.binary_search(&key) {
+            Ok(_) => {
+                self.root_lock.unlock();
+                return true;
+            }
+            Err(pos) => all.insert(pos, key),
+        }
+        let mid = all.len() / 2;
+        let left = self.smr.alloc(ctx, AbNode::new_leaf(&all[..mid]));
+        let right = self.smr.alloc(ctx, AbNode::new_leaf(&all[mid..]));
+        let new_root = self
+            .smr
+            .alloc(ctx, AbNode::new_internal(1, &[all[mid]], &[left, right]));
+        self.root.store(new_root, Ordering::Release);
+        leaf_ref.removed.store(true, Ordering::Release);
+        self.root_lock.unlock();
+        // SAFETY: unlinked above under the root lock.
+        unsafe { self.smr.retire(ctx, leaf) };
+        true
+    }
+
+    /// Ensures no internal node on the search path of `key` is full, splitting
+    /// full ones top-down. Deep splits are rare; they are serialized behind
+    /// `structure_lock` and only touch internal nodes (which are never
+    /// reclaimed), so no read phase is needed here.
+    fn split_full_ancestors(&self, ctx: &mut S::ThreadCtx, key: u64) {
+        let _guard = self.structure_lock.lock().unwrap();
+        loop {
+            // Walk the internal path from the root, looking for the shallowest
+            // full internal node.
+            let root = self.root.load(Ordering::Acquire);
+            let root_ref = unsafe { root.deref() };
+            if root_ref.is_leaf() {
+                return; // handled by split_root_leaf
+            }
+            let mut parent: Option<Shared<AbNode>> = None;
+            let mut node = root;
+            let full = loop {
+                let node_ref = unsafe { node.deref() };
+                let len = node_ref.int_len.load(Ordering::Acquire);
+                if len >= INT_CAP {
+                    break Some((parent, node));
+                }
+                if node_ref.height <= 1 {
+                    break None; // children are leaves; nothing full above them
+                }
+                let idx = node_ref.route(key, len);
+                let child = node_ref.children[idx].load(Ordering::Acquire);
+                if child.is_null() {
+                    break None;
+                }
+                parent = Some(node);
+                node = child;
+            };
+            let Some((parent, full_node)) = full else {
+                return;
+            };
+            self.split_internal(ctx, parent, full_node, key);
+        }
+    }
+
+    /// Splits one full internal node, inserting the separator into its parent
+    /// (which has room because splits proceed shallowest-first) or creating a
+    /// new root. Holds `structure_lock` (caller) plus the affected node locks.
+    fn split_internal(
+        &self,
+        ctx: &mut S::ThreadCtx,
+        parent: Option<Shared<AbNode>>,
+        node: Shared<AbNode>,
+        _key: u64,
+    ) {
+        let node_ref = unsafe { node.deref() };
+        // Lock parent slot first (tree order), then the node.
+        let slot_idx = match self.lock_parent_of(parent, node) {
+            Ok(idx) => idx,
+            Err(()) => return, // structure changed; caller loops and re-scans
+        };
+        node_ref.lock.lock();
+        let len = node_ref.int_len.load(Ordering::Acquire);
+        if len < INT_CAP {
+            // Someone else already split it.
+            node_ref.lock.unlock();
+            self.unlock_parent(parent);
+            return;
+        }
+        // Move the upper half (keys [mid+1, len) and children [mid+1, len]) to
+        // a new right sibling; keys[mid] becomes the separator.
+        let mid = len / 2;
+        let mut sib_keys = Vec::with_capacity(len - mid - 1);
+        let mut sib_children = Vec::with_capacity(len - mid);
+        for i in (mid + 1)..len {
+            sib_keys.push(node_ref.int_keys[i].load(Ordering::Acquire));
+        }
+        for i in (mid + 1)..=len {
+            sib_children.push(node_ref.children[i].load(Ordering::Acquire));
+        }
+        let separator = node_ref.int_keys[mid].load(Ordering::Acquire);
+        let sibling = self.smr.alloc(
+            ctx,
+            AbNode::new_internal(node_ref.height, &sib_keys, &sib_children),
+        );
+        // Shrink the node (readers that raced see the version bump and retry).
+        node_ref.int_len.store(mid, Ordering::Release);
+        node_ref.lock.unlock();
+
+        match (parent, slot_idx) {
+            (None, _) => {
+                // The node was the root: grow the tree by one level.
+                let new_root = self.smr.alloc(
+                    ctx,
+                    AbNode::new_internal(node_ref.height + 1, &[separator], &[node, sibling]),
+                );
+                self.root.store(new_root, Ordering::Release);
+                self.unlock_parent(None);
+            }
+            (Some(p), Some(idx)) => {
+                let p_ref = unsafe { p.deref() };
+                debug_assert!(p_ref.int_len.load(Ordering::Acquire) < INT_CAP);
+                p_ref.insert_routing(idx, separator, sibling);
+                self.unlock_parent(parent);
+            }
+            (Some(_), None) => unreachable!("validated parent must contain the node"),
+        }
+    }
+}
+
+impl<S: Smr> ConcurrentSet<S> for AbTree<S> {
+    fn smr(&self) -> &S {
+        &self.smr
+    }
+
+    fn contains(&self, ctx: &mut S::ThreadCtx, key: u64) -> bool {
+        check_key(key);
+        self.smr.begin_op(ctx);
+        let found = loop {
+            self.smr.begin_read_phase(ctx);
+            match self.search(ctx, key) {
+                SearchOutcome::Restart => continue,
+                SearchOutcome::Found(r) => {
+                    let found = unsafe { r.leaf.deref() }.leaf_contains(key);
+                    self.smr.end_read_phase(ctx, &[]);
+                    break found;
+                }
+            }
+        };
+        self.smr.clear_protections(ctx);
+        self.smr.end_op(ctx);
+        found
+    }
+
+    fn insert(&self, ctx: &mut S::ThreadCtx, key: u64) -> bool {
+        check_key(key);
+        self.smr.begin_op(ctx);
+        let inserted = loop {
+            self.smr.begin_read_phase(ctx);
+            let r = match self.search(ctx, key) {
+                SearchOutcome::Restart => continue,
+                SearchOutcome::Found(r) => r,
+            };
+            let leaf_ref = unsafe { r.leaf.deref() };
+            if leaf_ref.leaf_contains(key) {
+                self.smr.end_read_phase(ctx, &[]);
+                break false;
+            }
+
+            // Φ_write: reserve the parent (lock + pointer swing) and the leaf
+            // (its keys are re-read to build the replacement).
+            let mut reservations = [0usize; 2];
+            reservations[0] = r.leaf.untagged_usize();
+            if let Some(p) = r.parent {
+                reservations[1] = p.untagged_usize();
+            }
+            self.smr.end_read_phase(ctx, &reservations);
+
+            if leaf_ref.leaf_len < LEAF_CAP {
+                // Common case: copy-on-write replacement of the leaf.
+                let Ok(slot_idx) = self.lock_parent_of(r.parent, r.leaf) else {
+                    continue;
+                };
+                let mut keys: Vec<u64> = leaf_ref.leaf_keys().to_vec();
+                let pos = keys.binary_search(&key).unwrap_err();
+                keys.insert(pos, key);
+                let new_leaf = self.smr.alloc(ctx, AbNode::new_leaf(&keys));
+                self.replace_child(ctx, r.parent, slot_idx, r.leaf, new_leaf);
+                self.unlock_parent(r.parent);
+                break true;
+            }
+
+            // The leaf is full: split it.
+            match r.parent {
+                None => {
+                    if self.split_root_leaf(ctx, r.leaf, key) {
+                        break true;
+                    }
+                    continue;
+                }
+                Some(p) => {
+                    let Ok(slot_idx) = self.lock_parent_of(r.parent, r.leaf) else {
+                        continue;
+                    };
+                    let idx = slot_idx.expect("parent slot");
+                    if self.split_leaf_into_parent(ctx, p, idx, r.leaf, key) {
+                        self.unlock_parent(r.parent);
+                        break true;
+                    }
+                    // Parent itself is full: make room (rare path) and retry.
+                    self.unlock_parent(r.parent);
+                    self.split_full_ancestors(ctx, key);
+                    continue;
+                }
+            }
+        };
+        self.smr.clear_protections(ctx);
+        self.smr.end_op(ctx);
+        inserted
+    }
+
+    fn remove(&self, ctx: &mut S::ThreadCtx, key: u64) -> bool {
+        check_key(key);
+        self.smr.begin_op(ctx);
+        let removed = loop {
+            self.smr.begin_read_phase(ctx);
+            let r = match self.search(ctx, key) {
+                SearchOutcome::Restart => continue,
+                SearchOutcome::Found(r) => r,
+            };
+            let leaf_ref = unsafe { r.leaf.deref() };
+            if !leaf_ref.leaf_contains(key) {
+                self.smr.end_read_phase(ctx, &[]);
+                break false;
+            }
+
+            let mut reservations = [0usize; 2];
+            reservations[0] = r.leaf.untagged_usize();
+            if let Some(p) = r.parent {
+                reservations[1] = p.untagged_usize();
+            }
+            self.smr.end_read_phase(ctx, &reservations);
+
+            let Ok(slot_idx) = self.lock_parent_of(r.parent, r.leaf) else {
+                continue;
+            };
+            let keys: Vec<u64> = leaf_ref
+                .leaf_keys()
+                .iter()
+                .copied()
+                .filter(|&k| k != key)
+                .collect();
+            // Relaxed (a,b)-tree: the replacement may be empty; it is kept in
+            // place rather than merged (substitution S3).
+            let new_leaf = self.smr.alloc(ctx, AbNode::new_leaf(&keys));
+            self.replace_child(ctx, r.parent, slot_idx, r.leaf, new_leaf);
+            self.unlock_parent(r.parent);
+            break true;
+        };
+        self.smr.clear_protections(ctx);
+        self.smr.end_op(ctx);
+        removed
+    }
+
+    fn size(&self, ctx: &mut S::ThreadCtx) -> usize {
+        self.smr.begin_op(ctx);
+        self.smr.begin_read_phase(ctx);
+        let mut count = 0usize;
+        let mut stack = vec![self.root.load(Ordering::Acquire)];
+        while let Some(node) = stack.pop() {
+            if node.is_null() {
+                continue;
+            }
+            let node_ref = unsafe { node.deref() };
+            if node_ref.is_leaf() {
+                count += node_ref.leaf_len;
+            } else {
+                let len = node_ref.int_len.load(Ordering::Acquire);
+                for i in 0..=len {
+                    stack.push(node_ref.children[i].load(Ordering::Acquire));
+                }
+            }
+        }
+        self.smr.end_read_phase(ctx, &[]);
+        self.smr.end_op(ctx);
+        count
+    }
+
+    fn name() -> &'static str {
+        "ab-tree"
+    }
+}
+
+impl<S: Smr> Drop for AbTree<S> {
+    fn drop(&mut self) {
+        let mut stack = vec![self.root.load(Ordering::Relaxed)];
+        while let Some(node) = stack.pop() {
+            if node.is_null() {
+                continue;
+            }
+            let node_ref = unsafe { node.deref() };
+            if !node_ref.is_leaf() {
+                let len = node_ref.int_len.load(Ordering::Relaxed);
+                for i in 0..=len {
+                    stack.push(node_ref.children[i].load(Ordering::Relaxed));
+                }
+            }
+            unsafe { drop(Box::from_raw(node.as_raw())) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{disjoint_key_stress, model_check};
+    use nbr::{Nbr, NbrPlus};
+    use smr_baselines::{Debra, HazardEras, Leaky};
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_basics() {
+        let tree = AbTree::<NbrPlus>::new(SmrConfig::for_tests());
+        let mut ctx = tree.smr().register(0);
+        assert!(!tree.contains(&mut ctx, 10));
+        assert!(tree.insert(&mut ctx, 10));
+        assert!(!tree.insert(&mut ctx, 10));
+        assert!(tree.contains(&mut ctx, 10));
+        assert!(tree.remove(&mut ctx, 10));
+        assert!(!tree.remove(&mut ctx, 10));
+        assert_eq!(tree.size(&mut ctx), 0);
+        tree.smr().unregister(&mut ctx);
+    }
+
+    #[test]
+    fn grows_through_leaf_and_internal_splits() {
+        let tree = AbTree::<NbrPlus>::new(SmrConfig::for_tests());
+        let mut ctx = tree.smr().register(0);
+        let n = 5_000u64;
+        for k in 1..=n {
+            assert!(tree.insert(&mut ctx, k), "insert({k})");
+        }
+        assert_eq!(tree.size(&mut ctx), n as usize);
+        for k in 1..=n {
+            assert!(tree.contains(&mut ctx, k), "contains({k})");
+        }
+        for k in (1..=n).step_by(2) {
+            assert!(tree.remove(&mut ctx, k), "remove({k})");
+        }
+        assert_eq!(tree.size(&mut ctx), (n / 2) as usize);
+        tree.smr().unregister(&mut ctx);
+    }
+
+    #[test]
+    fn descending_insertions_split_correctly() {
+        let tree = AbTree::<Leaky>::new(SmrConfig::for_tests());
+        let mut ctx = tree.smr().register(0);
+        for k in (1..=2_000u64).rev() {
+            assert!(tree.insert(&mut ctx, k));
+        }
+        assert_eq!(tree.size(&mut ctx), 2_000);
+        for k in 1..=2_000u64 {
+            assert!(tree.contains(&mut ctx, k));
+        }
+        tree.smr().unregister(&mut ctx);
+    }
+
+    #[test]
+    fn model_check_under_nbr_plus() {
+        let tree = AbTree::<NbrPlus>::new(SmrConfig::for_tests());
+        model_check(&tree, 6_000, 512, 31);
+    }
+
+    #[test]
+    fn model_check_under_nbr() {
+        let tree = AbTree::<Nbr>::new(SmrConfig::for_tests());
+        model_check(&tree, 6_000, 512, 32);
+    }
+
+    #[test]
+    fn model_check_under_debra() {
+        let tree = AbTree::<Debra>::new(SmrConfig::for_tests());
+        model_check(&tree, 6_000, 512, 33);
+    }
+
+    #[test]
+    fn model_check_under_hazard_eras() {
+        let tree = AbTree::<HazardEras>::new(SmrConfig::for_tests());
+        model_check(&tree, 6_000, 512, 34);
+    }
+
+    #[test]
+    fn concurrent_disjoint_stress_nbr_plus() {
+        let tree = Arc::new(AbTree::<NbrPlus>::new(SmrConfig::for_tests()));
+        disjoint_key_stress(tree, 4, 3_000);
+    }
+
+    #[test]
+    fn concurrent_disjoint_stress_debra() {
+        let tree = Arc::new(AbTree::<Debra>::new(SmrConfig::for_tests()));
+        disjoint_key_stress(tree, 4, 3_000);
+    }
+
+    #[test]
+    fn churn_reclaims_memory() {
+        let tree = AbTree::<NbrPlus>::new(SmrConfig::for_tests());
+        let mut ctx = tree.smr().register(0);
+        for round in 0..100u64 {
+            for k in 1..=64u64 {
+                tree.insert(&mut ctx, k + round % 3);
+            }
+            for k in 1..=64u64 {
+                tree.remove(&mut ctx, k + round % 3);
+            }
+        }
+        tree.smr().flush(&mut ctx);
+        let s = tree.smr().thread_stats(&ctx);
+        assert!(s.retires > 2_000, "copy-on-write leaves must generate retires");
+        assert!(s.frees > s.retires / 2);
+        tree.smr().unregister(&mut ctx);
+    }
+}

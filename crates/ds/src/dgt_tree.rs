@@ -1,0 +1,454 @@
+//! The external binary search tree of David, Guerraoui & Trigonakis (DGT15,
+//! "Asynchronized Concurrency: The Secret to Scaling Concurrent Search Data
+//! Structures"), the tree used for experiments E1 and E2 of the paper.
+//!
+//! * It is *external* (leaf-oriented): internal nodes only route, leaves hold
+//!   the set's keys.
+//! * Searches are completely synchronization-free.
+//! * `insert` locks the parent of the target leaf; `remove` locks the
+//!   grandparent and the parent; both validate after locking (the node is not
+//!   removed and still points to the child that was read) and retry from the
+//!   root on failure. The original uses ticket locks whose version doubles as
+//!   the validation stamp; the [`SeqLock`] versioned lock plays that role
+//!   here.
+//!
+//! This is the structure the paper singles out as supported by NBR but **not**
+//! by HP-style schemes (Table 1: "no marks, cannot validate HP"): there is no
+//! marked bit a hazard-pointer validation could test. We still allow
+//! instantiation with HP (the protect hook validates by re-reading the source
+//! field, the IBR-benchmark convention) so Figure 3a's HP curve can be
+//! reproduced, but correctness under NBR relies only on the phase protocol.
+//!
+//! NBR integration: the search is the Φ_read; `insert` reserves
+//! `[parent, leaf]` and `remove` reserves `[gparent, parent, leaf]` (at most 3
+//! reservations, as stated in Section 4.4).
+
+use crate::{check_key, ConcurrentSet, KEY_MAX, KEY_MIN};
+use smr_common::{Atomic, NodeHeader, SeqLock, Shared, Smr, SmrConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A node of the external BST. Leaves have both children null.
+pub struct Node {
+    header: NodeHeader,
+    key: u64,
+    lock: SeqLock,
+    removed: AtomicBool,
+    left: Atomic<Node>,
+    right: Atomic<Node>,
+}
+smr_common::impl_smr_node!(Node);
+
+impl Node {
+    fn leaf(key: u64) -> Self {
+        Self {
+            header: NodeHeader::new(),
+            key,
+            lock: SeqLock::new(),
+            removed: AtomicBool::new(false),
+            left: Atomic::null(),
+            right: Atomic::null(),
+        }
+    }
+
+    fn internal(key: u64, left: Shared<Node>, right: Shared<Node>) -> Self {
+        Self {
+            header: NodeHeader::new(),
+            key,
+            lock: SeqLock::new(),
+            removed: AtomicBool::new(false),
+            left: Atomic::new(left),
+            right: Atomic::new(right),
+        }
+    }
+
+    #[inline]
+    fn is_leaf(&self) -> bool {
+        self.left.load(Ordering::Acquire).is_null()
+    }
+
+    #[inline]
+    fn is_removed(&self) -> bool {
+        self.removed.load(Ordering::Acquire)
+    }
+
+    /// The child an operation on `key` must follow.
+    #[inline]
+    fn child_for(&self, key: u64) -> &Atomic<Node> {
+        if key < self.key {
+            &self.left
+        } else {
+            &self.right
+        }
+    }
+}
+
+struct SearchResult {
+    gparent: Shared<Node>,
+    parent: Shared<Node>,
+    leaf: Shared<Node>,
+}
+
+/// The DGT external binary search tree.
+pub struct DgtTree<S: Smr> {
+    smr: S,
+    /// Sentinel internal root with key `KEY_MAX`; its left subtree holds every
+    /// real key, its right child is a sentinel leaf. Never removed.
+    root: Box<Node>,
+}
+
+unsafe impl<S: Smr> Send for DgtTree<S> {}
+unsafe impl<S: Smr> Sync for DgtTree<S> {}
+
+impl<S: Smr> DgtTree<S> {
+    /// Creates an empty tree whose reclaimer is configured by `config`.
+    pub fn new(config: SmrConfig) -> Self {
+        Self::with_smr(S::new(config))
+    }
+
+    /// Creates an empty tree around an existing reclaimer instance.
+    pub fn with_smr(smr: S) -> Self {
+        let min_leaf = Shared::from_raw(Box::into_raw(Box::new(Node::leaf(KEY_MIN))));
+        let max_leaf = Shared::from_raw(Box::into_raw(Box::new(Node::leaf(KEY_MAX))));
+        let root = Box::new(Node::internal(KEY_MAX, min_leaf, max_leaf));
+        Self { smr, root }
+    }
+
+    #[inline]
+    fn root_shared(&self) -> Shared<Node> {
+        Shared::from_raw(&*self.root as *const Node as *mut Node)
+    }
+
+    /// Synchronization-free search (Φ_read): walk from the root to the leaf
+    /// responsible for `key`, remembering the parent and grandparent. Hazard
+    /// slots rotate over {0, 1, 2} so the last three nodes stay protected.
+    fn traverse(&self, ctx: &mut S::ThreadCtx, key: u64) -> Option<SearchResult> {
+        let mut gparent = Shared::null();
+        let mut parent = self.root_shared();
+        let mut slot = 0usize;
+        let mut curr = self
+            .smr
+            .protect(ctx, slot, unsafe { parent.deref() }.child_for(key));
+        if self.smr.checkpoint(ctx) {
+            return None;
+        }
+        loop {
+            let curr_ref = unsafe { curr.deref() };
+            if curr_ref.is_leaf() {
+                return Some(SearchResult {
+                    gparent,
+                    parent,
+                    leaf: curr,
+                });
+            }
+            gparent = parent;
+            parent = curr;
+            slot = (slot + 1) % 3;
+            curr = self.smr.protect(ctx, slot, curr_ref.child_for(key));
+            if self.smr.checkpoint(ctx) {
+                return None;
+            }
+        }
+    }
+}
+
+impl<S: Smr> ConcurrentSet<S> for DgtTree<S> {
+    fn smr(&self) -> &S {
+        &self.smr
+    }
+
+    fn contains(&self, ctx: &mut S::ThreadCtx, key: u64) -> bool {
+        check_key(key);
+        self.smr.begin_op(ctx);
+        let found = loop {
+            self.smr.begin_read_phase(ctx);
+            let Some(r) = self.traverse(ctx, key) else {
+                continue;
+            };
+            let found = unsafe { r.leaf.deref() }.key == key;
+            self.smr.end_read_phase(ctx, &[]);
+            break found;
+        };
+        self.smr.clear_protections(ctx);
+        self.smr.end_op(ctx);
+        found
+    }
+
+    fn insert(&self, ctx: &mut S::ThreadCtx, key: u64) -> bool {
+        check_key(key);
+        self.smr.begin_op(ctx);
+        let inserted = loop {
+            self.smr.begin_read_phase(ctx);
+            let Some(r) = self.traverse(ctx, key) else {
+                continue;
+            };
+            let leaf_ref = unsafe { r.leaf.deref() };
+            if leaf_ref.key == key {
+                self.smr.end_read_phase(ctx, &[]);
+                break false;
+            }
+
+            // Φ_write touches the parent (lock + child swing) and reads the
+            // leaf's key again: reserve both.
+            self.smr
+                .end_read_phase(ctx, &[r.parent.untagged_usize(), r.leaf.untagged_usize()]);
+
+            let parent_ref = unsafe { r.parent.deref() };
+            parent_ref.lock.lock();
+            let child_slot = parent_ref.child_for(key);
+            let valid = !parent_ref.is_removed()
+                && child_slot.load(Ordering::Acquire).ptr_eq(r.leaf);
+            if !valid {
+                parent_ref.lock.unlock();
+                continue;
+            }
+            // Build the replacement subtree: a new internal node routing
+            // between the existing leaf and a new leaf holding `key`.
+            let new_leaf = self.smr.alloc(ctx, Node::leaf(key));
+            let (left, right, routing) = if key < leaf_ref.key {
+                (new_leaf, r.leaf, leaf_ref.key)
+            } else {
+                (r.leaf, new_leaf, key)
+            };
+            let new_internal = self.smr.alloc(ctx, Node::internal(routing, left, right));
+            child_slot.store(new_internal, Ordering::Release);
+            parent_ref.lock.unlock();
+            break true;
+        };
+        self.smr.clear_protections(ctx);
+        self.smr.end_op(ctx);
+        inserted
+    }
+
+    fn remove(&self, ctx: &mut S::ThreadCtx, key: u64) -> bool {
+        check_key(key);
+        self.smr.begin_op(ctx);
+        let removed = loop {
+            self.smr.begin_read_phase(ctx);
+            let Some(r) = self.traverse(ctx, key) else {
+                continue;
+            };
+            let leaf_ref = unsafe { r.leaf.deref() };
+            if leaf_ref.key != key {
+                self.smr.end_read_phase(ctx, &[]);
+                break false;
+            }
+            // The sentinel structure guarantees a real key's leaf always has an
+            // internal parent and grandparent.
+            debug_assert!(!r.gparent.is_null());
+
+            self.smr.end_read_phase(
+                ctx,
+                &[
+                    r.gparent.untagged_usize(),
+                    r.parent.untagged_usize(),
+                    r.leaf.untagged_usize(),
+                ],
+            );
+
+            let gparent_ref = unsafe { r.gparent.deref() };
+            let parent_ref = unsafe { r.parent.deref() };
+            // Lock order: ancestor first (consistent tree order ⇒ no deadlock).
+            gparent_ref.lock.lock();
+            parent_ref.lock.lock();
+            let gchild_slot = gparent_ref.child_for(key);
+            let child_slot = parent_ref.child_for(key);
+            let valid = !gparent_ref.is_removed()
+                && !parent_ref.is_removed()
+                && gchild_slot.load(Ordering::Acquire).ptr_eq(r.parent)
+                && child_slot.load(Ordering::Acquire).ptr_eq(r.leaf);
+            if !valid {
+                parent_ref.lock.unlock();
+                gparent_ref.lock.unlock();
+                continue;
+            }
+            // Splice the parent out: the grandparent adopts the leaf's sibling.
+            let sibling = if key < parent_ref.key {
+                parent_ref.right.load(Ordering::Acquire)
+            } else {
+                parent_ref.left.load(Ordering::Acquire)
+            };
+            gchild_slot.store(sibling, Ordering::Release);
+            parent_ref.removed.store(true, Ordering::Release);
+            leaf_ref.removed.store(true, Ordering::Release);
+            parent_ref.lock.unlock();
+            gparent_ref.lock.unlock();
+            // SAFETY: both records were just unlinked by this thread (it held
+            // the locks), so each is retired exactly once.
+            unsafe {
+                self.smr.retire(ctx, r.parent);
+                self.smr.retire(ctx, r.leaf);
+            }
+            break true;
+        };
+        self.smr.clear_protections(ctx);
+        self.smr.end_op(ctx);
+        removed
+    }
+
+    fn size(&self, ctx: &mut S::ThreadCtx) -> usize {
+        self.smr.begin_op(ctx);
+        self.smr.begin_read_phase(ctx);
+        // Iterative DFS over the (quiescent) tree, counting non-sentinel leaves.
+        let mut stack = vec![self.root_shared()];
+        let mut count = 0usize;
+        while let Some(node) = stack.pop() {
+            let node_ref = unsafe { node.deref() };
+            if node_ref.is_leaf() {
+                if node_ref.key != KEY_MIN && node_ref.key != KEY_MAX {
+                    count += 1;
+                }
+            } else {
+                stack.push(node_ref.left.load(Ordering::Acquire));
+                stack.push(node_ref.right.load(Ordering::Acquire));
+            }
+        }
+        self.smr.end_read_phase(ctx, &[]);
+        self.smr.end_op(ctx);
+        count
+    }
+
+    fn name() -> &'static str {
+        "dgt-tree"
+    }
+}
+
+impl<S: Smr> Drop for DgtTree<S> {
+    fn drop(&mut self) {
+        // Free every node still reachable (unlinked nodes are owned by the
+        // reclaimer's limbo bags / orphan pool).
+        let mut stack = vec![
+            self.root.left.load(Ordering::Relaxed),
+            self.root.right.load(Ordering::Relaxed),
+        ];
+        while let Some(node) = stack.pop() {
+            if node.is_null() {
+                continue;
+            }
+            let node_ref = unsafe { node.deref() };
+            stack.push(node_ref.left.load(Ordering::Relaxed));
+            stack.push(node_ref.right.load(Ordering::Relaxed));
+            unsafe { drop(Box::from_raw(node.as_raw())) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{disjoint_key_stress, model_check};
+    use nbr::{Nbr, NbrPlus};
+    use smr_baselines::{Debra, HazardPointers, Ibr, Qsbr, Rcu};
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_basics() {
+        let tree = DgtTree::<NbrPlus>::new(SmrConfig::for_tests());
+        let mut ctx = tree.smr().register(0);
+        assert!(!tree.contains(&mut ctx, 50));
+        assert!(tree.insert(&mut ctx, 50));
+        assert!(tree.insert(&mut ctx, 30));
+        assert!(tree.insert(&mut ctx, 70));
+        assert!(tree.insert(&mut ctx, 60));
+        assert!(!tree.insert(&mut ctx, 60));
+        assert_eq!(tree.size(&mut ctx), 4);
+        assert!(tree.contains(&mut ctx, 60));
+        assert!(tree.remove(&mut ctx, 50));
+        assert!(!tree.remove(&mut ctx, 50));
+        assert!(!tree.contains(&mut ctx, 50));
+        assert!(tree.contains(&mut ctx, 30) && tree.contains(&mut ctx, 70));
+        assert_eq!(tree.size(&mut ctx), 3);
+        tree.smr().unregister(&mut ctx);
+    }
+
+    #[test]
+    fn ascending_and_descending_insertions() {
+        let tree = DgtTree::<NbrPlus>::new(SmrConfig::for_tests());
+        let mut ctx = tree.smr().register(0);
+        for k in 1..=100u64 {
+            assert!(tree.insert(&mut ctx, k));
+        }
+        for k in (101..=200u64).rev() {
+            assert!(tree.insert(&mut ctx, k));
+        }
+        assert_eq!(tree.size(&mut ctx), 200);
+        for k in 1..=200u64 {
+            assert!(tree.contains(&mut ctx, k));
+            assert!(tree.remove(&mut ctx, k));
+        }
+        assert_eq!(tree.size(&mut ctx), 0);
+        tree.smr().unregister(&mut ctx);
+    }
+
+    #[test]
+    fn model_check_under_nbr_plus() {
+        let tree = DgtTree::<NbrPlus>::new(SmrConfig::for_tests());
+        model_check(&tree, 5_000, 128, 21);
+    }
+
+    #[test]
+    fn model_check_under_nbr() {
+        let tree = DgtTree::<Nbr>::new(SmrConfig::for_tests());
+        model_check(&tree, 5_000, 128, 22);
+    }
+
+    #[test]
+    fn model_check_under_debra() {
+        let tree = DgtTree::<Debra>::new(SmrConfig::for_tests());
+        model_check(&tree, 5_000, 128, 23);
+    }
+
+    #[test]
+    fn model_check_under_qsbr() {
+        let tree = DgtTree::<Qsbr>::new(SmrConfig::for_tests());
+        model_check(&tree, 5_000, 128, 24);
+    }
+
+    #[test]
+    fn model_check_under_rcu() {
+        let tree = DgtTree::<Rcu>::new(SmrConfig::for_tests());
+        model_check(&tree, 5_000, 128, 25);
+    }
+
+    #[test]
+    fn model_check_under_hp() {
+        let tree = DgtTree::<HazardPointers>::new(SmrConfig::for_tests());
+        model_check(&tree, 5_000, 128, 26);
+    }
+
+    #[test]
+    fn model_check_under_ibr() {
+        let tree = DgtTree::<Ibr>::new(SmrConfig::for_tests());
+        model_check(&tree, 5_000, 128, 27);
+    }
+
+    #[test]
+    fn concurrent_disjoint_stress_nbr_plus() {
+        let tree = Arc::new(DgtTree::<NbrPlus>::new(SmrConfig::for_tests()));
+        disjoint_key_stress(tree, 4, 3_000);
+    }
+
+    #[test]
+    fn concurrent_disjoint_stress_ibr() {
+        let tree = Arc::new(DgtTree::<Ibr>::new(SmrConfig::for_tests()));
+        disjoint_key_stress(tree, 4, 3_000);
+    }
+
+    #[test]
+    fn churn_reclaims_memory() {
+        let tree = DgtTree::<NbrPlus>::new(SmrConfig::for_tests());
+        let mut ctx = tree.smr().register(0);
+        for round in 0..200u64 {
+            for k in 1..=32u64 {
+                tree.insert(&mut ctx, k * 7 + round % 11);
+            }
+            for k in 1..=32u64 {
+                tree.remove(&mut ctx, k * 7 + round % 11);
+            }
+        }
+        tree.smr().flush(&mut ctx);
+        let s = tree.smr().thread_stats(&ctx);
+        assert!(s.retires > 2_000);
+        assert!(s.frees > s.retires / 2);
+        tree.smr().unregister(&mut ctx);
+    }
+}

@@ -1,0 +1,431 @@
+//! The lock-free linked list of Harris (HL01), "A pragmatic implementation of
+//! non-blocking linked-lists".
+//!
+//! A node is logically deleted by setting the *mark* bit on its `next` pointer
+//! (tag 1 on the [`Atomic`] word); `search` physically unlinks any chain of
+//! marked nodes it passes over with a single CAS and then — crucially for NBR —
+//! **restarts from the head**.
+//!
+//! This is the paper's worked example of a data structure with *multiple
+//! read-write phases* (Algorithm 3 and Section 5.2): every iteration of
+//! `search_again` is a fresh Φ_read starting at the root; the unlink CAS (an
+//! auxiliary update) and the caller's insert/delete CAS are Φ_writes operating
+//! only on the reserved `left`/`right` records. The chain of nodes removed by
+//! the unlink CAS is retired by the unlinking thread — those records were just
+//! unlinked by *this* thread and are not yet in any limbo bag, so walking them
+//! to retire them cannot race with their reclamation.
+
+use crate::{check_key, ConcurrentSet, KEY_MAX, KEY_MIN};
+use smr_common::{Atomic, NodeHeader, Shared, Smr, SmrConfig};
+use std::sync::atomic::Ordering;
+
+/// Mark bit: set on `node.next` when `node` is logically deleted.
+const MARK: usize = 1;
+
+/// Hazard-slot layout used during traversals.
+const SLOT_LEFT: usize = 0;
+const SLOT_T_A: usize = 1;
+const SLOT_T_B: usize = 2;
+
+/// A node of the Harris list.
+pub struct Node {
+    header: NodeHeader,
+    key: u64,
+    next: Atomic<Node>,
+}
+smr_common::impl_smr_node!(Node);
+
+impl Node {
+    fn new(key: u64) -> Self {
+        Self {
+            header: NodeHeader::new(),
+            key,
+            next: Atomic::null(),
+        }
+    }
+}
+
+/// Result of a successful search: `left.key < key <= right.key`, `left` and
+/// `right` adjacent and unmarked at the linearization point, and both reserved
+/// for the caller's write phase.
+struct SearchResult {
+    left: Shared<Node>,
+    right: Shared<Node>,
+}
+
+/// The Harris lock-free list-based set.
+pub struct HarrisList<S: Smr> {
+    smr: S,
+    head: Box<Node>,
+    tail: Shared<Node>,
+}
+
+unsafe impl<S: Smr> Send for HarrisList<S> {}
+unsafe impl<S: Smr> Sync for HarrisList<S> {}
+
+impl<S: Smr> HarrisList<S> {
+    /// Creates an empty list whose reclaimer is configured by `config`.
+    pub fn new(config: SmrConfig) -> Self {
+        Self::with_smr(S::new(config))
+    }
+
+    /// Creates an empty list around an existing reclaimer instance.
+    pub fn with_smr(smr: S) -> Self {
+        let tail = Shared::from_raw(Box::into_raw(Box::new(Node::new(KEY_MAX))));
+        let head = Box::new(Node {
+            header: NodeHeader::new(),
+            key: KEY_MIN,
+            next: Atomic::new(tail),
+        });
+        Self { smr, head, tail }
+    }
+
+    #[inline]
+    fn head_shared(&self) -> Shared<Node> {
+        Shared::from_raw(&*self.head as *const Node as *mut Node)
+    }
+
+    /// Harris's `search`, integrated with NBR exactly as in Algorithm 3 of the
+    /// paper. On return the read phase has been ended with `left` and `right`
+    /// reserved, so the caller may immediately CAS on them.
+    fn search(&self, ctx: &mut S::ThreadCtx, key: u64) -> SearchResult {
+        'search_again: loop {
+            self.smr.begin_read_phase(ctx);
+
+            let mut t = self.head_shared();
+            // Slot protecting `t` itself (meaningless for the head sentinel)
+            // and slot protecting the freshly loaded `t_next`.
+            let mut t_prot_slot = SLOT_T_B;
+            let mut t_next_slot = SLOT_T_A;
+            let mut t_next = self.smr.protect(ctx, t_next_slot, unsafe { &t.deref().next });
+            if self.smr.checkpoint(ctx) {
+                continue 'search_again;
+            }
+            let mut left = t;
+            let mut left_next = t_next;
+
+            // Phase 1: find left (last unmarked node with key < `key`) and
+            // right (first node with key >= `key`).
+            loop {
+                if t_next.tag() & MARK == 0 {
+                    left = t;
+                    left_next = t_next;
+                    self.smr.protect_copy(ctx, SLOT_LEFT, t_prot_slot, left);
+                }
+                // Advance: `t` takes over `t_next`'s protection slot.
+                t = t_next.with_tag(0);
+                t_prot_slot = t_next_slot;
+                if t.ptr_eq(self.tail) {
+                    break;
+                }
+                t_next_slot = if t_prot_slot == SLOT_T_A { SLOT_T_B } else { SLOT_T_A };
+                t_next = self.smr.protect(ctx, t_next_slot, unsafe { &t.deref().next });
+                if self.smr.checkpoint(ctx) {
+                    continue 'search_again;
+                }
+                if t_next.tag() & MARK != 0 && !S::CAN_TRAVERSE_UNLINKED {
+                    // `t` is logically deleted. Validation-based reclaimers
+                    // (HP, HE) must not follow pointers out of records that may
+                    // already be unlinked, so instead of walking the marked
+                    // chain we unlink this single node from `left` (which is
+                    // its immediate predecessor here, since we never walk past
+                    // a marked node in this mode) and restart from the head —
+                    // i.e. the Harris-Michael behaviour Table 1 requires for
+                    // the HP family.
+                    self.smr
+                        .end_read_phase(ctx, &[left.untagged_usize(), t.untagged_usize()]);
+                    let left_ref = unsafe { left.deref() };
+                    if left_ref
+                        .next
+                        .compare_exchange(
+                            left_next,
+                            t_next.with_tag(0),
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        // SAFETY: unlinked by this thread's CAS just now.
+                        unsafe { self.smr.retire(ctx, t) };
+                    }
+                    continue 'search_again;
+                }
+                let t_key = unsafe { t.deref().key };
+                if t_next.tag() & MARK == 0 && t_key >= key {
+                    break;
+                }
+            }
+            let right = t;
+
+            // Phase 2: left and right already adjacent?
+            if left_next.with_tag(0).ptr_eq(right) {
+                let right_marked = !right.ptr_eq(self.tail)
+                    && unsafe { right.deref() }.next.load(Ordering::Acquire).tag() & MARK != 0;
+                if right_marked {
+                    continue 'search_again;
+                }
+                self.smr
+                    .end_read_phase(ctx, &[left.untagged_usize(), right.untagged_usize()]);
+                return SearchResult { left, right };
+            }
+
+            // Phase 3 (Φ_write): unlink the chain of marked nodes between
+            // left and right with one CAS, then retire them.
+            self.smr
+                .end_read_phase(ctx, &[left.untagged_usize(), right.untagged_usize()]);
+            let left_ref = unsafe { left.deref() };
+            if left_ref
+                .next
+                .compare_exchange(left_next, right, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                // Retire the unlinked chain. These nodes were unlinked by this
+                // thread just now, so no reclaimer can free them before the
+                // retire below; dereferencing them here is safe even though
+                // they are not reserved.
+                let mut c = left_next.with_tag(0);
+                while !c.ptr_eq(right) {
+                    let nxt = unsafe { c.deref() }.next.load(Ordering::Acquire).with_tag(0);
+                    // SAFETY: unlinked above by this thread's CAS; retired once.
+                    unsafe { self.smr.retire(ctx, c) };
+                    c = nxt;
+                }
+                let right_marked = !right.ptr_eq(self.tail)
+                    && unsafe { right.deref() }.next.load(Ordering::Acquire).tag() & MARK != 0;
+                if right_marked {
+                    continue 'search_again;
+                }
+                return SearchResult { left, right };
+            }
+            continue 'search_again;
+        }
+    }
+}
+
+impl<S: Smr> ConcurrentSet<S> for HarrisList<S> {
+    fn smr(&self) -> &S {
+        &self.smr
+    }
+
+    fn contains(&self, ctx: &mut S::ThreadCtx, key: u64) -> bool {
+        check_key(key);
+        self.smr.begin_op(ctx);
+        let r = self.search(ctx, key);
+        let found = !r.right.ptr_eq(self.tail) && unsafe { r.right.deref() }.key == key;
+        self.smr.clear_protections(ctx);
+        self.smr.end_op(ctx);
+        found
+    }
+
+    fn insert(&self, ctx: &mut S::ThreadCtx, key: u64) -> bool {
+        check_key(key);
+        self.smr.begin_op(ctx);
+        let inserted = loop {
+            let r = self.search(ctx, key);
+            if !r.right.ptr_eq(self.tail) && unsafe { r.right.deref() }.key == key {
+                break false;
+            }
+            // Φ_write: allocate and link the new node under the reservation of
+            // `left` (the CAS target) and `right` (the successor).
+            let mut node = Node::new(key);
+            node.next = Atomic::new(r.right);
+            let node = self.smr.alloc(ctx, node);
+            let left_ref = unsafe { r.left.deref() };
+            if left_ref
+                .next
+                .compare_exchange(r.right, node, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                break true;
+            }
+            // Lost the race: the node was never published, free it directly.
+            // SAFETY: `node` was allocated above and never made reachable.
+            unsafe { self.smr.dealloc_unpublished(ctx, node) };
+        };
+        self.smr.clear_protections(ctx);
+        self.smr.end_op(ctx);
+        inserted
+    }
+
+    fn remove(&self, ctx: &mut S::ThreadCtx, key: u64) -> bool {
+        check_key(key);
+        self.smr.begin_op(ctx);
+        let removed = loop {
+            let r = self.search(ctx, key);
+            if r.right.ptr_eq(self.tail) || unsafe { r.right.deref() }.key != key {
+                break false;
+            }
+            let right_ref = unsafe { r.right.deref() };
+            let right_next = right_ref.next.load(Ordering::Acquire);
+            if right_next.tag() & MARK != 0 {
+                // Another thread is already deleting it; retry from the root.
+                continue;
+            }
+            // Logical delete: mark `right.next`.
+            if right_ref
+                .next
+                .compare_exchange(
+                    right_next,
+                    right_next.with_tag(MARK),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_err()
+            {
+                continue;
+            }
+            // Physical delete: try to unlink it ourselves; if we fail, a
+            // subsequent search (ours, below, or any other thread's) unlinks
+            // and retires it.
+            let left_ref = unsafe { r.left.deref() };
+            if left_ref
+                .next
+                .compare_exchange(
+                    r.right,
+                    right_next.with_tag(0),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                // SAFETY: unlinked by this thread's CAS; retired exactly once.
+                unsafe { self.smr.retire(ctx, r.right) };
+            } else {
+                let _ = self.search(ctx, key);
+            }
+            break true;
+        };
+        self.smr.clear_protections(ctx);
+        self.smr.end_op(ctx);
+        removed
+    }
+
+    fn size(&self, ctx: &mut S::ThreadCtx) -> usize {
+        self.smr.begin_op(ctx);
+        self.smr.begin_read_phase(ctx);
+        let mut count = 0usize;
+        let mut curr = self.head.next.load(Ordering::Acquire);
+        loop {
+            let node = curr.with_tag(0);
+            if node.ptr_eq(self.tail) {
+                break;
+            }
+            let next = unsafe { node.deref() }.next.load(Ordering::Acquire);
+            if next.tag() & MARK == 0 {
+                count += 1;
+            }
+            curr = next;
+        }
+        self.smr.end_read_phase(ctx, &[]);
+        self.smr.end_op(ctx);
+        count
+    }
+
+    fn name() -> &'static str {
+        "harris-list"
+    }
+}
+
+impl<S: Smr> Drop for HarrisList<S> {
+    fn drop(&mut self) {
+        let mut curr = self.head.next.load(Ordering::Relaxed).with_tag(0);
+        while !curr.is_null() {
+            let next = unsafe { curr.deref() }.next.load(Ordering::Relaxed).with_tag(0);
+            unsafe { drop(Box::from_raw(curr.as_raw())) };
+            curr = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{disjoint_key_stress, model_check};
+    use nbr::{Nbr, NbrPlus};
+    use smr_baselines::{Debra, HazardEras, HazardPointers, Rcu};
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_basics() {
+        let list = HarrisList::<NbrPlus>::new(SmrConfig::for_tests());
+        let mut ctx = list.smr().register(0);
+        assert!(list.insert(&mut ctx, 10));
+        assert!(list.insert(&mut ctx, 5));
+        assert!(list.insert(&mut ctx, 15));
+        assert!(!list.insert(&mut ctx, 10));
+        assert!(list.contains(&mut ctx, 10));
+        assert!(!list.contains(&mut ctx, 11));
+        assert_eq!(list.size(&mut ctx), 3);
+        assert!(list.remove(&mut ctx, 10));
+        assert!(!list.remove(&mut ctx, 10));
+        assert_eq!(list.size(&mut ctx), 2);
+        list.smr().unregister(&mut ctx);
+    }
+
+    #[test]
+    fn model_check_under_nbr_plus() {
+        let list = HarrisList::<NbrPlus>::new(SmrConfig::for_tests());
+        model_check(&list, 4_000, 64, 1);
+    }
+
+    #[test]
+    fn model_check_under_nbr() {
+        let list = HarrisList::<Nbr>::new(SmrConfig::for_tests());
+        model_check(&list, 4_000, 64, 2);
+    }
+
+    #[test]
+    fn model_check_under_debra() {
+        let list = HarrisList::<Debra>::new(SmrConfig::for_tests());
+        model_check(&list, 4_000, 64, 3);
+    }
+
+    #[test]
+    fn model_check_under_hp() {
+        let list = HarrisList::<HazardPointers>::new(SmrConfig::for_tests());
+        model_check(&list, 4_000, 64, 4);
+    }
+
+    #[test]
+    fn model_check_under_hazard_eras() {
+        let list = HarrisList::<HazardEras>::new(SmrConfig::for_tests());
+        model_check(&list, 4_000, 64, 5);
+    }
+
+    #[test]
+    fn model_check_under_rcu() {
+        let list = HarrisList::<Rcu>::new(SmrConfig::for_tests());
+        model_check(&list, 4_000, 64, 6);
+    }
+
+    #[test]
+    fn concurrent_disjoint_stress_nbr_plus() {
+        let list = Arc::new(HarrisList::<NbrPlus>::new(SmrConfig::for_tests()));
+        disjoint_key_stress(list, 4, 3_000);
+    }
+
+    #[test]
+    fn concurrent_disjoint_stress_debra() {
+        let list = Arc::new(HarrisList::<Debra>::new(SmrConfig::for_tests()));
+        disjoint_key_stress(list, 4, 3_000);
+    }
+
+    #[test]
+    fn churn_reclaims_memory() {
+        let list = HarrisList::<NbrPlus>::new(SmrConfig::for_tests());
+        let mut ctx = list.smr().register(0);
+        for round in 0..300u64 {
+            for k in 1..=16u64 {
+                list.insert(&mut ctx, k * 3 + round % 5);
+            }
+            for k in 1..=16u64 {
+                list.remove(&mut ctx, k * 3 + round % 5);
+            }
+        }
+        list.smr().flush(&mut ctx);
+        let s = list.smr().thread_stats(&ctx);
+        assert!(s.retires > 1_000);
+        assert!(s.frees > s.retires / 2);
+        list.smr().unregister(&mut ctx);
+    }
+}

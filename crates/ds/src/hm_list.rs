@@ -1,0 +1,383 @@
+//! The Harris-Michael lock-free list (HM04) and its restart-from-root variant.
+//!
+//! Michael's refinement of the Harris list unlinks marked nodes one at a time
+//! during traversal and — in its original form — *continues the traversal from
+//! `pred`* after each unlink. That makes it incompatible with NBR (Table 1,
+//! row HM04): the read phase that follows the auxiliary write phase does not
+//! start from the root, so newly discovered records would be unreserved.
+//!
+//! Experiment E4 of the paper therefore modifies HM04 so that every unlink is
+//! followed by a restart from the head, which makes NBR applicable, and then
+//! measures the cost of those extra restarts by also running the modified list
+//! under DEBRA ("debra-restarts") against the original under DEBRA
+//! ("debra-norestarts"). [`HmList`] implements both behaviours behind the
+//! [`RestartPolicy`] knob so the exact same comparison can be reproduced.
+//!
+//! **Safety note:** the `ContinueFromPred` policy must only be paired with
+//! reclaimers that do not rely on the NBR phase protocol (it is a documented
+//! phase-rule violation for NBR/NBR+, exactly as the paper describes); the
+//! benches only use it with DEBRA and the leaky reclaimer.
+
+use crate::{check_key, ConcurrentSet, KEY_MAX, KEY_MIN};
+use smr_common::{Atomic, NodeHeader, Shared, Smr, SmrConfig};
+use std::sync::atomic::Ordering;
+
+const MARK: usize = 1;
+
+/// What a traversal does after performing an auxiliary unlink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartPolicy {
+    /// Restart the search from the head (the paper's modified HM04; required
+    /// for NBR/NBR+).
+    FromRoot,
+    /// Continue from `pred` (original HM04; only valid with EBR-family or
+    /// leaky reclaimers).
+    ContinueFromPred,
+}
+
+/// A node of the Harris-Michael list.
+pub struct Node {
+    header: NodeHeader,
+    key: u64,
+    next: Atomic<Node>,
+}
+smr_common::impl_smr_node!(Node);
+
+impl Node {
+    fn new(key: u64) -> Self {
+        Self {
+            header: NodeHeader::new(),
+            key,
+            next: Atomic::null(),
+        }
+    }
+}
+
+struct FindResult {
+    pred: Shared<Node>,
+    curr: Shared<Node>,
+}
+
+/// The Harris-Michael lock-free list-based set.
+pub struct HmList<S: Smr> {
+    smr: S,
+    head: Box<Node>,
+    tail: Shared<Node>,
+    policy: RestartPolicy,
+}
+
+unsafe impl<S: Smr> Send for HmList<S> {}
+unsafe impl<S: Smr> Sync for HmList<S> {}
+
+impl<S: Smr> HmList<S> {
+    /// Creates an empty list with the given restart policy.
+    pub fn with_policy(config: SmrConfig, policy: RestartPolicy) -> Self {
+        let tail = Shared::from_raw(Box::into_raw(Box::new(Node::new(KEY_MAX))));
+        let head = Box::new(Node {
+            header: NodeHeader::new(),
+            key: KEY_MIN,
+            next: Atomic::new(tail),
+        });
+        Self {
+            smr: S::new(config),
+            head,
+            tail,
+            policy,
+        }
+    }
+
+    /// Creates an empty list with the restart-from-root policy (the variant
+    /// that is safe under every reclaimer, including NBR/NBR+).
+    pub fn new(config: SmrConfig) -> Self {
+        Self::with_policy(config, RestartPolicy::FromRoot)
+    }
+
+    /// The restart policy this list was created with.
+    pub fn policy(&self) -> RestartPolicy {
+        self.policy
+    }
+
+    #[inline]
+    fn head_shared(&self) -> Shared<Node> {
+        Shared::from_raw(&*self.head as *const Node as *mut Node)
+    }
+
+    /// Michael's `find`: returns `(pred, curr)` with `pred.key < key <=
+    /// curr.key`, both reachable and unmarked at the linearization point, and
+    /// unlinks any marked node it encounters along the way. On return the
+    /// thread is still inside a read phase with `pred`/`curr` protected.
+    fn find(&self, ctx: &mut S::ThreadCtx, key: u64) -> FindResult {
+        'from_root: loop {
+            self.smr.begin_read_phase(ctx);
+            let mut pred = self.head_shared();
+            // Rotating hazard slots: pred, curr, next.
+            let mut pred_slot = 2usize;
+            let mut curr_slot = 0usize;
+            let mut curr = self.smr.protect(ctx, curr_slot, unsafe { &pred.deref().next });
+            if self.smr.checkpoint(ctx) {
+                continue 'from_root;
+            }
+            loop {
+                debug_assert_eq!(curr.tag(), 0);
+                if curr.ptr_eq(self.tail) {
+                    return FindResult { pred, curr };
+                }
+                let next_slot = 3 - pred_slot - curr_slot; // the remaining slot of {0,1,2}
+                let next = self.smr.protect(ctx, next_slot, unsafe { &curr.deref().next });
+                if self.smr.checkpoint(ctx) {
+                    continue 'from_root;
+                }
+                if next.tag() & MARK != 0 {
+                    // `curr` is logically deleted: unlink it (auxiliary Φ_write
+                    // on the reserved pred/curr pair), then resume according to
+                    // the policy.
+                    self.smr
+                        .end_read_phase(ctx, &[pred.untagged_usize(), curr.untagged_usize()]);
+                    let pred_ref = unsafe { pred.deref() };
+                    let unlinked = pred_ref
+                        .next
+                        .compare_exchange(curr, next.with_tag(0), Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok();
+                    if unlinked {
+                        // SAFETY: unlinked by this thread's CAS just now.
+                        unsafe { self.smr.retire(ctx, curr) };
+                    }
+                    match self.policy {
+                        RestartPolicy::FromRoot => continue 'from_root,
+                        RestartPolicy::ContinueFromPred => {
+                            if !unlinked {
+                                continue 'from_root;
+                            }
+                            // Original HM04: keep going from pred. Re-open a
+                            // read phase so the phase brackets stay balanced
+                            // (this path is never used with NBR).
+                            self.smr.begin_read_phase(ctx);
+                            curr = next.with_tag(0);
+                            // pred keeps its slot; curr takes over next's slot.
+                            curr_slot = next_slot;
+                            continue;
+                        }
+                    }
+                }
+                let curr_key = unsafe { curr.deref().key };
+                if curr_key >= key {
+                    return FindResult { pred, curr };
+                }
+                pred = curr;
+                pred_slot = curr_slot;
+                curr = next;
+                curr_slot = next_slot;
+            }
+        }
+    }
+}
+
+impl<S: Smr> ConcurrentSet<S> for HmList<S> {
+    fn smr(&self) -> &S {
+        &self.smr
+    }
+
+    fn contains(&self, ctx: &mut S::ThreadCtx, key: u64) -> bool {
+        check_key(key);
+        self.smr.begin_op(ctx);
+        let r = self.find(ctx, key);
+        let found = !r.curr.ptr_eq(self.tail) && unsafe { r.curr.deref() }.key == key;
+        self.smr.end_read_phase(ctx, &[]);
+        self.smr.clear_protections(ctx);
+        self.smr.end_op(ctx);
+        found
+    }
+
+    fn insert(&self, ctx: &mut S::ThreadCtx, key: u64) -> bool {
+        check_key(key);
+        self.smr.begin_op(ctx);
+        let inserted = loop {
+            let r = self.find(ctx, key);
+            if !r.curr.ptr_eq(self.tail) && unsafe { r.curr.deref() }.key == key {
+                self.smr.end_read_phase(ctx, &[]);
+                break false;
+            }
+            self.smr
+                .end_read_phase(ctx, &[r.pred.untagged_usize(), r.curr.untagged_usize()]);
+            let mut node = Node::new(key);
+            node.next = Atomic::new(r.curr);
+            let node = self.smr.alloc(ctx, node);
+            let pred_ref = unsafe { r.pred.deref() };
+            if pred_ref
+                .next
+                .compare_exchange(r.curr, node, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                break true;
+            }
+            // SAFETY: never published.
+            unsafe { self.smr.dealloc_unpublished(ctx, node) };
+        };
+        self.smr.clear_protections(ctx);
+        self.smr.end_op(ctx);
+        inserted
+    }
+
+    fn remove(&self, ctx: &mut S::ThreadCtx, key: u64) -> bool {
+        check_key(key);
+        self.smr.begin_op(ctx);
+        let removed = loop {
+            let r = self.find(ctx, key);
+            if r.curr.ptr_eq(self.tail) || unsafe { r.curr.deref() }.key != key {
+                self.smr.end_read_phase(ctx, &[]);
+                break false;
+            }
+            self.smr
+                .end_read_phase(ctx, &[r.pred.untagged_usize(), r.curr.untagged_usize()]);
+            let curr_ref = unsafe { r.curr.deref() };
+            let next = curr_ref.next.load(Ordering::Acquire);
+            if next.tag() & MARK != 0 {
+                // Someone else is deleting it; help by retrying (the next find
+                // unlinks it) and report "not present".
+                continue;
+            }
+            // Logical delete.
+            if curr_ref
+                .next
+                .compare_exchange(next, next.with_tag(MARK), Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            // Physical delete: if our unlink fails, some traversal will do it
+            // (and retire the node).
+            let pred_ref = unsafe { r.pred.deref() };
+            if pred_ref
+                .next
+                .compare_exchange(r.curr, next.with_tag(0), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                // SAFETY: unlinked by this thread's CAS; retired exactly once.
+                unsafe { self.smr.retire(ctx, r.curr) };
+            } else {
+                let r2 = self.find(ctx, key);
+                let _ = r2;
+                self.smr.end_read_phase(ctx, &[]);
+            }
+            break true;
+        };
+        self.smr.clear_protections(ctx);
+        self.smr.end_op(ctx);
+        removed
+    }
+
+    fn size(&self, ctx: &mut S::ThreadCtx) -> usize {
+        self.smr.begin_op(ctx);
+        self.smr.begin_read_phase(ctx);
+        let mut count = 0usize;
+        let mut curr = self.head.next.load(Ordering::Acquire).with_tag(0);
+        loop {
+            if curr.ptr_eq(self.tail) {
+                break;
+            }
+            let next = unsafe { curr.deref() }.next.load(Ordering::Acquire);
+            if next.tag() & MARK == 0 {
+                count += 1;
+            }
+            curr = next.with_tag(0);
+        }
+        self.smr.end_read_phase(ctx, &[]);
+        self.smr.end_op(ctx);
+        count
+    }
+
+    fn name() -> &'static str {
+        "hm-list"
+    }
+}
+
+impl<S: Smr> Drop for HmList<S> {
+    fn drop(&mut self) {
+        let mut curr = self.head.next.load(Ordering::Relaxed).with_tag(0);
+        while !curr.is_null() {
+            let next = unsafe { curr.deref() }.next.load(Ordering::Relaxed).with_tag(0);
+            unsafe { drop(Box::from_raw(curr.as_raw())) };
+            curr = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{disjoint_key_stress, model_check};
+    use nbr::NbrPlus;
+    use smr_baselines::{Debra, HazardPointers, Leaky};
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_basics_restart_variant() {
+        let list = HmList::<NbrPlus>::new(SmrConfig::for_tests());
+        let mut ctx = list.smr().register(0);
+        assert!(list.insert(&mut ctx, 4));
+        assert!(list.insert(&mut ctx, 2));
+        assert!(!list.insert(&mut ctx, 2));
+        assert!(list.contains(&mut ctx, 2));
+        assert!(list.remove(&mut ctx, 2));
+        assert!(!list.contains(&mut ctx, 2));
+        assert_eq!(list.size(&mut ctx), 1);
+        list.smr().unregister(&mut ctx);
+    }
+
+    #[test]
+    fn sequential_basics_norestart_variant() {
+        let list =
+            HmList::<Debra>::with_policy(SmrConfig::for_tests(), RestartPolicy::ContinueFromPred);
+        assert_eq!(list.policy(), RestartPolicy::ContinueFromPred);
+        let mut ctx = list.smr().register(0);
+        for k in 1..=32u64 {
+            assert!(list.insert(&mut ctx, k));
+        }
+        for k in (1..=32u64).step_by(2) {
+            assert!(list.remove(&mut ctx, k));
+        }
+        assert_eq!(list.size(&mut ctx), 16);
+        list.smr().unregister(&mut ctx);
+    }
+
+    #[test]
+    fn model_check_restart_under_nbr_plus() {
+        let list = HmList::<NbrPlus>::new(SmrConfig::for_tests());
+        model_check(&list, 4_000, 64, 11);
+    }
+
+    #[test]
+    fn model_check_restart_under_hp() {
+        let list = HmList::<HazardPointers>::new(SmrConfig::for_tests());
+        model_check(&list, 4_000, 64, 12);
+    }
+
+    #[test]
+    fn model_check_norestart_under_debra() {
+        let list =
+            HmList::<Debra>::with_policy(SmrConfig::for_tests(), RestartPolicy::ContinueFromPred);
+        model_check(&list, 4_000, 64, 13);
+    }
+
+    #[test]
+    fn model_check_norestart_under_leaky() {
+        let list =
+            HmList::<Leaky>::with_policy(SmrConfig::for_tests(), RestartPolicy::ContinueFromPred);
+        model_check(&list, 4_000, 64, 14);
+    }
+
+    #[test]
+    fn concurrent_disjoint_stress_restart_nbr_plus() {
+        let list = Arc::new(HmList::<NbrPlus>::new(SmrConfig::for_tests()));
+        disjoint_key_stress(list, 4, 3_000);
+    }
+
+    #[test]
+    fn concurrent_disjoint_stress_norestart_debra() {
+        let list = Arc::new(HmList::<Debra>::with_policy(
+            SmrConfig::for_tests(),
+            RestartPolicy::ContinueFromPred,
+        ));
+        disjoint_key_stress(list, 4, 3_000);
+    }
+}

@@ -1,0 +1,198 @@
+//! # conc-ds — concurrent set data structures, generic over an SMR scheme
+//!
+//! Rust reimplementations of the data structures used in the paper's
+//! evaluation, each written **once** and instantiated with any reclaimer
+//! implementing [`Smr`](smr_common::Smr) (NBR, NBR+, DEBRA, QSBR, RCU, HP,
+//! IBR, HE, leaky):
+//!
+//! | module | structure | paper reference | synchronization |
+//! |---|---|---|---|
+//! | [`lazy_list`] | sorted linked list | Heller et al. (LL05) | per-node locks, wait-free contains |
+//! | [`harris_list`] | sorted linked list | Harris (HL01) | lock-free, marked next pointers |
+//! | [`hm_list`] | sorted linked list | Harris-Michael (HM04), plus the restart-from-root variant of experiment E4 | lock-free |
+//! | [`dgt_tree`] | external binary search tree | David, Guerraoui & Trigonakis (DGT15) | versioned locks, sync-free searches |
+//! | [`ab_tree`] | leaf-oriented (a,b)-tree | stands in for Brown's ABTree (see DESIGN.md, substitution S3) | versioned locks, copy-on-write nodes, sync-free searches |
+//!
+//! Every structure implements the common [`ConcurrentSet`] trait used by the
+//! benchmark harness and the cross-SMR stress tests.
+//!
+//! ## How the NBR phases map onto the code
+//!
+//! Each operation is a retry loop whose body begins with
+//! `begin_read_phase`, traverses with one [`Smr::protect`] +
+//! [`Smr::checkpoint`] pair per pointer hop, calls `end_read_phase(&[…])` with
+//! the records its write phase will touch, performs the update (locks +
+//! validation for the lock-based structures, CAS for the lock-free ones), and
+//! `retire`s whatever it unlinked. A `checkpoint` returning `true`, a failed
+//! validation, or a lost CAS sends the operation back to the top of the loop —
+//! i.e. a fresh read phase starting from the root, exactly the discipline
+//! Sections 4.1 and 5.2 of the paper require.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ab_tree;
+pub mod dgt_tree;
+pub mod harris_list;
+pub mod hm_list;
+pub mod lazy_list;
+
+pub use ab_tree::AbTree;
+pub use dgt_tree::DgtTree;
+pub use harris_list::HarrisList;
+pub use hm_list::HmList;
+pub use lazy_list::LazyList;
+
+use smr_common::Smr;
+
+/// A concurrent set of `u64` keys managed by an SMR scheme `S`.
+///
+/// Keys must lie strictly between `KEY_MIN` and `KEY_MAX` (the sentinels used
+/// by the list-based structures).
+pub trait ConcurrentSet<S: Smr>: Send + Sync {
+    /// The reclaimer instance owned by this structure; threads register with
+    /// it to obtain their [`Smr::ThreadCtx`].
+    fn smr(&self) -> &S;
+
+    /// Returns `true` if `key` is in the set.
+    fn contains(&self, ctx: &mut S::ThreadCtx, key: u64) -> bool;
+
+    /// Inserts `key`; returns `true` if it was not already present.
+    fn insert(&self, ctx: &mut S::ThreadCtx, key: u64) -> bool;
+
+    /// Removes `key`; returns `true` if it was present.
+    fn remove(&self, ctx: &mut S::ThreadCtx, key: u64) -> bool;
+
+    /// Counts the keys currently in the set by traversal. Only meaningful when
+    /// called while no other thread is mutating the structure (tests,
+    /// post-trial verification).
+    fn size(&self, ctx: &mut S::ThreadCtx) -> usize;
+
+    /// Short, human-readable structure name used in benchmark output.
+    fn name() -> &'static str
+    where
+        Self: Sized;
+}
+
+/// Smallest sentinel key (reserved; never inserted).
+pub const KEY_MIN: u64 = 0;
+/// Largest sentinel key (reserved; never inserted).
+pub const KEY_MAX: u64 = u64::MAX;
+
+/// Asserts that a key is in the insertable range.
+#[inline]
+pub(crate) fn check_key(key: u64) {
+    assert!(
+        key > KEY_MIN && key < KEY_MAX,
+        "key {key} collides with a sentinel (valid range is ({KEY_MIN}, {KEY_MAX}) exclusive)"
+    );
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Helpers shared by the per-structure unit tests: a single-threaded
+    //! model-based check and a small multi-threaded smoke test, both generic
+    //! over the structure and the reclaimer.
+
+    use super::ConcurrentSet;
+    use smr_common::Smr;
+    use std::collections::BTreeSet;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Barrier};
+
+    /// Deterministic pseudo-random sequence (SplitMix64).
+    pub struct SplitMix(pub u64);
+    impl SplitMix {
+        pub fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Runs a randomized single-threaded workload against both the concurrent
+    /// structure and a reference `BTreeSet`, checking every return value.
+    pub fn model_check<S: Smr, DS: ConcurrentSet<S>>(ds: &DS, ops: usize, key_range: u64, seed: u64) {
+        let mut ctx = ds.smr().register(0);
+        let mut model = BTreeSet::new();
+        let mut rng = SplitMix(seed);
+        for _ in 0..ops {
+            let key = 1 + rng.next() % key_range;
+            match rng.next() % 3 {
+                0 => {
+                    let expected = model.insert(key);
+                    assert_eq!(ds.insert(&mut ctx, key), expected, "insert({key}) mismatch");
+                }
+                1 => {
+                    let expected = model.remove(&key);
+                    assert_eq!(ds.remove(&mut ctx, key), expected, "remove({key}) mismatch");
+                }
+                _ => {
+                    let expected = model.contains(&key);
+                    assert_eq!(ds.contains(&mut ctx, key), expected, "contains({key}) mismatch");
+                }
+            }
+        }
+        assert_eq!(ds.size(&mut ctx), model.len(), "final size mismatch");
+        for &k in model.iter().take(64) {
+            assert!(ds.contains(&mut ctx, k));
+        }
+        ds.smr().unregister(&mut ctx);
+    }
+
+    /// Multi-threaded smoke test: each thread owns a disjoint key range, so
+    /// every operation's return value is deterministic and checkable, and the
+    /// final size must equal the sum of per-thread survivors.
+    pub fn disjoint_key_stress<S, DS>(ds: Arc<DS>, threads: usize, ops_per_thread: usize)
+    where
+        S: Smr,
+        DS: ConcurrentSet<S> + 'static,
+    {
+        let barrier = Arc::new(Barrier::new(threads));
+        let survivors = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let ds = Arc::clone(&ds);
+            let barrier = Arc::clone(&barrier);
+            let survivors = Arc::clone(&survivors);
+            handles.push(std::thread::spawn(move || {
+                let mut ctx = ds.smr().register(t);
+                let base = 1 + (t as u64) * 1_000_000;
+                let mut rng = SplitMix(0xC0FFEE + t as u64);
+                let mut local = BTreeSet::new();
+                barrier.wait();
+                for _ in 0..ops_per_thread {
+                    let key = base + rng.next() % 512;
+                    match rng.next() % 3 {
+                        0 => {
+                            let expected = local.insert(key);
+                            assert_eq!(ds.insert(&mut ctx, key), expected);
+                        }
+                        1 => {
+                            let expected = local.remove(&key);
+                            assert_eq!(ds.remove(&mut ctx, key), expected);
+                        }
+                        _ => {
+                            let expected = local.contains(&key);
+                            assert_eq!(ds.contains(&mut ctx, key), expected);
+                        }
+                    }
+                }
+                survivors.fetch_add(local.len() as u64, Ordering::Relaxed);
+                ds.smr().unregister(&mut ctx);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut ctx = ds.smr().register(0);
+        assert_eq!(
+            ds.size(&mut ctx) as u64,
+            survivors.load(Ordering::Relaxed),
+            "final size must equal the number of surviving keys"
+        );
+        ds.smr().unregister(&mut ctx);
+    }
+}

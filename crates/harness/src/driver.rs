@@ -1,0 +1,421 @@
+//! The trial driver: prefill, spawn workers, measure, collect.
+//!
+//! One [`run_trial`] call reproduces one data point of the paper's plots: a
+//! (data structure, reclaimer, operation mix, key range, thread count) tuple
+//! run for a fixed duration (or a fixed operation budget for the Criterion
+//! benches), reporting throughput, the reclaimer's counters and the process's
+//! peak heap usage.
+
+use crate::alloc_track;
+use crate::workload::{Op, OpGenerator, StopCondition, WorkloadSpec};
+use conc_ds::ConcurrentSet;
+use smr_common::{Smr, SmrConfig, ThreadStats};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// A data structure that the harness can construct from an [`SmrConfig`].
+pub trait Buildable<S: Smr>: ConcurrentSet<S> + Sized + 'static {
+    /// Builds an empty instance (the structure owns its reclaimer).
+    fn build(config: SmrConfig) -> Self;
+    /// Label used in benchmark output (defaults to the structure name).
+    fn variant_name() -> &'static str {
+        Self::name()
+    }
+}
+
+impl<S: Smr> Buildable<S> for conc_ds::LazyList<S> {
+    fn build(config: SmrConfig) -> Self {
+        Self::new(config)
+    }
+}
+impl<S: Smr> Buildable<S> for conc_ds::HarrisList<S> {
+    fn build(config: SmrConfig) -> Self {
+        Self::new(config)
+    }
+}
+impl<S: Smr> Buildable<S> for conc_ds::DgtTree<S> {
+    fn build(config: SmrConfig) -> Self {
+        Self::new(config)
+    }
+}
+impl<S: Smr> Buildable<S> for conc_ds::AbTree<S> {
+    fn build(config: SmrConfig) -> Self {
+        Self::new(config)
+    }
+}
+impl<S: Smr> Buildable<S> for conc_ds::HmList<S> {
+    fn build(config: SmrConfig) -> Self {
+        Self::new(config)
+    }
+    fn variant_name() -> &'static str {
+        "hm-list-restart"
+    }
+}
+
+/// The original Harris-Michael list (no restart from root after unlinks) —
+/// the "norestarts" configuration of experiment E4. Only meaningful with
+/// EBR-family or leaky reclaimers.
+pub struct HmListNoRestart<S: Smr>(conc_ds::HmList<S>);
+
+impl<S: Smr> ConcurrentSet<S> for HmListNoRestart<S> {
+    fn smr(&self) -> &S {
+        self.0.smr()
+    }
+    fn contains(&self, ctx: &mut S::ThreadCtx, key: u64) -> bool {
+        self.0.contains(ctx, key)
+    }
+    fn insert(&self, ctx: &mut S::ThreadCtx, key: u64) -> bool {
+        self.0.insert(ctx, key)
+    }
+    fn remove(&self, ctx: &mut S::ThreadCtx, key: u64) -> bool {
+        self.0.remove(ctx, key)
+    }
+    fn size(&self, ctx: &mut S::ThreadCtx) -> usize {
+        self.0.size(ctx)
+    }
+    fn name() -> &'static str {
+        "hm-list-norestart"
+    }
+}
+
+impl<S: Smr> Buildable<S> for HmListNoRestart<S> {
+    fn build(config: SmrConfig) -> Self {
+        Self(conc_ds::HmList::with_policy(
+            config,
+            conc_ds::hm_list::RestartPolicy::ContinueFromPred,
+        ))
+    }
+}
+
+/// The outcome of one trial.
+#[derive(Debug, Clone)]
+pub struct TrialResult {
+    /// Data-structure label.
+    pub ds: &'static str,
+    /// Reclaimer label.
+    pub smr: &'static str,
+    /// Operation mix label (e.g. `50i-50d`).
+    pub mix: String,
+    /// Key range size.
+    pub key_range: u64,
+    /// Number of worker threads (excluding a stalled thread, if any).
+    pub threads: usize,
+    /// Total completed operations across all workers.
+    pub total_ops: u64,
+    /// Wall-clock duration of the measured portion.
+    pub duration: Duration,
+    /// Throughput in million operations per second.
+    pub mops: f64,
+    /// Sum of all workers' reclaimer counters.
+    pub smr_totals: ThreadStats,
+    /// Peak live heap bytes during the measured portion (0 when the counting
+    /// allocator is not installed in this process).
+    pub peak_mem_bytes: usize,
+    /// Whether a stalled thread was present.
+    pub stalled_thread: bool,
+}
+
+impl TrialResult {
+    /// Retired-but-unreclaimed records at the end of the trial.
+    pub fn outstanding_garbage(&self) -> u64 {
+        self.smr_totals.outstanding()
+    }
+}
+
+struct SharedState {
+    start: Barrier,
+    stop: AtomicBool,
+    ops_done: AtomicU64,
+    ops_budget: u64,
+}
+
+/// Runs one trial of `spec` with data structure `DS` under reclaimer `S`.
+pub fn run_trial<S, DS>(spec: &WorkloadSpec, config: SmrConfig) -> TrialResult
+where
+    S: Smr,
+    DS: Buildable<S> + Send + Sync,
+{
+    assert!(
+        spec.threads + usize::from(spec.stalled_thread) + 1 <= config.max_threads,
+        "not enough SMR thread slots for this trial"
+    );
+    let ds = Arc::new(DS::build(config));
+
+    prefill(&ds, spec);
+    alloc_track::reset_peak();
+
+    let ops_budget = match spec.stop {
+        StopCondition::TotalOps(n) => n,
+        StopCondition::Duration(_) => u64::MAX,
+    };
+    let shared = Arc::new(SharedState {
+        start: Barrier::new(spec.threads + usize::from(spec.stalled_thread) + 1),
+        stop: AtomicBool::new(false),
+        ops_done: AtomicU64::new(0),
+        ops_budget,
+    });
+
+    let mut handles = Vec::new();
+    for t in 0..spec.threads {
+        let ds = Arc::clone(&ds);
+        let shared = Arc::clone(&shared);
+        let spec = spec.clone();
+        handles.push(std::thread::spawn(move || worker(&*ds, &shared, &spec, t)));
+    }
+    if spec.stalled_thread {
+        let ds = Arc::clone(&ds);
+        let shared = Arc::clone(&shared);
+        let stall_tid = spec.threads;
+        handles.push(std::thread::spawn(move || {
+            stalled_worker(&*ds, &shared, stall_tid)
+        }));
+    }
+
+    // Release the workers and time the measured portion.
+    shared.start.wait();
+    let started = Instant::now();
+    match spec.stop {
+        StopCondition::Duration(d) => {
+            std::thread::sleep(d);
+            shared.stop.store(true, Ordering::SeqCst);
+        }
+        StopCondition::TotalOps(_) => {
+            // Workers flip the stop flag themselves once the budget is hit.
+            while !shared.stop.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+    }
+
+    let mut total_ops = 0u64;
+    let mut totals = ThreadStats::default();
+    for h in handles {
+        let (ops, stats) = h.join().expect("worker panicked");
+        total_ops += ops;
+        totals += stats;
+    }
+    let duration = started.elapsed();
+
+    let mops = total_ops as f64 / duration.as_secs_f64() / 1.0e6;
+    TrialResult {
+        ds: DS::variant_name(),
+        smr: S::NAME,
+        mix: spec.mix.label(),
+        key_range: spec.key_range,
+        threads: spec.threads,
+        total_ops,
+        duration,
+        mops,
+        smr_totals: totals,
+        peak_mem_bytes: alloc_track::peak_bytes(),
+        stalled_thread: spec.stalled_thread,
+    }
+}
+
+/// Prefills the structure to `spec.prefill` keys using the highest thread slots
+/// (so they do not collide with the worker tids used afterwards).
+fn prefill<S, DS>(ds: &Arc<DS>, spec: &WorkloadSpec)
+where
+    S: Smr,
+    DS: Buildable<S> + Send + Sync,
+{
+    if spec.prefill == 0 {
+        return;
+    }
+    let target = spec.prefill;
+    let fillers = 2usize.min(spec.threads.max(1));
+    let inserted = Arc::new(AtomicU64::new(0));
+    let max_threads = ds.smr().config().max_threads;
+    let mut handles = Vec::new();
+    for f in 0..fillers {
+        let ds = Arc::clone(ds);
+        let inserted = Arc::clone(&inserted);
+        let spec = spec.clone();
+        let tid = max_threads - 1 - f;
+        handles.push(std::thread::spawn(move || {
+            let mut ctx = ds.smr().register(tid);
+            let mut gen = OpGenerator::new(&spec, 1000 + f);
+            while inserted.load(Ordering::Relaxed) < target {
+                let key = gen.next_key();
+                if ds.insert(&mut ctx, key) {
+                    inserted.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            ds.smr().flush(&mut ctx);
+            ds.smr().unregister(&mut ctx);
+        }));
+    }
+    for h in handles {
+        h.join().expect("prefill thread panicked");
+    }
+}
+
+/// One worker thread: run operations until the stop condition fires.
+fn worker<S, DS>(
+    ds: &DS,
+    shared: &SharedState,
+    spec: &WorkloadSpec,
+    tid: usize,
+) -> (u64, ThreadStats)
+where
+    S: Smr,
+    DS: Buildable<S>,
+{
+    let mut ctx = ds.smr().register(tid);
+    let mut gen = OpGenerator::new(spec, tid);
+    shared.start.wait();
+    let mut ops = 0u64;
+    loop {
+        // Check the stop condition every batch to keep overhead low.
+        const BATCH: u64 = 64;
+        for _ in 0..BATCH {
+            match gen.next_op() {
+                Op::Insert(k) => {
+                    ds.insert(&mut ctx, k);
+                }
+                Op::Remove(k) => {
+                    ds.remove(&mut ctx, k);
+                }
+                Op::Contains(k) => {
+                    ds.contains(&mut ctx, k);
+                }
+            }
+        }
+        ops += BATCH;
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        if shared.ops_budget != u64::MAX {
+            let done = shared.ops_done.fetch_add(BATCH, Ordering::AcqRel) + BATCH;
+            if done >= shared.ops_budget {
+                shared.stop.store(true, Ordering::SeqCst);
+                break;
+            }
+        }
+    }
+    let stats = ds.smr().thread_stats(&ctx);
+    ds.smr().unregister(&mut ctx);
+    (ops, stats)
+}
+
+/// The E2 stalled thread: begins an operation (pinning the epoch for
+/// EBR-family reclaimers) and sleeps for the whole trial. It keeps executing
+/// neutralization checkpoints while asleep, which models what a real POSIX
+/// signal does to a sleeping thread (interrupts the sleep and longjmps out of
+/// the read phase) — see DESIGN.md, substitution S1.
+fn stalled_worker<S, DS>(ds: &DS, shared: &SharedState, tid: usize) -> (u64, ThreadStats)
+where
+    S: Smr,
+    DS: Buildable<S>,
+{
+    let smr = ds.smr();
+    let mut ctx = smr.register(tid);
+    shared.start.wait();
+    smr.begin_op(&mut ctx);
+    smr.begin_read_phase(&mut ctx);
+    while !shared.stop.load(Ordering::Acquire) {
+        // The cooperative analogue of the signal arriving during sleep(): the
+        // stalled thread holds no pointers, so acknowledging is always safe and
+        // happens promptly (a real POSIX signal would interrupt the sleep and
+        // run the handler immediately).
+        let _ = smr.checkpoint(&mut ctx);
+        std::thread::yield_now();
+    }
+    smr.end_read_phase(&mut ctx, &[]);
+    smr.end_op(&mut ctx);
+    let stats = smr.thread_stats(&ctx);
+    smr.unregister(&mut ctx);
+    (0, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadMix;
+    use conc_ds::{DgtTree, LazyList};
+    use nbr::NbrPlus;
+    use smr_baselines::Debra;
+
+    fn small_config() -> SmrConfig {
+        SmrConfig::default().with_max_threads(16).with_watermarks(256, 64)
+    }
+
+    #[test]
+    fn ops_budget_trial_completes() {
+        let spec = WorkloadSpec::new(
+            WorkloadMix::UPDATE_HEAVY,
+            256,
+            2,
+            StopCondition::TotalOps(20_000),
+        )
+        .with_prefill(128);
+        let r = run_trial::<NbrPlus, LazyList<NbrPlus>>(&spec, small_config());
+        assert!(r.total_ops >= 20_000);
+        assert!(r.mops > 0.0);
+        assert_eq!(r.threads, 2);
+        assert_eq!(r.ds, "lazy-list");
+        assert_eq!(r.smr, "NBR+");
+    }
+
+    #[test]
+    fn duration_trial_completes() {
+        let spec = WorkloadSpec::new(
+            WorkloadMix::BALANCED,
+            4096,
+            2,
+            StopCondition::Duration(Duration::from_millis(50)),
+        );
+        let r = run_trial::<Debra, DgtTree<Debra>>(&spec, small_config());
+        assert!(r.total_ops > 0);
+        assert!(r.duration >= Duration::from_millis(45));
+        assert_eq!(r.mix, "25i-25d");
+    }
+
+    #[test]
+    fn stalled_thread_trial_reports_garbage_difference() {
+        // With a stalled thread, DEBRA must accumulate garbage; NBR+ must not
+        // (beyond its watermark bound). This is the core of experiment E2.
+        let mk_spec = || {
+            WorkloadSpec::new(
+                WorkloadMix::UPDATE_HEAVY,
+                4096,
+                2,
+                StopCondition::TotalOps(60_000),
+            )
+            .with_stalled_thread(true)
+        };
+        let debra = run_trial::<Debra, DgtTree<Debra>>(&mk_spec(), small_config());
+        let nbrp = run_trial::<NbrPlus, DgtTree<NbrPlus>>(&mk_spec(), small_config());
+        assert!(debra.stalled_thread && nbrp.stalled_thread);
+        let cfg = small_config();
+        let bound = (cfg.hi_watermark + cfg.max_reservations * cfg.max_threads) as u64
+            * (nbrp.threads as u64 + 1);
+        assert!(
+            nbrp.outstanding_garbage() <= bound,
+            "NBR+ garbage {} must stay within the bound {}",
+            nbrp.outstanding_garbage(),
+            bound
+        );
+        assert!(
+            debra.outstanding_garbage() > nbrp.outstanding_garbage(),
+            "DEBRA ({}) must hold more garbage than NBR+ ({}) when a thread stalls",
+            debra.outstanding_garbage(),
+            nbrp.outstanding_garbage()
+        );
+    }
+
+    #[test]
+    fn hm_norestart_wrapper_builds_original_variant() {
+        let spec = WorkloadSpec::new(
+            WorkloadMix::UPDATE_HEAVY,
+            128,
+            2,
+            StopCondition::TotalOps(10_000),
+        )
+        .with_prefill(64);
+        let r = run_trial::<Debra, HmListNoRestart<Debra>>(&spec, small_config());
+        assert_eq!(r.ds, "hm-list-norestart");
+        assert!(r.total_ops >= 10_000);
+    }
+}

@@ -1,0 +1,213 @@
+//! Runtime dispatch over the statically-typed (reclaimer × data structure)
+//! matrix.
+//!
+//! Data structures are generic over `S: Smr` and monomorphized per reclaimer;
+//! the experiment runners, however, want to iterate "for every reclaimer the
+//! paper compares". [`SmrKind`] names each reclaimer and
+//! [`run_with`] dispatches one trial to the right monomorphization of
+//! [`run_trial`](crate::driver::run_trial) for a given [`DsFamily`].
+
+use crate::driver::{run_trial, Buildable, HmListNoRestart, TrialResult};
+use crate::workload::WorkloadSpec;
+use conc_ds::{AbTree, DgtTree, HarrisList, HmList, LazyList};
+use nbr::{Nbr, NbrPlus};
+use smr_baselines::{Debra, HazardEras, HazardPointers, Ibr, Leaky, Qsbr, Rcu};
+use smr_common::{Smr, SmrConfig};
+
+/// The reclamation algorithms of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SmrKind {
+    /// NBR+ (Algorithm 2) — the paper's primary contribution.
+    NbrPlus,
+    /// NBR (Algorithm 1).
+    Nbr,
+    /// DEBRA-style epoch-based reclamation.
+    Debra,
+    /// Quiescent-state-based reclamation.
+    Qsbr,
+    /// RCU-style epoch reclamation.
+    Rcu,
+    /// Hazard pointers.
+    Hp,
+    /// Interval-based reclamation (2GEIBR).
+    Ibr,
+    /// Hazard eras.
+    He,
+    /// No reclamation (leaky upper bound).
+    Leaky,
+}
+
+impl SmrKind {
+    /// The label used in benchmark output (matches the paper's legends).
+    pub fn label(self) -> &'static str {
+        match self {
+            SmrKind::NbrPlus => "NBR+",
+            SmrKind::Nbr => "NBR",
+            SmrKind::Debra => "DEBRA",
+            SmrKind::Qsbr => "QSBR",
+            SmrKind::Rcu => "RCU",
+            SmrKind::Hp => "HP",
+            SmrKind::Ibr => "IBR",
+            SmrKind::He => "HE",
+            SmrKind::Leaky => "none",
+        }
+    }
+
+    /// The full set compared in experiment E1 (Figure 3).
+    pub fn e1_set() -> &'static [SmrKind] {
+        &[
+            SmrKind::NbrPlus,
+            SmrKind::Debra,
+            SmrKind::Qsbr,
+            SmrKind::Rcu,
+            SmrKind::Ibr,
+            SmrKind::Hp,
+            SmrKind::Leaky,
+        ]
+    }
+
+    /// Every implemented reclaimer (E1 set plus NBR and HE).
+    pub fn all() -> &'static [SmrKind] {
+        &[
+            SmrKind::NbrPlus,
+            SmrKind::Nbr,
+            SmrKind::Debra,
+            SmrKind::Qsbr,
+            SmrKind::Rcu,
+            SmrKind::Ibr,
+            SmrKind::He,
+            SmrKind::Hp,
+            SmrKind::Leaky,
+        ]
+    }
+
+    /// Parses a label (as printed by [`SmrKind::label`]).
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::all()
+            .iter()
+            .copied()
+            .find(|k| k.label().eq_ignore_ascii_case(s))
+    }
+}
+
+/// A family of data structures: one generic definition instantiable with any
+/// reclaimer.
+pub trait DsFamily {
+    /// The concrete structure for reclaimer `S`.
+    type Ds<S: Smr>: Buildable<S> + Send + Sync;
+    /// Family label used in reports.
+    fn label() -> &'static str;
+}
+
+/// The lazy list (LL05).
+pub struct LazyListFamily;
+impl DsFamily for LazyListFamily {
+    type Ds<S: Smr> = LazyList<S>;
+    fn label() -> &'static str {
+        "lazy-list"
+    }
+}
+
+/// The Harris lock-free list (HL01).
+pub struct HarrisListFamily;
+impl DsFamily for HarrisListFamily {
+    type Ds<S: Smr> = HarrisList<S>;
+    fn label() -> &'static str {
+        "harris-list"
+    }
+}
+
+/// The Harris-Michael list modified to restart from the root (E4).
+pub struct HmListRestartFamily;
+impl DsFamily for HmListRestartFamily {
+    type Ds<S: Smr> = HmList<S>;
+    fn label() -> &'static str {
+        "hm-list-restart"
+    }
+}
+
+/// The original Harris-Michael list (E4's "norestarts" baseline).
+pub struct HmListNoRestartFamily;
+impl DsFamily for HmListNoRestartFamily {
+    type Ds<S: Smr> = HmListNoRestart<S>;
+    fn label() -> &'static str {
+        "hm-list-norestart"
+    }
+}
+
+/// The DGT external BST (E1 trees, E2).
+pub struct DgtTreeFamily;
+impl DsFamily for DgtTreeFamily {
+    type Ds<S: Smr> = DgtTree<S>;
+    fn label() -> &'static str {
+        "dgt-tree"
+    }
+}
+
+/// The (a,b)-tree (E3; substitution S3 for Brown's ABTree).
+pub struct AbTreeFamily;
+impl DsFamily for AbTreeFamily {
+    type Ds<S: Smr> = AbTree<S>;
+    fn label() -> &'static str {
+        "ab-tree"
+    }
+}
+
+/// Runs one trial of `spec` for data-structure family `F` under the reclaimer
+/// named by `kind`.
+pub fn run_with<F: DsFamily>(
+    kind: SmrKind,
+    spec: &WorkloadSpec,
+    config: SmrConfig,
+) -> TrialResult {
+    match kind {
+        SmrKind::NbrPlus => run_trial::<NbrPlus, F::Ds<NbrPlus>>(spec, config),
+        SmrKind::Nbr => run_trial::<Nbr, F::Ds<Nbr>>(spec, config),
+        SmrKind::Debra => run_trial::<Debra, F::Ds<Debra>>(spec, config),
+        SmrKind::Qsbr => run_trial::<Qsbr, F::Ds<Qsbr>>(spec, config),
+        SmrKind::Rcu => run_trial::<Rcu, F::Ds<Rcu>>(spec, config),
+        SmrKind::Hp => run_trial::<HazardPointers, F::Ds<HazardPointers>>(spec, config),
+        SmrKind::Ibr => run_trial::<Ibr, F::Ds<Ibr>>(spec, config),
+        SmrKind::He => run_trial::<HazardEras, F::Ds<HazardEras>>(spec, config),
+        SmrKind::Leaky => run_trial::<Leaky, F::Ds<Leaky>>(spec, config),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{StopCondition, WorkloadMix};
+
+    #[test]
+    fn labels_parse_back() {
+        for &k in SmrKind::all() {
+            assert_eq!(SmrKind::parse(k.label()), Some(k));
+        }
+        assert_eq!(SmrKind::parse("nbr+"), Some(SmrKind::NbrPlus));
+        assert_eq!(SmrKind::parse("unknown"), None);
+    }
+
+    #[test]
+    fn e1_set_is_subset_of_all() {
+        for k in SmrKind::e1_set() {
+            assert!(SmrKind::all().contains(k));
+        }
+    }
+
+    #[test]
+    fn dispatch_runs_every_reclaimer_on_the_lazy_list() {
+        let spec = WorkloadSpec::new(
+            WorkloadMix::UPDATE_HEAVY,
+            128,
+            2,
+            StopCondition::TotalOps(4_000),
+        )
+        .with_prefill(64);
+        let config = SmrConfig::default().with_max_threads(8).with_watermarks(128, 32);
+        for &kind in SmrKind::all() {
+            let r = run_with::<LazyListFamily>(kind, &spec, config.clone());
+            assert_eq!(r.smr, kind.label(), "label mismatch for {kind:?}");
+            assert!(r.total_ops >= 4_000);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # smr-harness — setbench-style microbenchmark harness
+//!
+//! The evaluation substrate for the NBR reproduction: workload generation,
+//! trial driving, peak-memory tracking and one experiment runner per figure of
+//! the paper (Section 7 and the appendix).
+//!
+//! * [`workload`] — operation mixes (50i-50d, 25i-25d, 5i-5d), key ranges,
+//!   prefill and stop conditions.
+//! * [`driver`] — [`run_trial`](driver::run_trial): prefill, spawn workers,
+//!   measure throughput, collect the reclaimer's counters, optionally inject a
+//!   stalled thread (experiment E2).
+//! * [`alloc_track`] — a counting global allocator so peak live heap bytes can
+//!   stand in for the paper's "max resident memory".
+//! * [`families`] — runtime dispatch over the (reclaimer × data structure)
+//!   matrix.
+//! * [`experiments`] — `e1_*`, `e2_*`, `e3_*`, `e4_*`, `fig5`–`fig8` and the
+//!   signal-count ablation, each returning the rows the corresponding figure
+//!   plots.
+//! * [`report`] — tables, CSV and per-reclaimer throughput series.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod alloc_track;
+pub mod driver;
+pub mod experiments;
+pub mod families;
+pub mod report;
+pub mod workload;
+
+pub use driver::{run_trial, Buildable, HmListNoRestart, TrialResult};
+pub use experiments::ExperimentScale;
+pub use families::{run_with, DsFamily, SmrKind};
+pub use workload::{Op, OpGenerator, StopCondition, WorkloadMix, WorkloadSpec};

@@ -1,0 +1,164 @@
+//! Result formatting: the tables/series the paper's figures plot.
+//!
+//! Each experiment runner returns a flat list of [`TrialResult`]s; this module
+//! renders them either as a human-readable table (one row per trial, the
+//! columns the relevant figure plots) or as CSV for external plotting, and can
+//! pivot results into the "one series per reclaimer, one column per thread
+//! count" layout that mirrors the paper's figures.
+
+use crate::driver::TrialResult;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders trials as a markdown-style table.
+pub fn to_table(title: &str, results: &[TrialResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "### {title}");
+    let _ = writeln!(
+        out,
+        "| structure | reclaimer | mix | key range | threads | stalled | Mops/s | retired | freed | unreclaimed | signals | neutralized | peak MiB |"
+    );
+    let _ = writeln!(
+        out,
+        "|---|---|---|---|---|---|---|---|---|---|---|---|---|"
+    );
+    for r in results {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {:.3} | {} | {} | {} | {} | {} | {:.2} |",
+            r.ds,
+            r.smr,
+            r.mix,
+            r.key_range,
+            r.threads,
+            if r.stalled_thread { "yes" } else { "no" },
+            r.mops,
+            r.smr_totals.retires,
+            r.smr_totals.frees,
+            r.outstanding_garbage(),
+            r.smr_totals.signals_sent,
+            r.smr_totals.neutralizations,
+            r.peak_mem_bytes as f64 / (1024.0 * 1024.0),
+        );
+    }
+    out
+}
+
+/// Renders trials as CSV (header + one row per trial).
+pub fn to_csv(results: &[TrialResult]) -> String {
+    let mut out = String::from(
+        "structure,reclaimer,mix,key_range,threads,stalled,mops,total_ops,duration_ms,retired,freed,unreclaimed,signals,neutralizations,peak_mem_bytes\n",
+    );
+    for r in results {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{:.4},{},{:.1},{},{},{},{},{},{}",
+            r.ds,
+            r.smr,
+            r.mix,
+            r.key_range,
+            r.threads,
+            r.stalled_thread,
+            r.mops,
+            r.total_ops,
+            r.duration.as_secs_f64() * 1e3,
+            r.smr_totals.retires,
+            r.smr_totals.frees,
+            r.outstanding_garbage(),
+            r.smr_totals.signals_sent,
+            r.smr_totals.neutralizations,
+            r.peak_mem_bytes,
+        );
+    }
+    out
+}
+
+/// Pivots results into the layout of the paper's throughput figures: one row
+/// per reclaimer, one column per thread count, values in Mops/s.
+pub fn to_throughput_series(title: &str, results: &[TrialResult]) -> String {
+    let mut threads: Vec<usize> = results.iter().map(|r| r.threads).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    let mut series: BTreeMap<&'static str, BTreeMap<usize, f64>> = BTreeMap::new();
+    for r in results {
+        series.entry(r.smr).or_default().insert(r.threads, r.mops);
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "### {title} (Mops/s by thread count)");
+    let mut header = String::from("| reclaimer |");
+    for t in &threads {
+        let _ = write!(header, " {t} |");
+    }
+    let _ = writeln!(out, "{header}");
+    let _ = writeln!(out, "|{}|", "---|".repeat(threads.len() + 1));
+    for (smr, by_threads) in &series {
+        let mut row = format!("| {smr} |");
+        for t in &threads {
+            match by_threads.get(t) {
+                Some(v) => {
+                    let _ = write!(row, " {v:.3} |");
+                }
+                None => {
+                    let _ = write!(row, " - |");
+                }
+            }
+        }
+        let _ = writeln!(out, "{row}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smr_common::ThreadStats;
+    use std::time::Duration;
+
+    fn fake(smr: &'static str, threads: usize, mops: f64) -> TrialResult {
+        TrialResult {
+            ds: "lazy-list",
+            smr,
+            mix: "50i-50d".to_string(),
+            key_range: 1000,
+            threads,
+            total_ops: 1000,
+            duration: Duration::from_millis(100),
+            mops,
+            smr_totals: ThreadStats::default(),
+            peak_mem_bytes: 1024 * 1024,
+            stalled_thread: false,
+        }
+    }
+
+    #[test]
+    fn table_contains_every_row() {
+        let rows = vec![fake("NBR+", 2, 1.5), fake("DEBRA", 2, 1.2)];
+        let t = to_table("Fig 3b", &rows);
+        assert!(t.contains("Fig 3b"));
+        assert!(t.contains("NBR+"));
+        assert!(t.contains("DEBRA"));
+        assert_eq!(t.lines().count(), 3 + rows.len());
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let rows = vec![fake("HP", 4, 0.7)];
+        let c = to_csv(&rows);
+        assert!(c.starts_with("structure,"));
+        assert_eq!(c.lines().count(), 2);
+        assert!(c.contains("HP"));
+    }
+
+    #[test]
+    fn series_pivot_orders_thread_counts() {
+        let rows = vec![
+            fake("NBR+", 4, 2.0),
+            fake("NBR+", 1, 0.9),
+            fake("DEBRA", 1, 0.8),
+            fake("DEBRA", 4, 1.5),
+        ];
+        let s = to_throughput_series("Fig 3a", &rows);
+        assert!(s.contains("| reclaimer | 1 | 4 |"));
+        assert!(s.contains("| NBR+ | 0.900 | 2.000 |"));
+    }
+}

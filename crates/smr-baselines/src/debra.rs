@@ -1,0 +1,327 @@
+//! DEBRA-style epoch-based reclamation (Brown, PODC 2015).
+//!
+//! DEBRA is, per the paper, "to the best of our knowledge the fastest EBR
+//! algorithm" and the primary competitor NBR+ is measured against. The scheme:
+//!
+//! * A global epoch counter.
+//! * Each thread announces `(epoch, active)` when it begins an operation and
+//!   clears the active bit when it ends one.
+//! * Records retired while the thread's local epoch is `e` go into the bag for
+//!   epoch `e`; once the global epoch has advanced to `e + 2` every operation
+//!   that could have seen those records has finished, so the bag is freed.
+//! * The global epoch advances only when every *active* thread has announced
+//!   the current epoch — so a single stalled or delayed thread stops all
+//!   reclamation (the *delayed thread vulnerability* discussed in Section 7 and
+//!   demonstrated in experiment E2).
+//!
+//! Epoch-advance attempts are amortized over `epoch_freq` operations, mirroring
+//! DEBRA's amortized incremental scanning.
+
+use crate::util::{EraClock, OrphanPool};
+use smr_common::{
+    CachePadded, LimboBag, Registry, Retired, Shared, Smr, SmrConfig, SmrNode, ThreadStats,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const ACTIVE_BIT: u64 = 1;
+const QUIESCENT: u64 = u64::MAX;
+
+/// Number of epoch bags per thread (records retired in epoch `e` are freed
+/// once the thread observes epoch `e + 2`).
+const BAGS: usize = 3;
+
+struct EpochSlot {
+    /// `epoch << 1 | active`, or `QUIESCENT` when the thread is between
+    /// operations.
+    announced: AtomicU64,
+}
+
+/// Per-thread context for [`Debra`].
+pub struct DebraCtx {
+    tid: usize,
+    bags: [LimboBag; BAGS],
+    bag_epochs: [u64; BAGS],
+    local_epoch: u64,
+    ops_since_advance: usize,
+    stats: ThreadStats,
+}
+
+/// The DEBRA epoch-based reclaimer.
+pub struct Debra {
+    config: SmrConfig,
+    registry: Registry,
+    epoch: EraClock,
+    slots: Vec<CachePadded<EpochSlot>>,
+    orphans: OrphanPool,
+}
+
+impl Debra {
+    fn announce(&self, tid: usize, epoch: u64, active: bool) {
+        let value = if active {
+            (epoch << 1) | ACTIVE_BIT
+        } else {
+            QUIESCENT
+        };
+        self.slots[tid].announced.store(value, Ordering::SeqCst);
+    }
+
+    /// Attempts to advance the global epoch: every active (non-quiescent)
+    /// thread must have announced the current epoch.
+    fn try_advance(&self, ctx: &mut DebraCtx) {
+        let current = self.epoch.now();
+        for tid in self.registry.active_tids() {
+            let a = self.slots[tid].announced.load(Ordering::SeqCst);
+            if a == QUIESCENT {
+                continue;
+            }
+            let announced_epoch = a >> 1;
+            if announced_epoch < current {
+                return; // someone is still executing in an older epoch
+            }
+        }
+        if self.epoch.advance_from(current) {
+            ctx.stats.epoch_advances += 1;
+        }
+    }
+
+    /// Called whenever the thread observes a (possibly) new global epoch:
+    /// frees every bag whose epoch is at least two behind and retargets the
+    /// current bag.
+    fn sync_local_epoch(&self, ctx: &mut DebraCtx, observed: u64) {
+        if observed == ctx.local_epoch {
+            return;
+        }
+        ctx.local_epoch = observed;
+        for i in 0..BAGS {
+            if !ctx.bags[i].is_empty() && ctx.bag_epochs[i] + 2 <= observed {
+                // SAFETY: the global epoch advanced at least twice since every
+                // record in this bag was retired; every operation that could
+                // have held a reference has completed (classic EBR argument).
+                unsafe { ctx.bags[i].reclaim_all(&mut ctx.stats) };
+            }
+        }
+        // Point the "current" bag at the slot for the new epoch; it is either
+        // empty or was just reclaimed above.
+        let idx = (observed as usize) % BAGS;
+        if ctx.bags[idx].is_empty() {
+            ctx.bag_epochs[idx] = observed;
+        }
+    }
+
+    fn current_bag_index(ctx: &DebraCtx) -> usize {
+        (ctx.local_epoch as usize) % BAGS
+    }
+}
+
+impl Smr for Debra {
+    type ThreadCtx = DebraCtx;
+
+    const NAME: &'static str = "DEBRA";
+
+    fn new(config: SmrConfig) -> Self {
+        config.validate();
+        let slots = (0..config.max_threads)
+            .map(|_| {
+                CachePadded::new(EpochSlot {
+                    announced: AtomicU64::new(QUIESCENT),
+                })
+            })
+            .collect();
+        Self {
+            registry: Registry::new(config.max_threads),
+            epoch: EraClock::new(),
+            slots,
+            orphans: OrphanPool::new(),
+            config,
+        }
+    }
+
+    fn config(&self) -> &SmrConfig {
+        &self.config
+    }
+
+    fn register(&self, tid: usize) -> DebraCtx {
+        assert!(self.registry.register_tid(tid), "slot {tid} already taken");
+        self.slots[tid].announced.store(QUIESCENT, Ordering::SeqCst);
+        let now = self.epoch.now();
+        DebraCtx {
+            tid,
+            bags: [LimboBag::new(), LimboBag::new(), LimboBag::new()],
+            bag_epochs: [now; BAGS],
+            local_epoch: now,
+            ops_since_advance: 0,
+            stats: ThreadStats::default(),
+        }
+    }
+
+    fn unregister(&self, ctx: &mut DebraCtx) {
+        self.announce(ctx.tid, 0, false);
+        let mut leftovers = Vec::new();
+        for bag in ctx.bags.iter_mut() {
+            leftovers.extend(bag.drain());
+        }
+        self.orphans.adopt(leftovers);
+        self.registry.deregister(ctx.tid);
+    }
+
+    #[inline]
+    fn begin_op(&self, ctx: &mut DebraCtx) {
+        let e = self.epoch.now();
+        self.announce(ctx.tid, e, true);
+        self.sync_local_epoch(ctx, e);
+        ctx.ops_since_advance += 1;
+        if ctx.ops_since_advance >= self.config.epoch_freq {
+            ctx.ops_since_advance = 0;
+            self.try_advance(ctx);
+        }
+    }
+
+    #[inline]
+    fn end_op(&self, ctx: &mut DebraCtx) {
+        self.announce(ctx.tid, 0, false);
+    }
+
+    unsafe fn retire<T: SmrNode>(&self, ctx: &mut DebraCtx, ptr: Shared<T>) {
+        debug_assert!(!ptr.is_null());
+        let idx = Self::current_bag_index(ctx);
+        ctx.bags[idx].push(Retired::new(ptr.as_raw(), ctx.local_epoch));
+        ctx.stats.retires += 1;
+        let total: usize = ctx.bags.iter().map(|b| b.len()).sum();
+        ctx.stats.observe_limbo(total);
+    }
+
+    fn flush(&self, ctx: &mut DebraCtx) {
+        // Drive the epoch forward (as far as other threads allow) and free
+        // whatever becomes safe.
+        for _ in 0..3 {
+            self.try_advance(ctx);
+            let e = self.epoch.now();
+            self.sync_local_epoch(ctx, e);
+        }
+    }
+
+    fn thread_stats(&self, ctx: &DebraCtx) -> ThreadStats {
+        ctx.stats
+    }
+
+    fn thread_stats_mut<'a>(&self, ctx: &'a mut DebraCtx) -> &'a mut ThreadStats {
+        &mut ctx.stats
+    }
+
+    fn limbo_len(&self, ctx: &DebraCtx) -> usize {
+        ctx.bags.iter().map(|b| b.len()).sum()
+    }
+}
+
+impl Drop for Debra {
+    fn drop(&mut self) {
+        // SAFETY: all threads have deregistered by contract.
+        unsafe { self.orphans.drain_and_free() };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smr_common::NodeHeader;
+
+    struct Node {
+        header: NodeHeader,
+        #[allow(dead_code)]
+        key: u64,
+    }
+    smr_common::impl_smr_node!(Node);
+
+    fn retire_one(smr: &Debra, ctx: &mut DebraCtx, key: u64) {
+        let p = smr.alloc(
+            ctx,
+            Node {
+                header: NodeHeader::new(),
+                key,
+            },
+        );
+        unsafe { smr.retire(ctx, p) };
+    }
+
+    #[test]
+    fn single_thread_reclaims_after_epoch_advances() {
+        let smr = Debra::new(SmrConfig::for_tests());
+        let mut ctx = smr.register(0);
+        for i in 0..100 {
+            smr.begin_op(&mut ctx);
+            retire_one(&smr, &mut ctx, i);
+            smr.end_op(&mut ctx);
+        }
+        smr.flush(&mut ctx);
+        let s = smr.thread_stats(&ctx);
+        assert!(s.frees > 0, "epochs must advance and free old bags");
+        assert!(s.epoch_advances > 0);
+        smr.unregister(&mut ctx);
+    }
+
+    #[test]
+    fn stalled_thread_blocks_reclamation() {
+        // The delayed-thread vulnerability: a thread stuck inside an operation
+        // pins the epoch and no bag can ever be freed (contrast with NBR's
+        // bounded garbage — experiment E2).
+        let smr = Debra::new(SmrConfig::for_tests());
+        let mut worker = smr.register(0);
+        let mut stalled = smr.register(1);
+        smr.begin_op(&mut stalled); // never ends its operation
+
+        for i in 0..200 {
+            smr.begin_op(&mut worker);
+            retire_one(&smr, &mut worker, i);
+            smr.end_op(&mut worker);
+        }
+        smr.flush(&mut worker);
+        assert_eq!(
+            smr.thread_stats(&worker).frees,
+            0,
+            "a stalled thread must pin every epoch bag"
+        );
+        assert_eq!(smr.limbo_len(&worker), 200);
+
+        // Once the stalled thread finishes, reclamation resumes.
+        smr.end_op(&mut stalled);
+        for i in 0..50 {
+            smr.begin_op(&mut worker);
+            retire_one(&smr, &mut worker, i);
+            smr.end_op(&mut worker);
+        }
+        smr.flush(&mut worker);
+        assert!(smr.thread_stats(&worker).frees > 0);
+
+        smr.unregister(&mut stalled);
+        smr.unregister(&mut worker);
+    }
+
+    #[test]
+    fn quiescent_threads_do_not_block_advance() {
+        let smr = Debra::new(SmrConfig::for_tests());
+        let mut worker = smr.register(0);
+        let _idle = smr.register(1); // registered but never begins an op
+        for i in 0..100 {
+            smr.begin_op(&mut worker);
+            retire_one(&smr, &mut worker, i);
+            smr.end_op(&mut worker);
+        }
+        smr.flush(&mut worker);
+        assert!(smr.thread_stats(&worker).frees > 0);
+        smr.unregister(&mut worker);
+    }
+
+    #[test]
+    fn records_survive_until_two_epochs_pass() {
+        let smr = Debra::new(SmrConfig::for_tests().with_epoch_freqs(1, 1));
+        let mut ctx = smr.register(0);
+        smr.begin_op(&mut ctx);
+        retire_one(&smr, &mut ctx, 1);
+        smr.end_op(&mut ctx);
+        // Immediately after retiring, nothing can have been freed.
+        assert_eq!(smr.thread_stats(&ctx).frees, 0);
+        smr.flush(&mut ctx);
+        assert_eq!(smr.thread_stats(&ctx).frees, 1);
+        smr.unregister(&mut ctx);
+    }
+}

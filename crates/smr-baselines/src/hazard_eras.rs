@@ -1,0 +1,332 @@
+//! Hazard eras (Ramalhete & Correia, SPAA 2017).
+//!
+//! A hybrid of hazard pointers and epochs: instead of announcing the *address*
+//! of every record it is about to dereference, a thread announces the global
+//! *era* it is reading in, one per hazard-index. A retired record is safe once
+//! no announced era falls inside its `[birth, retire]` lifetime. This keeps
+//! HP's bounded garbage while replacing the per-record validation re-read with
+//! an era re-read (still a per-access store + fence, which is why the paper
+//! groups HE with the "instrumentation similar to HPs" family).
+
+use crate::util::{EraClock, OrphanPool};
+use smr_common::{
+    Atomic, CachePadded, LimboBag, Registry, Retired, Shared, Smr, SmrConfig, SmrNode,
+    ThreadStats,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Slot value meaning "no era announced".
+const NONE: u64 = 0;
+
+struct EraSlots {
+    slots: Box<[AtomicU64]>,
+}
+
+/// Per-thread context for [`HazardEras`].
+pub struct HeCtx {
+    tid: usize,
+    limbo: LimboBag,
+    allocs_since_advance: usize,
+    retires_since_scan: usize,
+    stats: ThreadStats,
+}
+
+/// The hazard-eras reclaimer.
+pub struct HazardEras {
+    config: SmrConfig,
+    registry: Registry,
+    era: EraClock,
+    slots: Vec<CachePadded<EraSlots>>,
+    orphans: OrphanPool,
+}
+
+impl HazardEras {
+    fn scan_and_reclaim(&self, ctx: &mut HeCtx) {
+        ctx.stats.reclaim_scans += 1;
+        let mut eras = Vec::with_capacity(
+            self.config.hazards_per_thread * self.registry.registered().max(1),
+        );
+        for tid in self.registry.active_tids() {
+            for s in self.slots[tid].slots.iter() {
+                let e = s.load(Ordering::SeqCst);
+                if e != NONE {
+                    eras.push(e);
+                }
+            }
+        }
+        let before = ctx.limbo.len();
+        // SAFETY: a thread can only dereference a record while announcing an
+        // era within the record's lifetime; if no announced era intersects
+        // [birth, retire], no thread can still dereference it (Hazard Eras
+        // safety argument).
+        let freed = unsafe {
+            ctx.limbo.reclaim_if(
+                |r| !eras.iter().any(|&e| r.birth_era() <= e && e <= r.retire_era()),
+                &mut ctx.stats,
+            )
+        };
+        if freed == 0 && before > 0 {
+            ctx.stats.reclaim_skips += 1;
+        }
+    }
+
+    fn clear_slots(&self, tid: usize) {
+        for s in self.slots[tid].slots.iter() {
+            if s.load(Ordering::Relaxed) != NONE {
+                s.store(NONE, Ordering::Release);
+            }
+        }
+    }
+}
+
+impl Smr for HazardEras {
+    type ThreadCtx = HeCtx;
+
+    const NAME: &'static str = "HE";
+    const USES_PROTECTION: bool = true;
+    // Same applicability restriction as hazard pointers (the HE paper inherits
+    // HP's usage contract): records reached through unlinked records may
+    // already have been reclaimed before the era was announced.
+    const CAN_TRAVERSE_UNLINKED: bool = false;
+
+    fn new(config: SmrConfig) -> Self {
+        config.validate();
+        let slots = (0..config.max_threads)
+            .map(|_| {
+                CachePadded::new(EraSlots {
+                    slots: (0..config.hazards_per_thread)
+                        .map(|_| AtomicU64::new(NONE))
+                        .collect(),
+                })
+            })
+            .collect();
+        Self {
+            registry: Registry::new(config.max_threads),
+            era: EraClock::new(),
+            slots,
+            orphans: OrphanPool::new(),
+            config,
+        }
+    }
+
+    fn config(&self) -> &SmrConfig {
+        &self.config
+    }
+
+    fn register(&self, tid: usize) -> HeCtx {
+        assert!(self.registry.register_tid(tid), "slot {tid} already taken");
+        self.clear_slots(tid);
+        HeCtx {
+            tid,
+            limbo: LimboBag::new(),
+            allocs_since_advance: 0,
+            retires_since_scan: 0,
+            stats: ThreadStats::default(),
+        }
+    }
+
+    fn unregister(&self, ctx: &mut HeCtx) {
+        self.clear_slots(ctx.tid);
+        self.scan_and_reclaim(ctx);
+        self.orphans.adopt(ctx.limbo.drain());
+        self.registry.deregister(ctx.tid);
+    }
+
+    #[inline]
+    fn global_era(&self) -> u64 {
+        self.era.now()
+    }
+
+    /// Announce the current era in `slot`, re-reading until the era is stable,
+    /// then load the pointer (the HE `get_protected` protocol).
+    #[inline]
+    fn protect<T: SmrNode>(&self, ctx: &mut HeCtx, slot: usize, src: &Atomic<T>) -> Shared<T> {
+        let slots = &self.slots[ctx.tid].slots;
+        debug_assert!(slot < slots.len(), "era slot index out of range");
+        let mut announced = slots[slot].load(Ordering::Relaxed);
+        loop {
+            let p = src.load(Ordering::Acquire);
+            let era = self.era.now();
+            if era == announced {
+                return p;
+            }
+            slots[slot].store(era, Ordering::SeqCst);
+            announced = era;
+            ctx.stats.protect_failures += 1;
+        }
+    }
+
+    #[inline]
+    fn protect_copy<T: SmrNode>(
+        &self,
+        ctx: &mut HeCtx,
+        dst_slot: usize,
+        src_slot: usize,
+        _ptr: Shared<T>,
+    ) {
+        // The era announced in `src_slot` covers the record's lifetime; copying
+        // that era (not the current one, which may postdate the record's
+        // retirement) keeps it protected under `dst_slot`.
+        let slots = &self.slots[ctx.tid].slots;
+        let era = slots[src_slot].load(Ordering::SeqCst);
+        slots[dst_slot].store(era, Ordering::SeqCst);
+    }
+
+    #[inline]
+    fn clear_protections(&self, ctx: &mut HeCtx) {
+        self.clear_slots(ctx.tid);
+    }
+
+    #[inline]
+    fn end_op(&self, ctx: &mut HeCtx) {
+        self.clear_slots(ctx.tid);
+    }
+
+    fn alloc<T: SmrNode>(&self, ctx: &mut HeCtx, mut value: T) -> Shared<T> {
+        value.header_mut().set_birth_era(self.era.now());
+        ctx.allocs_since_advance += 1;
+        if ctx.allocs_since_advance >= self.config.epoch_freq {
+            ctx.allocs_since_advance = 0;
+            self.era.advance();
+            ctx.stats.epoch_advances += 1;
+        }
+        ctx.stats.allocs += 1;
+        Shared::from_raw(Box::into_raw(Box::new(value)))
+    }
+
+    unsafe fn retire<T: SmrNode>(&self, ctx: &mut HeCtx, ptr: Shared<T>) {
+        debug_assert!(!ptr.is_null());
+        let era = self.era.now();
+        ctx.limbo.push(Retired::new(ptr.as_raw(), era));
+        ctx.stats.retires += 1;
+        ctx.stats.observe_limbo(ctx.limbo.len());
+        ctx.retires_since_scan += 1;
+        if ctx.retires_since_scan >= self.config.empty_freq
+            || ctx.limbo.len() >= self.config.hi_watermark
+        {
+            ctx.retires_since_scan = 0;
+            self.scan_and_reclaim(ctx);
+        }
+    }
+
+    fn flush(&self, ctx: &mut HeCtx) {
+        self.era.advance();
+        self.scan_and_reclaim(ctx);
+    }
+
+    fn thread_stats(&self, ctx: &HeCtx) -> ThreadStats {
+        ctx.stats
+    }
+
+    fn thread_stats_mut<'a>(&self, ctx: &'a mut HeCtx) -> &'a mut ThreadStats {
+        &mut ctx.stats
+    }
+
+    fn limbo_len(&self, ctx: &HeCtx) -> usize {
+        ctx.limbo.len()
+    }
+}
+
+impl Drop for HazardEras {
+    fn drop(&mut self) {
+        // SAFETY: all threads have deregistered by contract.
+        unsafe { self.orphans.drain_and_free() };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smr_common::NodeHeader;
+
+    struct Node {
+        header: NodeHeader,
+        key: u64,
+    }
+    smr_common::impl_smr_node!(Node);
+
+    #[test]
+    fn reclaims_when_no_era_overlaps() {
+        let smr = HazardEras::new(SmrConfig::for_tests());
+        let mut ctx = smr.register(0);
+        for i in 0..200 {
+            smr.begin_op(&mut ctx);
+            let p = smr.alloc(
+                &mut ctx,
+                Node {
+                    header: NodeHeader::new(),
+                    key: i,
+                },
+            );
+            unsafe { smr.retire(&mut ctx, p) };
+            smr.end_op(&mut ctx);
+        }
+        smr.flush(&mut ctx);
+        assert!(smr.thread_stats(&ctx).frees > 0);
+        smr.unregister(&mut ctx);
+    }
+
+    #[test]
+    fn announced_era_protects_contemporary_records() {
+        let smr = HazardEras::new(SmrConfig::for_tests().with_epoch_freqs(1, 4));
+        let mut owner = smr.register(0);
+        let mut reader = smr.register(1);
+
+        let shared = Atomic::<Node>::null();
+        let node = smr.alloc(
+            &mut owner,
+            Node {
+                header: NodeHeader::new(),
+                key: 9,
+            },
+        );
+        shared.store(node, Ordering::Release);
+
+        // Reader protects (announces the era covering the record's lifetime).
+        let p = smr.protect(&mut reader, 0, &shared);
+        assert_eq!(unsafe { p.deref().key }, 9);
+
+        // Owner unlinks + retires it and churns through many more records.
+        let old = shared.swap(Shared::null(), Ordering::AcqRel);
+        unsafe { smr.retire(&mut owner, old) };
+        for i in 0..100 {
+            let f = smr.alloc(
+                &mut owner,
+                Node {
+                    header: NodeHeader::new(),
+                    key: i,
+                },
+            );
+            unsafe { smr.retire(&mut owner, f) };
+        }
+        // The protected record must still be dereferenceable.
+        assert_eq!(unsafe { p.deref().key }, 9);
+        assert!(smr.limbo_len(&owner) >= 1);
+
+        smr.clear_protections(&mut reader);
+        smr.flush(&mut owner);
+        assert_eq!(smr.limbo_len(&owner), 0);
+
+        smr.unregister(&mut reader);
+        smr.unregister(&mut owner);
+    }
+
+    #[test]
+    fn era_advances_with_allocations() {
+        let smr = HazardEras::new(SmrConfig::for_tests().with_epoch_freqs(2, 64));
+        let mut ctx = smr.register(0);
+        let before = smr.global_era();
+        for i in 0..10 {
+            let p = smr.alloc(
+                &mut ctx,
+                Node {
+                    header: NodeHeader::new(),
+                    key: i,
+                },
+            );
+            unsafe { smr.retire(&mut ctx, p) };
+        }
+        assert!(smr.global_era() > before);
+        smr.unregister(&mut ctx);
+    }
+}

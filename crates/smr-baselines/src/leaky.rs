@@ -1,0 +1,158 @@
+//! The "none" reclaimer: retire is a no-op in the sense that nothing is ever
+//! freed while the benchmark runs.
+//!
+//! The paper's evaluation includes a *leaky* configuration as the upper bound
+//! on throughput — it pays no reclamation cost at all, at the price of
+//! unbounded memory. To keep the test-suite and examples leak-free, retired
+//! records are still tracked and destroyed when the reclaimer itself is
+//! dropped (i.e. after every participating thread has finished), which costs
+//! nothing on the hot path.
+
+use crate::util::OrphanPool;
+use smr_common::{LimboBag, Retired, Shared, Smr, SmrConfig, SmrNode, ThreadStats};
+
+/// Per-thread context for [`Leaky`].
+pub struct LeakyCtx {
+    tid: usize,
+    limbo: LimboBag,
+    stats: ThreadStats,
+}
+
+/// The leaky ("none") reclaimer.
+pub struct Leaky {
+    config: SmrConfig,
+    registry: smr_common::Registry,
+    orphans: OrphanPool,
+}
+
+impl Smr for Leaky {
+    type ThreadCtx = LeakyCtx;
+
+    const NAME: &'static str = "none";
+
+    fn new(config: SmrConfig) -> Self {
+        config.validate();
+        Self {
+            registry: smr_common::Registry::new(config.max_threads),
+            orphans: OrphanPool::new(),
+            config,
+        }
+    }
+
+    fn config(&self) -> &SmrConfig {
+        &self.config
+    }
+
+    fn register(&self, tid: usize) -> LeakyCtx {
+        assert!(self.registry.register_tid(tid), "slot {tid} already taken");
+        LeakyCtx {
+            tid,
+            limbo: LimboBag::new(),
+            stats: ThreadStats::default(),
+        }
+    }
+
+    fn unregister(&self, ctx: &mut LeakyCtx) {
+        self.orphans.adopt(ctx.limbo.drain());
+        self.registry.deregister(ctx.tid);
+    }
+
+    unsafe fn retire<T: SmrNode>(&self, ctx: &mut LeakyCtx, ptr: Shared<T>) {
+        debug_assert!(!ptr.is_null());
+        ctx.limbo.push(Retired::new(ptr.as_raw(), 0));
+        ctx.stats.retires += 1;
+        ctx.stats.observe_limbo(ctx.limbo.len());
+    }
+
+    fn thread_stats(&self, ctx: &LeakyCtx) -> ThreadStats {
+        ctx.stats
+    }
+
+    fn thread_stats_mut<'a>(&self, ctx: &'a mut LeakyCtx) -> &'a mut ThreadStats {
+        &mut ctx.stats
+    }
+
+    fn limbo_len(&self, ctx: &LeakyCtx) -> usize {
+        ctx.limbo.len()
+    }
+}
+
+impl Drop for Leaky {
+    fn drop(&mut self) {
+        // SAFETY: the reclaimer outlives every registered thread's use of the
+        // data structure by contract (it owns the orphaned records only after
+        // their threads deregistered, and dropping it means the structure is
+        // gone).
+        unsafe { self.orphans.drain_and_free() };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smr_common::NodeHeader;
+
+    struct Node {
+        header: NodeHeader,
+        #[allow(dead_code)]
+        key: u64,
+    }
+    smr_common::impl_smr_node!(Node);
+
+    #[test]
+    fn never_frees_during_operation() {
+        let smr = Leaky::new(SmrConfig::for_tests());
+        let mut ctx = smr.register(0);
+        for i in 0..100 {
+            let p = smr.alloc(
+                &mut ctx,
+                Node {
+                    header: NodeHeader::new(),
+                    key: i,
+                },
+            );
+            unsafe { smr.retire(&mut ctx, p) };
+        }
+        assert_eq!(smr.thread_stats(&ctx).frees, 0);
+        assert_eq!(smr.limbo_len(&ctx), 100);
+        smr.unregister(&mut ctx);
+        assert_eq!(smr.thread_stats(&ctx).frees, 0, "unregister must not free either");
+    }
+
+    #[test]
+    fn drop_releases_everything() {
+        let smr = Leaky::new(SmrConfig::for_tests());
+        let mut ctx = smr.register(0);
+        for i in 0..10 {
+            let p = smr.alloc(
+                &mut ctx,
+                Node {
+                    header: NodeHeader::new(),
+                    key: i,
+                },
+            );
+            unsafe { smr.retire(&mut ctx, p) };
+        }
+        smr.unregister(&mut ctx);
+        drop(smr); // would be reported by leak checkers if it leaked
+    }
+
+    #[test]
+    fn stats_track_retires() {
+        let smr = Leaky::new(SmrConfig::for_tests());
+        let mut ctx = smr.register(3);
+        let p = smr.alloc(
+            &mut ctx,
+            Node {
+                header: NodeHeader::new(),
+                key: 0,
+            },
+        );
+        unsafe { smr.retire(&mut ctx, p) };
+        let s = smr.thread_stats(&ctx);
+        assert_eq!(s.allocs, 1);
+        assert_eq!(s.retires, 1);
+        assert_eq!(s.outstanding(), 1);
+        smr.unregister(&mut ctx);
+    }
+}

@@ -1,0 +1,259 @@
+//! RCU-style epoch reclamation (the "rcu" variant of the IBR benchmark, which
+//! the paper adapted into setbench for its evaluation).
+//!
+//! Mechanism:
+//!
+//! * A global era, advanced every `epoch_freq` retires.
+//! * Each thread announces the era it observed when its operation began
+//!   (a read-side critical section) and withdraws the announcement when the
+//!   operation ends.
+//! * Every record is stamped with the era at which it was retired. A record
+//!   may be freed once its retire era is strictly smaller than the minimum era
+//!   announced by any thread currently inside an operation.
+//!
+//! A reader that stalls inside an operation keeps its (old) announcement
+//! published, so the minimum never rises and garbage grows without bound —
+//! the behaviour experiment E2 demonstrates for RCU.
+
+use crate::util::{EraClock, OrphanPool};
+use smr_common::{
+    CachePadded, LimboBag, Registry, Retired, Shared, Smr, SmrConfig, SmrNode, ThreadStats,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Announcement value meaning "not inside an operation".
+const IDLE: u64 = u64::MAX;
+
+struct RcuSlot {
+    announced: AtomicU64,
+}
+
+/// Per-thread context for [`Rcu`].
+pub struct RcuCtx {
+    tid: usize,
+    limbo: LimboBag,
+    retires_since_scan: usize,
+    retires_since_advance: usize,
+    stats: ThreadStats,
+}
+
+/// The RCU-style reclaimer.
+pub struct Rcu {
+    config: SmrConfig,
+    registry: Registry,
+    era: EraClock,
+    slots: Vec<CachePadded<RcuSlot>>,
+    orphans: OrphanPool,
+}
+
+impl Rcu {
+    /// Minimum era announced by any thread currently inside an operation.
+    fn min_announced_era(&self) -> u64 {
+        let mut min = u64::MAX;
+        for tid in self.registry.active_tids() {
+            let a = self.slots[tid].announced.load(Ordering::SeqCst);
+            if a != IDLE {
+                min = min.min(a);
+            }
+        }
+        min
+    }
+
+    fn scan_and_reclaim(&self, ctx: &mut RcuCtx) {
+        ctx.stats.reclaim_scans += 1;
+        let min = self.min_announced_era();
+        let before = ctx.limbo.len();
+        // SAFETY: a record retired in era `e` was unlinked before era `e`
+        // ended; any reader announcing an era `> e` began its operation after
+        // the unlink and therefore cannot have found the record by traversal.
+        let freed = unsafe {
+            ctx.limbo
+                .reclaim_if(|r| r.retire_era() < min, &mut ctx.stats)
+        };
+        if freed == 0 && before > 0 {
+            ctx.stats.reclaim_skips += 1;
+        }
+    }
+}
+
+impl Smr for Rcu {
+    type ThreadCtx = RcuCtx;
+
+    const NAME: &'static str = "RCU";
+
+    fn new(config: SmrConfig) -> Self {
+        config.validate();
+        let slots = (0..config.max_threads)
+            .map(|_| {
+                CachePadded::new(RcuSlot {
+                    announced: AtomicU64::new(IDLE),
+                })
+            })
+            .collect();
+        Self {
+            registry: Registry::new(config.max_threads),
+            era: EraClock::new(),
+            slots,
+            orphans: OrphanPool::new(),
+            config,
+        }
+    }
+
+    fn config(&self) -> &SmrConfig {
+        &self.config
+    }
+
+    fn register(&self, tid: usize) -> RcuCtx {
+        assert!(self.registry.register_tid(tid), "slot {tid} already taken");
+        self.slots[tid].announced.store(IDLE, Ordering::SeqCst);
+        RcuCtx {
+            tid,
+            limbo: LimboBag::new(),
+            retires_since_scan: 0,
+            retires_since_advance: 0,
+            stats: ThreadStats::default(),
+        }
+    }
+
+    fn unregister(&self, ctx: &mut RcuCtx) {
+        self.slots[ctx.tid].announced.store(IDLE, Ordering::SeqCst);
+        self.orphans.adopt(ctx.limbo.drain());
+        self.registry.deregister(ctx.tid);
+    }
+
+    #[inline]
+    fn begin_op(&self, ctx: &mut RcuCtx) {
+        let e = self.era.now();
+        self.slots[ctx.tid].announced.store(e, Ordering::SeqCst);
+    }
+
+    #[inline]
+    fn end_op(&self, ctx: &mut RcuCtx) {
+        self.slots[ctx.tid].announced.store(IDLE, Ordering::SeqCst);
+    }
+
+    #[inline]
+    fn global_era(&self) -> u64 {
+        self.era.now()
+    }
+
+    unsafe fn retire<T: SmrNode>(&self, ctx: &mut RcuCtx, ptr: Shared<T>) {
+        debug_assert!(!ptr.is_null());
+        let era = self.era.now();
+        ctx.limbo.push(Retired::new(ptr.as_raw(), era));
+        ctx.stats.retires += 1;
+        ctx.stats.observe_limbo(ctx.limbo.len());
+
+        ctx.retires_since_advance += 1;
+        if ctx.retires_since_advance >= self.config.epoch_freq {
+            ctx.retires_since_advance = 0;
+            self.era.advance();
+            ctx.stats.epoch_advances += 1;
+        }
+        ctx.retires_since_scan += 1;
+        if ctx.retires_since_scan >= self.config.empty_freq {
+            ctx.retires_since_scan = 0;
+            self.scan_and_reclaim(ctx);
+        }
+    }
+
+    fn flush(&self, ctx: &mut RcuCtx) {
+        self.era.advance();
+        self.scan_and_reclaim(ctx);
+    }
+
+    fn thread_stats(&self, ctx: &RcuCtx) -> ThreadStats {
+        ctx.stats
+    }
+
+    fn thread_stats_mut<'a>(&self, ctx: &'a mut RcuCtx) -> &'a mut ThreadStats {
+        &mut ctx.stats
+    }
+
+    fn limbo_len(&self, ctx: &RcuCtx) -> usize {
+        ctx.limbo.len()
+    }
+}
+
+impl Drop for Rcu {
+    fn drop(&mut self) {
+        // SAFETY: all threads have deregistered by contract.
+        unsafe { self.orphans.drain_and_free() };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smr_common::NodeHeader;
+
+    struct Node {
+        header: NodeHeader,
+        #[allow(dead_code)]
+        key: u64,
+    }
+    smr_common::impl_smr_node!(Node);
+
+    fn op_with_retire(smr: &Rcu, ctx: &mut RcuCtx, key: u64) {
+        smr.begin_op(ctx);
+        let p = smr.alloc(
+            ctx,
+            Node {
+                header: NodeHeader::new(),
+                key,
+            },
+        );
+        unsafe { smr.retire(ctx, p) };
+        smr.end_op(ctx);
+    }
+
+    #[test]
+    fn reclaims_when_no_reader_is_older() {
+        let smr = Rcu::new(SmrConfig::for_tests());
+        let mut ctx = smr.register(0);
+        for i in 0..100 {
+            op_with_retire(&smr, &mut ctx, i);
+        }
+        smr.flush(&mut ctx);
+        assert!(smr.thread_stats(&ctx).frees > 0);
+        smr.unregister(&mut ctx);
+    }
+
+    #[test]
+    fn active_old_reader_pins_garbage() {
+        let smr = Rcu::new(SmrConfig::for_tests());
+        let mut worker = smr.register(0);
+        let mut reader = smr.register(1);
+        smr.begin_op(&mut reader); // announces the current (old) era and stalls
+
+        for i in 0..300 {
+            op_with_retire(&smr, &mut worker, i);
+        }
+        smr.flush(&mut worker);
+        assert_eq!(
+            smr.thread_stats(&worker).frees,
+            0,
+            "records retired at or after the reader's era must not be freed"
+        );
+        assert_eq!(smr.limbo_len(&worker), 300);
+
+        smr.end_op(&mut reader);
+        smr.flush(&mut worker);
+        assert!(smr.thread_stats(&worker).frees > 0);
+
+        smr.unregister(&mut reader);
+        smr.unregister(&mut worker);
+    }
+
+    #[test]
+    fn era_advances_with_retires() {
+        let smr = Rcu::new(SmrConfig::for_tests());
+        let mut ctx = smr.register(0);
+        let before = smr.global_era();
+        for i in 0..50 {
+            op_with_retire(&smr, &mut ctx, i);
+        }
+        assert!(smr.global_era() > before);
+        smr.unregister(&mut ctx);
+    }
+}

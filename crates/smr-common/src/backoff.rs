@@ -1,0 +1,133 @@
+//! Exponential backoff for contended retry loops.
+//!
+//! Used by the versioned-lock acquisition paths of the lock-based data
+//! structures (lazy list, DGT tree, (a,b)-tree) and by reclaimers while they
+//! briefly wait for neutralization acknowledgements.
+
+use core::hint;
+
+/// Exponential backoff: spin for `1, 2, 4, …` pause instructions, capped, and
+/// report when the caller should yield the CPU instead.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    step: u32,
+    spin_limit: u32,
+    yield_limit: u32,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Backoff {
+    /// Default spin limit: 2^6 pauses before suggesting a yield.
+    pub const DEFAULT_SPIN_LIMIT: u32 = 6;
+    /// Default yield limit: 2^10 pauses before the caller should park/yield.
+    pub const DEFAULT_YIELD_LIMIT: u32 = 10;
+
+    /// Creates a backoff helper with default limits.
+    pub fn new() -> Self {
+        Self {
+            step: 0,
+            spin_limit: Self::DEFAULT_SPIN_LIMIT,
+            yield_limit: Self::DEFAULT_YIELD_LIMIT,
+        }
+    }
+
+    /// Creates a backoff helper with custom spin/yield exponents.
+    pub fn with_limits(spin_limit: u32, yield_limit: u32) -> Self {
+        Self {
+            step: 0,
+            spin_limit,
+            yield_limit: yield_limit.max(spin_limit),
+        }
+    }
+
+    /// Resets the backoff to its initial state.
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// Spins for the current step, doubling the wait each call (capped).
+    #[inline]
+    pub fn spin(&mut self) {
+        let limit = self.step.min(self.spin_limit);
+        for _ in 0..(1u32 << limit) {
+            hint::spin_loop();
+        }
+        if self.step <= self.yield_limit {
+            self.step += 1;
+        }
+    }
+
+    /// Like [`Backoff::spin`], but yields to the OS scheduler once the spin
+    /// budget is exhausted. Use in loops that may wait on a descheduled thread
+    /// (e.g. an oversubscribed run waiting for a lock holder).
+    #[inline]
+    pub fn snooze(&mut self) {
+        if self.step <= self.spin_limit {
+            self.spin();
+        } else {
+            std::thread::yield_now();
+            if self.step <= self.yield_limit {
+                self.step += 1;
+            }
+        }
+    }
+
+    /// True once the caller has spun long enough that blocking/yielding is the
+    /// better strategy.
+    #[inline]
+    pub fn is_completed(&self) -> bool {
+        self.step > self.yield_limit
+    }
+
+    /// Number of times `spin`/`snooze` has been called since the last reset.
+    pub fn steps(&self) -> u32 {
+        self.step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completes_after_yield_limit() {
+        let mut b = Backoff::with_limits(2, 4);
+        assert!(!b.is_completed());
+        for _ in 0..=5 {
+            b.spin();
+        }
+        assert!(b.is_completed());
+    }
+
+    #[test]
+    fn reset_restarts_progression() {
+        let mut b = Backoff::new();
+        for _ in 0..8 {
+            b.spin();
+        }
+        let before = b.steps();
+        b.reset();
+        assert!(b.steps() < before);
+        assert_eq!(b.steps(), 0);
+    }
+
+    #[test]
+    fn snooze_does_not_panic_past_limits() {
+        let mut b = Backoff::with_limits(1, 2);
+        for _ in 0..16 {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+    }
+
+    #[test]
+    fn with_limits_clamps_yield_to_at_least_spin() {
+        let b = Backoff::with_limits(8, 2);
+        assert!(b.yield_limit >= b.spin_limit);
+    }
+}

@@ -1,0 +1,62 @@
+//! # smr-common — shared safe-memory-reclamation framework
+//!
+//! This crate is the substrate shared by every safe memory reclamation (SMR)
+//! algorithm in the workspace: the NBR / NBR+ algorithms of the paper
+//! (*NBR: Neutralization Based Reclamation*, Singh, Brown & Mashtizadeh,
+//! PPoPP 2021) live in the `nbr` crate, the baselines
+//! (DEBRA, QSBR, RCU, hazard pointers, IBR, hazard eras, leaky) live in
+//! `smr-baselines`, and all of them implement the [`Smr`] trait defined here.
+//!
+//! The design mirrors the role of setbench's *record manager* in the paper's
+//! artifact: concurrent data structures are written **once**, generically over
+//! `S: Smr`, and every reclaimer plugs into the same instrumentation points:
+//!
+//! * [`Smr::begin_op`] / [`Smr::end_op`] — operation brackets used by the
+//!   epoch-based family (DEBRA, QSBR, RCU, IBR, HE).
+//! * [`Smr::begin_read_phase`] / [`Smr::checkpoint`] / [`Smr::end_read_phase`]
+//!   — the NBR phase protocol of the paper (Φ_read, reservation, Φ_write).
+//! * [`Smr::protect`] / [`Smr::clear_protections`] — per-access protection used
+//!   by the hazard-pointer family (HP, IBR, HE).
+//! * [`Smr::alloc`] / [`Smr::retire`] — record lifecycle (allocated → reachable
+//!   → unlinked → safe → reclaimed, Section 3 of the paper).
+//!
+//! Hooks that a given reclaimer does not need are inlined empty defaults, so a
+//! single data-structure source compiles down to exactly the instrumentation
+//! each reclaimer requires — which is what makes the cross-SMR comparison fair.
+//!
+//! The crate also provides the low-level building blocks the reclaimers and
+//! data structures share:
+//!
+//! * [`Atomic`] / [`Shared`] — tagged atomic pointers (mark bits in the low
+//!   bits, as used by the Harris list).
+//! * [`NodeHeader`] / [`SmrNode`] — the per-record metadata (birth era) that
+//!   interval-based reclaimers need.
+//! * [`Retired`] / [`LimboBag`] — type-erased deferred destruction and the
+//!   per-thread limbo bags of Algorithm 1.
+//! * [`Registry`] — the fixed-capacity thread-slot registry.
+//! * [`CachePadded`], [`Backoff`], [`SeqLock`] — performance primitives.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod atomic;
+pub mod backoff;
+pub mod header;
+pub mod limbo;
+pub mod pad;
+pub mod registry;
+pub mod retired;
+pub mod smr;
+pub mod stats;
+pub mod vlock;
+
+pub use atomic::{Atomic, Shared};
+pub use backoff::Backoff;
+pub use header::{NodeHeader, SmrNode};
+pub use limbo::LimboBag;
+pub use pad::CachePadded;
+pub use registry::{Registry, ThreadSlot};
+pub use retired::Retired;
+pub use smr::{Smr, SmrConfig};
+pub use stats::{SmrStats, ThreadStats};
+pub use vlock::SeqLock;

@@ -1,0 +1,218 @@
+//! Per-thread limbo bags (Algorithm 1, line 2).
+//!
+//! Each thread accumulates the records it has unlinked in a private
+//! [`LimboBag`]. When the bag grows past the reclaimer-specific watermark the
+//! reclaimer runs its scan (signals + reservation scan for NBR, epoch scan for
+//! DEBRA, hazard scan for HP, …) and frees every record the scan proves safe.
+//!
+//! The bag preserves retire order, which NBR+ relies on: a thread at the
+//! LoWatermark bookmarks the current tail and may later free exactly the
+//! prefix retired before the bookmark (Algorithm 2, lines 14/19).
+
+use crate::retired::Retired;
+use crate::stats::ThreadStats;
+
+/// An ordered bag of retired records owned by a single thread.
+#[derive(Default)]
+pub struct LimboBag {
+    records: Vec<Retired>,
+}
+
+impl LimboBag {
+    /// An empty bag.
+    pub fn new() -> Self {
+        Self {
+            records: Vec::new(),
+        }
+    }
+
+    /// An empty bag with room for `capacity` records (avoids growth in the
+    /// retire fast path).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            records: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends a retired record (Algorithm 1, line 19).
+    #[inline]
+    pub fn push(&mut self, retired: Retired) {
+        self.records.push(retired);
+    }
+
+    /// Number of unreclaimed records currently held.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the bag holds no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over the held records (used by interval-based scans that need
+    /// eras rather than addresses).
+    pub fn iter(&self) -> impl Iterator<Item = &Retired> {
+        self.records.iter()
+    }
+
+    /// Frees every record in the prefix `[0, up_to)` whose fate `decide`
+    /// approves, retaining (in order) the survivors and the suffix.
+    ///
+    /// `decide` receives each candidate and returns `true` if the record is
+    /// *safe* to free now (not reserved / not protected / outside every active
+    /// interval). Returns the number of records freed.
+    ///
+    /// # Safety
+    /// The caller must guarantee that any record for which `decide` returns
+    /// `true` is safe in the sense of Section 3: unlinked and unreachable from
+    /// every thread's private pointers.
+    pub unsafe fn reclaim_prefix_if(
+        &mut self,
+        up_to: usize,
+        mut decide: impl FnMut(&Retired) -> bool,
+        stats: &mut ThreadStats,
+    ) -> usize {
+        let limit = up_to.min(self.records.len());
+        let mut freed = 0usize;
+        let mut kept: Vec<Retired> = Vec::with_capacity(self.records.len());
+        for (i, rec) in self.records.drain(..).enumerate() {
+            if i < limit && decide(&rec) {
+                rec.reclaim();
+                freed += 1;
+            } else {
+                kept.push(rec);
+            }
+        }
+        self.records = kept;
+        stats.frees += freed as u64;
+        freed
+    }
+
+    /// Frees every record in the bag whose fate `decide` approves.
+    ///
+    /// # Safety
+    /// Same contract as [`LimboBag::reclaim_prefix_if`].
+    pub unsafe fn reclaim_if(
+        &mut self,
+        decide: impl FnMut(&Retired) -> bool,
+        stats: &mut ThreadStats,
+    ) -> usize {
+        self.reclaim_prefix_if(usize::MAX, decide, stats)
+    }
+
+    /// Frees everything unconditionally. Used at shutdown, after all threads
+    /// have deregistered (when every record is trivially safe), and by the
+    /// leaky reclaimer's drop path in tests.
+    ///
+    /// # Safety
+    /// No thread may still hold a reference to any record in the bag.
+    pub unsafe fn reclaim_all(&mut self, stats: &mut ThreadStats) -> usize {
+        self.reclaim_if(|_| true, stats)
+    }
+
+    /// Removes and returns all records without freeing them (ownership moves
+    /// to the caller, e.g. a global pool at thread deregistration).
+    pub fn drain(&mut self) -> Vec<Retired> {
+        std::mem::take(&mut self.records)
+    }
+}
+
+impl core::fmt::Debug for LimboBag {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("LimboBag")
+            .field("len", &self.records.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::NodeHeader;
+
+    struct N {
+        header: NodeHeader,
+        #[allow(dead_code)]
+        k: u64,
+    }
+    crate::impl_smr_node!(N);
+
+    fn retire_one(k: u64, era: u64) -> Retired {
+        let raw = Box::into_raw(Box::new(N {
+            header: NodeHeader::new(),
+            k,
+        }));
+        unsafe { Retired::new(raw, era) }
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut bag = LimboBag::with_capacity(4);
+        assert!(bag.is_empty());
+        for i in 0..4 {
+            bag.push(retire_one(i, i));
+        }
+        assert_eq!(bag.len(), 4);
+        let mut stats = ThreadStats::default();
+        unsafe { bag.reclaim_all(&mut stats) };
+        assert_eq!(stats.frees, 4);
+        assert!(bag.is_empty());
+    }
+
+    #[test]
+    fn reclaim_prefix_respects_bookmark_and_reservations() {
+        let mut bag = LimboBag::new();
+        let mut addrs = Vec::new();
+        for i in 0..6 {
+            let r = retire_one(i, i);
+            addrs.push(r.address());
+            bag.push(r);
+        }
+        let reserved = addrs[1];
+        let mut stats = ThreadStats::default();
+        // Bookmark at 4: only records 0..4 are candidates; record 1 is reserved.
+        let freed =
+            unsafe { bag.reclaim_prefix_if(4, |r| r.address() != reserved, &mut stats) };
+        assert_eq!(freed, 3);
+        assert_eq!(bag.len(), 3); // reserved survivor + 2 past the bookmark
+        assert_eq!(stats.frees, 3);
+        // Survivors keep their order: reserved record first, then the suffix.
+        let remaining: Vec<usize> = bag.iter().map(|r| r.address()).collect();
+        assert_eq!(remaining, vec![addrs[1], addrs[4], addrs[5]]);
+        unsafe { bag.reclaim_all(&mut stats) };
+    }
+
+    #[test]
+    fn reclaim_if_scans_entire_bag() {
+        let mut bag = LimboBag::new();
+        for i in 0..10 {
+            bag.push(retire_one(i, i));
+        }
+        let mut stats = ThreadStats::default();
+        let freed = unsafe { bag.reclaim_if(|r| r.retire_era() % 2 == 0, &mut stats) };
+        assert_eq!(freed, 5);
+        assert_eq!(bag.len(), 5);
+        unsafe { bag.reclaim_all(&mut stats) };
+        assert_eq!(stats.frees, 10);
+    }
+
+    #[test]
+    fn drain_transfers_ownership_without_freeing() {
+        let mut bag = LimboBag::new();
+        for i in 0..3 {
+            bag.push(retire_one(i, i));
+        }
+        let drained = bag.drain();
+        assert_eq!(drained.len(), 3);
+        assert!(bag.is_empty());
+        let mut stats = ThreadStats::default();
+        for r in drained {
+            unsafe { r.reclaim() };
+            stats.frees += 1;
+        }
+        assert_eq!(stats.frees, 3);
+    }
+}

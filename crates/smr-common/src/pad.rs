@@ -1,0 +1,93 @@
+//! Cache-line padding to avoid false sharing between per-thread slots.
+//!
+//! Per-thread SMR metadata (reservations, epochs, limbo-bag sizes, …) is read
+//! by reclaimers and written by owners at high frequency; placing two threads'
+//! slots on the same cache line would turn every such write into cross-core
+//! traffic. [`CachePadded`] aligns and pads its contents to 128 bytes, which
+//! covers the 64-byte line size of x86-64 plus the adjacent-line prefetcher
+//! (the same choice crossbeam makes).
+
+use core::fmt;
+use core::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to 128 bytes (two x86-64 cache lines).
+#[derive(Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in cache-line padding.
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    /// Consumes the wrapper, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("CachePadded").field(&self.value).finish()
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::mem::{align_of, size_of};
+    use core::sync::atomic::AtomicU64;
+
+    #[test]
+    fn alignment_is_128() {
+        assert_eq!(align_of::<CachePadded<u8>>(), 128);
+        assert_eq!(align_of::<CachePadded<AtomicU64>>(), 128);
+    }
+
+    #[test]
+    fn size_is_multiple_of_alignment() {
+        assert_eq!(size_of::<CachePadded<u8>>(), 128);
+        assert_eq!(size_of::<CachePadded<[u64; 20]>>(), 256);
+    }
+
+    #[test]
+    fn deref_roundtrip() {
+        let mut p = CachePadded::new(41u64);
+        *p += 1;
+        assert_eq!(*p, 42);
+        assert_eq!(p.into_inner(), 42);
+    }
+
+    #[test]
+    fn adjacent_elements_do_not_share_lines() {
+        let v = vec![CachePadded::new(0u8), CachePadded::new(0u8)];
+        let a = &*v[0] as *const u8 as usize;
+        let b = &*v[1] as *const u8 as usize;
+        assert!(b - a >= 128);
+    }
+}

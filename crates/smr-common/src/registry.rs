@@ -1,0 +1,182 @@
+//! Thread-slot registry.
+//!
+//! Every SMR algorithm in the paper's model is parameterised by the number of
+//! participating threads `N`: NBR keeps an `N × R` reservation array, DEBRA an
+//! `N`-entry epoch announcement array, HP an `N × K` hazard array, and so on.
+//! The [`Registry`] hands out stable slot indices (`tid`s) to participating
+//! threads and tracks which slots are active so scans and `signalAll` know whom
+//! to visit.
+
+use crate::pad::CachePadded;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// One registration slot. Padded so that registration churn on one slot does
+/// not invalidate its neighbours' cache lines.
+#[derive(Debug)]
+pub struct ThreadSlot {
+    in_use: AtomicBool,
+}
+
+impl ThreadSlot {
+    fn new() -> Self {
+        Self {
+            in_use: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether a thread currently owns this slot.
+    #[inline]
+    pub fn is_active(&self, order: Ordering) -> bool {
+        self.in_use.load(order)
+    }
+}
+
+/// Fixed-capacity registry assigning slot indices to participating threads.
+#[derive(Debug)]
+pub struct Registry {
+    slots: Vec<CachePadded<ThreadSlot>>,
+    registered: AtomicUsize,
+}
+
+impl Registry {
+    /// Creates a registry with room for `max_threads` concurrent participants.
+    pub fn new(max_threads: usize) -> Self {
+        assert!(max_threads > 0, "registry needs at least one slot");
+        Self {
+            slots: (0..max_threads)
+                .map(|_| CachePadded::new(ThreadSlot::new()))
+                .collect(),
+            registered: AtomicUsize::new(0),
+        }
+    }
+
+    /// Maximum number of concurrently registered threads.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of currently registered threads.
+    #[inline]
+    pub fn registered(&self) -> usize {
+        self.registered.load(Ordering::Acquire)
+    }
+
+    /// Claims a specific slot index. Panics if the slot is out of range and
+    /// returns `false` if it is already owned (callers treat that as a usage
+    /// error — the harness assigns distinct tids).
+    pub fn register_tid(&self, tid: usize) -> bool {
+        assert!(
+            tid < self.slots.len(),
+            "tid {tid} out of range (max_threads = {})",
+            self.slots.len()
+        );
+        let won = self.slots[tid]
+            .in_use
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok();
+        if won {
+            self.registered.fetch_add(1, Ordering::AcqRel);
+        }
+        won
+    }
+
+    /// Claims the first free slot, returning its index.
+    pub fn register_any(&self) -> Option<usize> {
+        for tid in 0..self.slots.len() {
+            if self.register_tid(tid) {
+                return Some(tid);
+            }
+        }
+        None
+    }
+
+    /// Releases a slot previously claimed with [`Registry::register_tid`] /
+    /// [`Registry::register_any`].
+    pub fn deregister(&self, tid: usize) {
+        assert!(tid < self.slots.len());
+        let was = self.slots[tid].in_use.swap(false, Ordering::AcqRel);
+        if was {
+            self.registered.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Whether a slot is currently owned.
+    #[inline]
+    pub fn is_active(&self, tid: usize) -> bool {
+        self.slots[tid].is_active(Ordering::Acquire)
+    }
+
+    /// Iterates over the indices of all currently active slots.
+    ///
+    /// Note: membership can change concurrently; SMR scans are written so that
+    /// seeing a *stale* active slot is safe (it only makes reclamation more
+    /// conservative), and a slot that deregisters concurrently holds no
+    /// references by contract.
+    pub fn active_tids(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.slots.len()).filter(move |&t| self.is_active(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn register_and_deregister_roundtrip() {
+        let r = Registry::new(4);
+        assert_eq!(r.capacity(), 4);
+        assert!(r.register_tid(2));
+        assert!(!r.register_tid(2), "double registration must fail");
+        assert!(r.is_active(2));
+        assert_eq!(r.registered(), 1);
+        r.deregister(2);
+        assert!(!r.is_active(2));
+        assert_eq!(r.registered(), 0);
+    }
+
+    #[test]
+    fn register_any_fills_all_slots() {
+        let r = Registry::new(3);
+        let mut got = Vec::new();
+        while let Some(t) = r.register_any() {
+            got.push(t);
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2]);
+        assert_eq!(r.registered(), 3);
+        assert!(r.register_any().is_none());
+    }
+
+    #[test]
+    fn active_tids_reflects_membership() {
+        let r = Registry::new(8);
+        r.register_tid(1);
+        r.register_tid(5);
+        let active: Vec<usize> = r.active_tids().collect();
+        assert_eq!(active, vec![1, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn register_out_of_range_panics() {
+        let r = Registry::new(2);
+        r.register_tid(2);
+    }
+
+    #[test]
+    fn concurrent_registration_is_unique() {
+        let r = Arc::new(Registry::new(16));
+        let mut handles = Vec::new();
+        for _ in 0..16 {
+            let r = Arc::clone(&r);
+            handles.push(thread::spawn(move || r.register_any().unwrap()));
+        }
+        let mut tids: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), 16, "every thread must get a distinct tid");
+    }
+}

@@ -1,0 +1,148 @@
+//! Type-erased retired records.
+//!
+//! When a data structure unlinks a node it calls [`Smr::retire`](crate::Smr::retire);
+//! the reclaimer wraps the node in a [`Retired`] — a type-erased deferred
+//! destructor plus the metadata reclaimers need (the record's address for
+//! hazard/reservation comparison, and its birth/retire eras for interval-based
+//! schemes) — and stashes it in a per-thread [`LimboBag`](crate::LimboBag)
+//! until it is proven *safe* (Section 3 of the paper: unlinked and referenced
+//! by no thread).
+
+use crate::header::SmrNode;
+
+/// A retired (unlinked, not yet reclaimed) record awaiting safe destruction.
+///
+/// Dropping a `Retired` does **not** free the record (that would make it far
+/// too easy to cause a use-after-free by accident); records are only freed by
+/// the explicit, `unsafe` [`Retired::reclaim`]. A `Retired` that is never
+/// reclaimed is a memory leak, which is safe.
+pub struct Retired {
+    ptr: *mut u8,
+    drop_fn: unsafe fn(*mut u8),
+    birth_era: u64,
+    retire_era: u64,
+}
+
+// A retired record is exclusively owned by the limbo bag holding it; the
+// underlying node type is required to be `Send` by `SmrNode`.
+unsafe impl Send for Retired {}
+
+unsafe fn drop_boxed<T>(ptr: *mut u8) {
+    drop(Box::from_raw(ptr.cast::<T>()));
+}
+
+impl Retired {
+    /// Wraps an unlinked node for deferred destruction.
+    ///
+    /// # Safety
+    /// `ptr` must point to a valid, heap-allocated (`Box`) node of type `T`
+    /// that has been unlinked from the data structure and will not be retired
+    /// again (single-retire rule, Lemma 10 of the paper).
+    pub unsafe fn new<T: SmrNode>(ptr: *mut T, retire_era: u64) -> Self {
+        debug_assert!(!ptr.is_null());
+        let birth_era = (*ptr).header().birth_era();
+        Self {
+            ptr: ptr.cast(),
+            drop_fn: drop_boxed::<T>,
+            birth_era,
+            retire_era,
+        }
+    }
+
+    /// The record's address, used to compare against hazard pointers /
+    /// NBR reservations.
+    #[inline]
+    pub fn address(&self) -> usize {
+        self.ptr as usize
+    }
+
+    /// Era at which the record was allocated (from its [`NodeHeader`](crate::NodeHeader)).
+    #[inline]
+    pub fn birth_era(&self) -> u64 {
+        self.birth_era
+    }
+
+    /// Era at which the record was retired.
+    #[inline]
+    pub fn retire_era(&self) -> u64 {
+        self.retire_era
+    }
+
+    /// Destroys the record, returning its memory to the allocator.
+    ///
+    /// # Safety
+    /// The caller must have established that the record is *safe*: it is
+    /// unlinked and no thread can still dereference a pointer to it (this is
+    /// precisely what each SMR algorithm's scan establishes).
+    #[inline]
+    pub unsafe fn reclaim(self) {
+        (self.drop_fn)(self.ptr);
+    }
+}
+
+impl core::fmt::Debug for Retired {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Retired")
+            .field("address", &format_args!("{:#x}", self.address()))
+            .field("birth_era", &self.birth_era)
+            .field("retire_era", &self.retire_era)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::NodeHeader;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    static DROPS: AtomicUsize = AtomicUsize::new(0);
+
+    struct Probe {
+        header: NodeHeader,
+        _payload: Arc<()>,
+    }
+    impl Drop for Probe {
+        fn drop(&mut self) {
+            DROPS.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+    crate::impl_smr_node!(Probe);
+
+    #[test]
+    fn reclaim_runs_destructor_exactly_once() {
+        DROPS.store(0, Ordering::SeqCst);
+        let payload = Arc::new(());
+        let mut node = Probe {
+            header: NodeHeader::new(),
+            _payload: Arc::clone(&payload),
+        };
+        node.header_mut().set_birth_era(3);
+        let raw = Box::into_raw(Box::new(node));
+        let retired = unsafe { Retired::new(raw, 9) };
+        assert_eq!(retired.address(), raw as usize);
+        assert_eq!(retired.birth_era(), 3);
+        assert_eq!(retired.retire_era(), 9);
+        assert_eq!(Arc::strong_count(&payload), 2);
+        unsafe { retired.reclaim() };
+        assert_eq!(DROPS.load(Ordering::SeqCst), 1);
+        assert_eq!(Arc::strong_count(&payload), 1);
+    }
+
+    #[test]
+    fn dropping_retired_does_not_free() {
+        DROPS.store(0, Ordering::SeqCst);
+        let node = Probe {
+            header: NodeHeader::new(),
+            _payload: Arc::new(()),
+        };
+        let raw = Box::into_raw(Box::new(node));
+        let retired = unsafe { Retired::new(raw, 0) };
+        drop(retired);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 0, "drop must not reclaim");
+        // Clean up manually so the test itself does not leak.
+        unsafe { drop(Box::from_raw(raw)) };
+        assert_eq!(DROPS.load(Ordering::SeqCst), 1);
+    }
+}

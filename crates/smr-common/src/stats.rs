@@ -1,0 +1,152 @@
+//! SMR bookkeeping counters.
+//!
+//! The paper's evaluation reasons about *why* one reclaimer beats another —
+//! signals sent (NBR's O(n²) vs NBR+'s piggybacked RGPs), neutralizations
+//! taken, reclamation bursts after a delayed thread catches up, validation
+//! failures under HP, and peak limbo-bag sizes (the bounded-garbage property).
+//! These counters are collected per thread with zero synchronization on the
+//! fast path and merged by the harness after each trial.
+
+use std::ops::AddAssign;
+
+/// Per-thread counters, owned by the thread's context (no atomics involved).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadStats {
+    /// Records allocated through the reclaimer.
+    pub allocs: u64,
+    /// Records passed to `retire`.
+    pub retires: u64,
+    /// Records actually freed.
+    pub frees: u64,
+    /// Neutralization signals sent by this thread (NBR/NBR+ reclaimers).
+    pub signals_sent: u64,
+    /// Neutralizations taken: read phases restarted because of a signal.
+    pub neutralizations: u64,
+    /// Reclamation scans attempted (HiWatermark events, epoch scans, …).
+    pub reclaim_scans: u64,
+    /// Reclamation scans that freed nothing (e.g. blocked by a straggler).
+    pub reclaim_skips: u64,
+    /// NBR+ LoWatermark reclaims piggybacked on an observed RGP.
+    pub rgp_reclaims: u64,
+    /// Hazard-pointer / protection validation failures (operation restarts).
+    pub protect_failures: u64,
+    /// Largest limbo-bag size observed (bounded-garbage evidence, Lemma 10).
+    pub peak_limbo: u64,
+    /// Epoch/era advances performed by this thread.
+    pub epoch_advances: u64,
+}
+
+impl ThreadStats {
+    /// Records a new limbo-bag high-water mark.
+    #[inline]
+    pub fn observe_limbo(&mut self, len: usize) {
+        self.peak_limbo = self.peak_limbo.max(len as u64);
+    }
+
+    /// Unreclaimed records implied by the counters (retires minus frees).
+    pub fn outstanding(&self) -> u64 {
+        self.retires.saturating_sub(self.frees)
+    }
+}
+
+impl AddAssign for ThreadStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.allocs += rhs.allocs;
+        self.retires += rhs.retires;
+        self.frees += rhs.frees;
+        self.signals_sent += rhs.signals_sent;
+        self.neutralizations += rhs.neutralizations;
+        self.reclaim_scans += rhs.reclaim_scans;
+        self.reclaim_skips += rhs.reclaim_skips;
+        self.rgp_reclaims += rhs.rgp_reclaims;
+        self.protect_failures += rhs.protect_failures;
+        self.peak_limbo = self.peak_limbo.max(rhs.peak_limbo);
+        self.epoch_advances += rhs.epoch_advances;
+    }
+}
+
+/// Aggregated statistics across all threads of a trial.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SmrStats {
+    /// Sum of all threads' counters (peak fields are maxima).
+    pub total: ThreadStats,
+    /// Number of thread contexts merged in.
+    pub threads: usize,
+}
+
+impl SmrStats {
+    /// Merges one thread's counters into the aggregate.
+    pub fn merge(&mut self, t: &ThreadStats) {
+        self.total += *t;
+        self.threads += 1;
+    }
+
+    /// Convenience: total unreclaimed records across all merged threads.
+    pub fn outstanding(&self) -> u64 {
+        self.total.outstanding()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_assign_sums_and_maxes() {
+        let mut a = ThreadStats {
+            allocs: 1,
+            retires: 10,
+            frees: 4,
+            peak_limbo: 7,
+            ..Default::default()
+        };
+        let b = ThreadStats {
+            allocs: 2,
+            retires: 5,
+            frees: 5,
+            peak_limbo: 3,
+            signals_sent: 9,
+            ..Default::default()
+        };
+        a += b;
+        assert_eq!(a.allocs, 3);
+        assert_eq!(a.retires, 15);
+        assert_eq!(a.frees, 9);
+        assert_eq!(a.peak_limbo, 7);
+        assert_eq!(a.signals_sent, 9);
+        assert_eq!(a.outstanding(), 6);
+    }
+
+    #[test]
+    fn merge_counts_threads() {
+        let mut agg = SmrStats::default();
+        for i in 0..4 {
+            let t = ThreadStats {
+                retires: i,
+                ..Default::default()
+            };
+            agg.merge(&t);
+        }
+        assert_eq!(agg.threads, 4);
+        assert_eq!(agg.total.retires, 0 + 1 + 2 + 3);
+    }
+
+    #[test]
+    fn observe_limbo_tracks_maximum() {
+        let mut t = ThreadStats::default();
+        t.observe_limbo(3);
+        t.observe_limbo(11);
+        t.observe_limbo(5);
+        assert_eq!(t.peak_limbo, 11);
+    }
+
+    #[test]
+    fn outstanding_saturates() {
+        let t = ThreadStats {
+            retires: 3,
+            frees: 5,
+            ..Default::default()
+        };
+        assert_eq!(t.outstanding(), 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Integrating NBR into *your own* data structure with the high-level
+//! `SmrHandle` / `ReadPhase` API.
+//!
+//! The structure here is a tiny single-writer-per-slot "registry": an array of
+//! atomic pointers to heap records, supporting lookup (read phase only) and
+//! replace (read phase + reservation + write phase). It is deliberately
+//! minimal so the NBR integration steps stand out:
+//!
+//! 1. traverse / read through [`ReadPhase::load`] (checkpointed),
+//! 2. call [`ReadPhase::reserve`] with every record the write phase touches,
+//! 3. perform the update, retire what was unlinked.
+//!
+//! Run with:
+//! ```text
+//! cargo run -p nbr-examples --release --bin custom_ds
+//! ```
+
+use nbr::{NbrPlus, OpResult, SmrHandle};
+use smr_common::{Atomic, NodeHeader, Smr, SmrConfig};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// A heap record managed by NBR.
+struct Record {
+    header: NodeHeader,
+    value: u64,
+}
+smr_common::impl_smr_node!(Record);
+
+/// A fixed-size registry of shared records.
+struct Registry {
+    smr: NbrPlus,
+    slots: Vec<Atomic<Record>>,
+}
+
+impl Registry {
+    fn new(slots: usize, config: SmrConfig) -> Self {
+        Self {
+            smr: NbrPlus::new(config),
+            slots: (0..slots).map(|_| Atomic::null()).collect(),
+        }
+    }
+
+    /// Reads the value stored in `slot` (None when empty).
+    fn get(&self, handle: &mut SmrHandle<'_, NbrPlus>, slot: usize) -> Option<u64> {
+        handle.run(|phase| {
+            let p = phase.load(0, &self.slots[slot])?;
+            let value = unsafe { p.as_ref() }.map(|r| r.value);
+            phase.reserve(&[]); // read-only operation: nothing to reserve
+            OpResult::done(value)
+        })
+    }
+
+    /// Replaces the record in `slot` with a new one holding `value`,
+    /// returning the previous value.
+    fn replace(
+        &self,
+        handle: &mut SmrHandle<'_, NbrPlus>,
+        slot: usize,
+        value: u64,
+    ) -> Option<u64> {
+        let cell = &self.slots[slot];
+        handle.run(|phase| {
+            // Φ_read: observe the current record.
+            let old = phase.load(0, cell)?;
+            let old_value = unsafe { old.as_ref() }.map(|r| r.value);
+            // Reservation: the write phase will CAS on `cell` with `old` as the
+            // expected value and may re-read `old`'s fields.
+            phase.reserve(&[old.untagged_usize()]);
+            // Φ_write: allocation and CAS are permitted now.
+            let new = phase.alloc(Record {
+                header: NodeHeader::new(),
+                value,
+            });
+            match cell.compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => {
+                    if !old.is_null() {
+                        // SAFETY: `old` was just unlinked by the CAS above.
+                        unsafe { phase.retire(old) };
+                    }
+                    OpResult::done(old_value)
+                }
+                Err(_) => {
+                    // Lost the race: discard the unpublished record and retry
+                    // from a fresh read phase.
+                    let (smr, ctx) = phase.raw();
+                    unsafe { smr.dealloc_unpublished(ctx, new) };
+                    OpResult::retry()
+                }
+            }
+        })
+    }
+}
+
+fn main() {
+    let threads = 4usize;
+    let registry = Arc::new(Registry::new(
+        8,
+        SmrConfig::default().with_max_threads(threads + 1),
+    ));
+
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let registry = Arc::clone(&registry);
+        handles.push(std::thread::spawn(move || {
+            let mut handle = SmrHandle::register(&registry.smr, t);
+            let mut replaced = 0u64;
+            for i in 0..50_000u64 {
+                let slot = ((i * 7 + t as u64) % 8) as usize;
+                if i % 3 == 0 {
+                    let _ = registry.get(&mut handle, slot);
+                } else {
+                    registry.replace(&mut handle, slot, i * 10 + t as u64);
+                    replaced += 1;
+                }
+            }
+            let stats = handle.stats();
+            (replaced, stats)
+        }));
+    }
+
+    let mut total_replaced = 0u64;
+    let mut totals = smr_common::ThreadStats::default();
+    for h in handles {
+        let (replaced, stats) = h.join().unwrap();
+        total_replaced += replaced;
+        totals += stats;
+    }
+
+    println!("custom registry protected by NBR+:");
+    println!("  {total_replaced} replacements performed by {threads} threads");
+    println!(
+        "  {} records retired, {} freed, {} outstanding (bounded by the watermarks)",
+        totals.retires,
+        totals.frees,
+        totals.outstanding()
+    );
+    println!(
+        "  {} neutralization signals, {} read-phase restarts",
+        totals.signals_sent, totals.neutralizations
+    );
+}

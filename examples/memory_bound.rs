@@ -1,0 +1,63 @@
+//! Bounded garbage demonstration (the paper's experiment E2 in miniature).
+//!
+//! One thread is deliberately stalled *inside* a data-structure operation
+//! while the others churn inserts and deletes on a DGT tree. Epoch-based
+//! schemes (DEBRA) cannot reclaim anything while the stalled thread pins the
+//! epoch; NBR+ neutralizes it and keeps the amount of unreclaimed memory
+//! bounded by the limbo-bag watermarks.
+//!
+//! Run with:
+//! ```text
+//! cargo run -p nbr-examples --release --bin memory_bound
+//! ```
+
+use smr_harness::families::DgtTreeFamily;
+use smr_harness::{run_with, SmrKind, StopCondition, WorkloadMix, WorkloadSpec};
+use smr_common::SmrConfig;
+use std::time::Duration;
+
+#[global_allocator]
+static ALLOC: smr_harness::alloc_track::CountingAlloc = smr_harness::alloc_track::CountingAlloc;
+
+fn main() {
+    let threads = 2;
+    let config = SmrConfig::default()
+        .with_max_threads(threads + 4)
+        .with_watermarks(1024, 256);
+    let spec = WorkloadSpec::new(
+        WorkloadMix::UPDATE_HEAVY,
+        32_768,
+        threads,
+        StopCondition::Duration(Duration::from_millis(600)),
+    )
+    .with_stalled_thread(true);
+
+    println!("DGT tree, 50i/50d, key range 32768, {threads} worker threads + 1 stalled thread\n");
+    println!(
+        "{:<8} {:>10} {:>12} {:>12} {:>14} {:>12}",
+        "scheme", "Mops/s", "retired", "freed", "unreclaimed", "peak MiB"
+    );
+    for kind in [
+        SmrKind::NbrPlus,
+        SmrKind::Nbr,
+        SmrKind::Hp,
+        SmrKind::Ibr,
+        SmrKind::Debra,
+        SmrKind::Rcu,
+        SmrKind::Qsbr,
+    ] {
+        let r = run_with::<DgtTreeFamily>(kind, &spec, config.clone());
+        println!(
+            "{:<8} {:>10.3} {:>12} {:>12} {:>14} {:>12.2}",
+            r.smr,
+            r.mops,
+            r.smr_totals.retires,
+            r.smr_totals.frees,
+            r.outstanding_garbage(),
+            r.peak_mem_bytes as f64 / (1024.0 * 1024.0)
+        );
+    }
+    println!("\nExpected shape (paper Fig. 4c): the bounded schemes (NBR+, NBR, HP, IBR) keep");
+    println!("`unreclaimed` near their watermarks; DEBRA/RCU/QSBR accumulate garbage for the");
+    println!("whole run because the stalled thread pins their epoch.");
+}

@@ -1,0 +1,54 @@
+//! Oversubscription (property P4 of the paper): run more threads than
+//! hardware cores and watch how each reclaimer degrades.
+//!
+//! The paper's claim is that NBR+ keeps its performance when the system is
+//! oversubscribed (threads > cores), while schemes that depend on every thread
+//! making progress (epoch advancement, validation retries) suffer more. This
+//! example sweeps 1×, 2× and 4× the core count on the DGT tree.
+//!
+//! Run with:
+//! ```text
+//! cargo run -p nbr-examples --release --bin oversubscribed
+//! ```
+
+use smr_harness::families::DgtTreeFamily;
+use smr_harness::{run_with, SmrKind, StopCondition, WorkloadMix, WorkloadSpec};
+use smr_common::SmrConfig;
+use std::time::Duration;
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
+    let sweep = [cores, cores * 2, cores * 4];
+    let kinds = [SmrKind::NbrPlus, SmrKind::Debra, SmrKind::Hp, SmrKind::Leaky];
+
+    println!("DGT tree, 50i/50d, key range 32768, core count = {cores}\n");
+    println!("{:<10} {:>12} {:>12} {:>12}", "threads", "", "", "");
+    print!("{:<10}", "scheme");
+    for t in &sweep {
+        print!(" {:>11}t", t);
+    }
+    println!();
+
+    for kind in kinds {
+        print!("{:<10}", kind.label());
+        for &threads in &sweep {
+            let spec = WorkloadSpec::new(
+                WorkloadMix::UPDATE_HEAVY,
+                32_768,
+                threads,
+                StopCondition::Duration(Duration::from_millis(300)),
+            );
+            let config = SmrConfig::default()
+                .with_max_threads(threads + 4)
+                .with_watermarks(1024, 256);
+            let r = run_with::<DgtTreeFamily>(kind, &spec, config);
+            print!(" {:>11.3}", r.mops);
+        }
+        println!();
+    }
+    println!("\nValues are Mops/s. Expected shape: throughput should not collapse for NBR+ as the");
+    println!("thread count exceeds the core count (property P4), while HP pays per-access fences");
+    println!("everywhere and the EBR family becomes increasingly sensitive to preempted threads.");
+}

@@ -1,0 +1,110 @@
+//! Quickstart: protect a concurrent lazy list with NBR+.
+//!
+//! Spawns a handful of threads that hammer a shared `LazyList<NbrPlus>` with
+//! inserts, removes and lookups, then prints the throughput and the
+//! reclaimer's bookkeeping (how many records were retired, how many were
+//! actually freed, how many neutralization signals were sent).
+//!
+//! Run with:
+//! ```text
+//! cargo run -p nbr-examples --release --bin quickstart
+//! ```
+
+use conc_ds::{ConcurrentSet, LazyList};
+use nbr::NbrPlus;
+use smr_common::{Smr, SmrConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
+    let key_range = 10_000u64;
+    let run_for = Duration::from_millis(500);
+
+    // The list owns its reclaimer; configure the limbo-bag watermarks here.
+    let config = SmrConfig::default()
+        .with_max_threads(threads + 2)
+        .with_watermarks(1024, 256);
+    let list = Arc::new(LazyList::<NbrPlus>::new(config));
+
+    // Prefill to half the key range, as the paper's benchmarks do.
+    {
+        let mut ctx = list.smr().register(threads); // a spare slot
+        for k in 1..=key_range / 2 {
+            list.insert(&mut ctx, k * 2);
+        }
+        list.smr().unregister(&mut ctx);
+    }
+
+    println!("running {threads} threads for {run_for:?} on a lazy list of ~{} keys", key_range / 2);
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let list = Arc::clone(&list);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            // Each thread registers once and reuses its context for every op.
+            let mut ctx = list.smr().register(t);
+            let mut ops = 0u64;
+            let mut x = 0x9E3779B97F4A7C15u64 ^ (t as u64);
+            while !stop.load(Ordering::Relaxed) {
+                // xorshift key + op selection
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let key = 1 + x % key_range;
+                match x % 4 {
+                    0 => {
+                        list.insert(&mut ctx, key);
+                    }
+                    1 => {
+                        list.remove(&mut ctx, key);
+                    }
+                    _ => {
+                        list.contains(&mut ctx, key);
+                    }
+                }
+                ops += 1;
+            }
+            let stats = list.smr().thread_stats(&ctx);
+            list.smr().unregister(&mut ctx);
+            (ops, stats)
+        }));
+    }
+
+    std::thread::sleep(run_for);
+    stop.store(true, Ordering::Relaxed);
+
+    let mut total_ops = 0u64;
+    let mut totals = smr_common::ThreadStats::default();
+    for h in handles {
+        let (ops, stats) = h.join().unwrap();
+        total_ops += ops;
+        totals += stats;
+    }
+    let elapsed = started.elapsed();
+
+    println!(
+        "throughput: {:.2} Mops/s ({} ops in {:?})",
+        total_ops as f64 / elapsed.as_secs_f64() / 1e6,
+        total_ops,
+        elapsed
+    );
+    println!(
+        "reclamation: {} retired, {} freed, {} still in limbo bags",
+        totals.retires,
+        totals.frees,
+        totals.outstanding()
+    );
+    println!(
+        "neutralization: {} signals sent, {} read phases restarted, {} RGP piggyback reclaims",
+        totals.signals_sent, totals.neutralizations, totals.rgp_reclaims
+    );
+    let mut ctx = list.smr().register(0);
+    println!("final set size: {}", list.size(&mut ctx));
+    list.smr().unregister(&mut ctx);
+}

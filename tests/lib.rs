@@ -1,0 +1,141 @@
+//! Workspace-level integration tests.
+//!
+//! The actual tests live in `tests/tests/*.rs`; this library only provides the
+//! shared helpers they use (deterministic RNG, generic stress drivers), so that
+//! every integration test exercises the public APIs of `nbr`,
+//! `smr-baselines`, `conc-ds` and `smr-harness` exactly as a downstream user
+//! would.
+
+use conc_ds::ConcurrentSet;
+use smr_common::Smr;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+/// Deterministic SplitMix64 sequence for reproducible tests.
+pub struct SplitMix(pub u64);
+
+impl SplitMix {
+    /// Next pseudo-random value.
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Single-threaded randomized differential test against a `BTreeSet` model.
+pub fn model_check<S: Smr, DS: ConcurrentSet<S>>(ds: &DS, ops: usize, key_range: u64, seed: u64) {
+    let mut ctx = ds.smr().register(0);
+    let mut model = BTreeSet::new();
+    let mut rng = SplitMix(seed);
+    for _ in 0..ops {
+        let key = 1 + rng.next() % key_range;
+        match rng.next() % 3 {
+            0 => assert_eq!(ds.insert(&mut ctx, key), model.insert(key), "insert({key})"),
+            1 => assert_eq!(ds.remove(&mut ctx, key), model.remove(&key), "remove({key})"),
+            _ => assert_eq!(
+                ds.contains(&mut ctx, key),
+                model.contains(&key),
+                "contains({key})"
+            ),
+        }
+    }
+    assert_eq!(ds.size(&mut ctx), model.len(), "final size");
+    ds.smr().unregister(&mut ctx);
+}
+
+/// Multi-threaded stress with per-thread disjoint key ranges: every return
+/// value is deterministic and the final size must match the surviving keys.
+pub fn disjoint_stress<S, DS>(ds: Arc<DS>, threads: usize, ops_per_thread: usize, span: u64)
+where
+    S: Smr,
+    DS: ConcurrentSet<S> + Send + Sync + 'static,
+{
+    let barrier = Arc::new(Barrier::new(threads));
+    let survivors = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let ds = Arc::clone(&ds);
+        let barrier = Arc::clone(&barrier);
+        let survivors = Arc::clone(&survivors);
+        handles.push(std::thread::spawn(move || {
+            let mut ctx = ds.smr().register(t);
+            let base = 1 + (t as u64) * 10_000_000;
+            let mut rng = SplitMix(0xFEED_0000 + t as u64);
+            let mut local = BTreeSet::new();
+            barrier.wait();
+            for _ in 0..ops_per_thread {
+                let key = base + rng.next() % span;
+                match rng.next() % 3 {
+                    0 => assert_eq!(ds.insert(&mut ctx, key), local.insert(key)),
+                    1 => assert_eq!(ds.remove(&mut ctx, key), local.remove(&key)),
+                    _ => assert_eq!(ds.contains(&mut ctx, key), local.contains(&key)),
+                }
+            }
+            survivors.fetch_add(local.len() as u64, Ordering::Relaxed);
+            ds.smr().unregister(&mut ctx);
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut ctx = ds.smr().register(0);
+    assert_eq!(ds.size(&mut ctx) as u64, survivors.load(Ordering::Relaxed));
+    ds.smr().unregister(&mut ctx);
+}
+
+/// Multi-threaded shared-key stress: all threads operate on the same small key
+/// range (maximum contention). Return values are not checkable, but the final
+/// contents must be a subset of the key range and the structure must stay
+/// internally consistent (`size` terminates and agrees with `contains`).
+pub fn contended_stress<S, DS>(ds: Arc<DS>, threads: usize, ops_per_thread: usize, key_range: u64)
+where
+    S: Smr,
+    DS: ConcurrentSet<S> + Send + Sync + 'static,
+{
+    let barrier = Arc::new(Barrier::new(threads));
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let ds = Arc::clone(&ds);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let mut ctx = ds.smr().register(t);
+            let mut rng = SplitMix(0xABCD + t as u64);
+            barrier.wait();
+            for _ in 0..ops_per_thread {
+                let key = 1 + rng.next() % key_range;
+                match rng.next() % 3 {
+                    0 => {
+                        ds.insert(&mut ctx, key);
+                    }
+                    1 => {
+                        ds.remove(&mut ctx, key);
+                    }
+                    _ => {
+                        ds.contains(&mut ctx, key);
+                    }
+                }
+            }
+            ds.smr().unregister(&mut ctx);
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Post-condition: a quiescent traversal terminates and every key it finds
+    // is inside the workload's key range.
+    let mut ctx = ds.smr().register(0);
+    let size = ds.size(&mut ctx);
+    assert!(size as u64 <= key_range);
+    let mut present = 0;
+    for k in 1..=key_range {
+        if ds.contains(&mut ctx, k) {
+            present += 1;
+        }
+    }
+    assert_eq!(present, size, "contains() must agree with size()");
+    ds.smr().unregister(&mut ctx);
+}

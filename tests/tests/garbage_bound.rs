@@ -1,0 +1,127 @@
+//! The bounded-garbage property (Lemma 10 / experiment E2) across crates:
+//! NBR, NBR+, HP and IBR must keep unreclaimed records bounded even with a
+//! thread stalled inside an operation, while DEBRA/RCU must not.
+
+use smr_harness::families::{DgtTreeFamily, LazyListFamily};
+use smr_harness::{run_with, SmrKind, StopCondition, WorkloadMix, WorkloadSpec};
+use smr_common::SmrConfig;
+
+fn cfg() -> SmrConfig {
+    SmrConfig::default()
+        .with_max_threads(16)
+        .with_watermarks(256, 64)
+}
+
+fn stalled_spec(key_range: u64, ops: u64) -> WorkloadSpec {
+    WorkloadSpec::new(
+        WorkloadMix::UPDATE_HEAVY,
+        key_range,
+        2,
+        StopCondition::TotalOps(ops),
+    )
+    .with_stalled_thread(true)
+}
+
+/// Per-thread bound from Lemma 10, times the number of participating threads,
+/// with headroom for records retired after the last reclamation scan.
+fn bound(config: &SmrConfig, threads: u64) -> u64 {
+    (config.hi_watermark as u64
+        + (config.max_reservations * config.max_threads) as u64
+        + config.hazards_per_thread as u64 * config.max_threads as u64)
+        * (threads + 1)
+}
+
+#[test]
+fn nbr_plus_bounds_garbage_with_stalled_thread() {
+    let config = cfg();
+    let r = run_with::<DgtTreeFamily>(SmrKind::NbrPlus, &stalled_spec(4_096, 60_000), config.clone());
+    assert!(
+        r.outstanding_garbage() <= bound(&config, 3),
+        "NBR+ outstanding garbage {} exceeds the bound {}",
+        r.outstanding_garbage(),
+        bound(&config, 3)
+    );
+    assert!(r.smr_totals.frees > 0, "NBR+ must have reclaimed during the run");
+}
+
+#[test]
+fn nbr_bounds_garbage_with_stalled_thread() {
+    let config = cfg();
+    let r = run_with::<DgtTreeFamily>(SmrKind::Nbr, &stalled_spec(4_096, 60_000), config.clone());
+    assert!(r.outstanding_garbage() <= bound(&config, 3));
+}
+
+#[test]
+fn hazard_pointers_bound_garbage_with_stalled_thread() {
+    let config = cfg();
+    let r = run_with::<DgtTreeFamily>(SmrKind::Hp, &stalled_spec(4_096, 60_000), config.clone());
+    assert!(r.outstanding_garbage() <= bound(&config, 3));
+}
+
+#[test]
+fn ibr_bounds_garbage_with_stalled_thread() {
+    let config = cfg();
+    let r = run_with::<DgtTreeFamily>(SmrKind::Ibr, &stalled_spec(4_096, 60_000), config.clone());
+    assert!(r.outstanding_garbage() <= bound(&config, 3));
+}
+
+#[test]
+fn debra_does_not_bound_garbage_with_stalled_thread() {
+    let config = cfg();
+    let r = run_with::<DgtTreeFamily>(SmrKind::Debra, &stalled_spec(4_096, 60_000), config.clone());
+    assert!(
+        r.outstanding_garbage() > bound(&config, 3),
+        "DEBRA should accumulate garbage ({}) beyond the bounded-scheme bound ({}) when a thread stalls",
+        r.outstanding_garbage(),
+        bound(&config, 3)
+    );
+}
+
+#[test]
+fn rcu_does_not_bound_garbage_with_stalled_thread() {
+    let config = cfg();
+    let r = run_with::<DgtTreeFamily>(SmrKind::Rcu, &stalled_spec(4_096, 60_000), config.clone());
+    assert!(r.outstanding_garbage() > bound(&config, 3));
+}
+
+#[test]
+fn without_stalled_thread_everyone_reclaims() {
+    let config = cfg();
+    for kind in [SmrKind::NbrPlus, SmrKind::Debra, SmrKind::Hp, SmrKind::Ibr, SmrKind::Rcu] {
+        let spec = WorkloadSpec::new(
+            WorkloadMix::UPDATE_HEAVY,
+            4_096,
+            2,
+            StopCondition::TotalOps(60_000),
+        );
+        let r = run_with::<LazyListFamily>(kind, &spec, config.clone());
+        assert!(
+            r.smr_totals.frees > 0,
+            "{} must reclaim — freed nothing out of {} retires",
+            kind.label(),
+            r.smr_totals.retires
+        );
+    }
+}
+
+#[test]
+fn nbr_plus_piggybacks_instead_of_signalling() {
+    // System-level version of the Section 5 claim: for the same workload NBR+
+    // must send fewer signals than NBR while reclaiming a comparable amount.
+    let config = cfg();
+    let spec = WorkloadSpec::new(
+        WorkloadMix::UPDATE_HEAVY,
+        4_096,
+        4,
+        StopCondition::TotalOps(120_000),
+    );
+    let nbr = run_with::<DgtTreeFamily>(SmrKind::Nbr, &spec, config.clone());
+    let plus = run_with::<DgtTreeFamily>(SmrKind::NbrPlus, &spec, config.clone());
+    assert!(nbr.smr_totals.frees > 0 && plus.smr_totals.frees > 0);
+    let nbr_rate = nbr.smr_totals.signals_sent as f64 / nbr.smr_totals.frees.max(1) as f64;
+    let plus_rate = plus.smr_totals.signals_sent as f64 / plus.smr_totals.frees.max(1) as f64;
+    assert!(
+        plus_rate < nbr_rate,
+        "NBR+ signals-per-free ({plus_rate:.4}) must be below NBR's ({nbr_rate:.4})"
+    );
+}

@@ -1,0 +1,183 @@
+//! Integration tests for the high-level `SmrHandle` / `ReadPhase` API of the
+//! `nbr` crate — the interface a downstream user integrates into their own
+//! data structure (see `examples/custom_ds.rs`).
+
+use nbr::{Nbr, NbrPlus, OpResult, SmrHandle};
+use smr_common::{Atomic, NodeHeader, Shared, Smr, SmrConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+
+struct Rec {
+    header: NodeHeader,
+    value: u64,
+}
+smr_common::impl_smr_node!(Rec);
+
+/// A one-slot shared cell protected by NBR, used by the tests below.
+struct Cell {
+    smr: NbrPlus,
+    slot: Atomic<Rec>,
+}
+
+impl Cell {
+    fn new(max_threads: usize) -> Self {
+        Self {
+            smr: NbrPlus::new(SmrConfig::for_tests().with_max_threads(max_threads)),
+            slot: Atomic::null(),
+        }
+    }
+
+    fn read(&self, handle: &mut SmrHandle<'_, NbrPlus>) -> Option<u64> {
+        handle.run(|phase| {
+            let p = phase.load(0, &self.slot)?;
+            let v = unsafe { p.as_ref() }.map(|r| r.value);
+            phase.reserve(&[]);
+            OpResult::done(v)
+        })
+    }
+
+    fn replace(&self, handle: &mut SmrHandle<'_, NbrPlus>, value: u64) -> Option<u64> {
+        handle.run(|phase| {
+            let old = phase.load(0, &self.slot)?;
+            let old_value = unsafe { old.as_ref() }.map(|r| r.value);
+            phase.reserve(&[old.untagged_usize()]);
+            let new = phase.alloc(Rec {
+                header: NodeHeader::new(),
+                value,
+            });
+            match self
+                .slot
+                .compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => {
+                    if !old.is_null() {
+                        unsafe { phase.retire(old) };
+                    }
+                    OpResult::done(old_value)
+                }
+                Err(_) => {
+                    let (smr, ctx) = phase.raw();
+                    unsafe { smr.dealloc_unpublished(ctx, new) };
+                    OpResult::retry()
+                }
+            }
+        })
+    }
+}
+
+#[test]
+fn single_thread_replace_chain() {
+    let cell = Cell::new(4);
+    let mut handle = SmrHandle::register(&cell.smr, 0);
+    assert_eq!(cell.read(&mut handle), None);
+    assert_eq!(cell.replace(&mut handle, 1), None);
+    assert_eq!(cell.replace(&mut handle, 2), Some(1));
+    assert_eq!(cell.replace(&mut handle, 3), Some(2));
+    assert_eq!(cell.read(&mut handle), Some(3));
+    let stats = handle.stats();
+    assert_eq!(stats.allocs, 3);
+    assert_eq!(stats.retires, 2);
+}
+
+#[test]
+fn concurrent_replacers_never_lose_a_value() {
+    let cell = Arc::new(Cell::new(8));
+    let threads = 4;
+    let per_thread = 5_000u64;
+    let barrier = Arc::new(Barrier::new(threads));
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let cell = Arc::clone(&cell);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let mut handle = SmrHandle::register(&cell.smr, t);
+            barrier.wait();
+            let mut observed = Vec::new();
+            for i in 0..per_thread {
+                let value = (t as u64) * per_thread + i + 1;
+                if let Some(prev) = cell.replace(&mut handle, value) {
+                    observed.push(prev);
+                }
+            }
+            let stats = handle.stats();
+            (observed, stats)
+        }));
+    }
+    let mut all_observed = Vec::new();
+    let mut retires = 0;
+    let mut frees = 0;
+    for h in handles {
+        let (observed, stats) = h.join().unwrap();
+        all_observed.extend(observed);
+        retires += stats.retires;
+        frees += stats.frees;
+    }
+    // Every replacement except the very first unlinked exactly one record.
+    assert_eq!(retires, threads as u64 * per_thread - 1);
+    assert!(frees > 0, "churn at this volume must trigger reclamation");
+    // No observed value can exceed what was ever written.
+    assert!(all_observed
+        .iter()
+        .all(|&v| v >= 1 && v <= threads as u64 * per_thread));
+}
+
+#[test]
+fn reader_is_neutralized_by_concurrent_churn() {
+    // A reader repeatedly loads through a read phase while writers churn the
+    // cell hard enough to trigger neutralization broadcasts; the reader must
+    // observe at least one restart and never read garbage.
+    let cell = Arc::new(Cell::new(8));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut writers = Vec::new();
+    for t in 0..2 {
+        let cell = Arc::clone(&cell);
+        let stop = Arc::clone(&stop);
+        writers.push(std::thread::spawn(move || {
+            let mut handle = SmrHandle::register(&cell.smr, t);
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                cell.replace(&mut handle, i * 2 + t as u64 + 1);
+                i += 1;
+            }
+        }));
+    }
+    let mut reader = SmrHandle::register(&cell.smr, 7);
+    let mut reads = 0u64;
+    while reads < 200_000 {
+        if let Some(v) = cell.read(&mut reader) {
+            assert!(v >= 1, "read a value that was never written");
+        }
+        reads += 1;
+    }
+    stop.store(true, Ordering::Relaxed);
+    for w in writers {
+        w.join().unwrap();
+    }
+    drop(reader);
+}
+
+#[test]
+fn nbr_and_nbr_plus_handles_interoperate_with_raw_trait_calls() {
+    // The handle API and the raw Smr hooks must be freely mixable.
+    let smr = Nbr::new(SmrConfig::for_tests());
+    let mut handle = SmrHandle::register(&smr, 0);
+    let shared = Atomic::<Rec>::null();
+    let node = handle.alloc(Rec {
+        header: NodeHeader::new(),
+        value: 9,
+    });
+    shared.store(node, Ordering::Release);
+
+    // Raw usage of the same context.
+    let (smr_ref, ctx) = handle.parts();
+    smr_ref.begin_read_phase(ctx);
+    let p = shared.load(Ordering::Acquire);
+    assert_eq!(unsafe { p.deref().value }, 9);
+    smr_ref.end_read_phase(ctx, &[p.untagged_usize()]);
+    smr_ref.end_op(ctx);
+
+    let old = shared.swap(Shared::null(), Ordering::AcqRel);
+    unsafe { handle.retire(old) };
+    handle.flush();
+    assert_eq!(handle.stats().frees, 1);
+}

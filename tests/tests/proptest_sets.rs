@@ -1,0 +1,96 @@
+//! Property-based tests (proptest): arbitrary operation sequences applied to
+//! each concurrent set must behave exactly like a `BTreeSet`, under both NBR+
+//! and a baseline reclaimer, and the reclaimers' ledgers must stay consistent
+//! (frees ≤ retires ≤ allocs-for-retired-nodes).
+
+use conc_ds::{AbTree, ConcurrentSet, DgtTree, HarrisList, HmList, LazyList};
+use nbr::NbrPlus;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use smr_baselines::HazardPointers;
+use smr_common::{Smr, SmrConfig};
+use std::collections::BTreeSet;
+
+/// One abstract set operation.
+#[derive(Debug, Clone, Copy)]
+enum SetOp {
+    Insert(u64),
+    Remove(u64),
+    Contains(u64),
+}
+
+fn op_strategy(key_range: u64) -> impl Strategy<Value = SetOp> {
+    (0u8..3, 1..=key_range).prop_map(|(kind, key)| match kind {
+        0 => SetOp::Insert(key),
+        1 => SetOp::Remove(key),
+        _ => SetOp::Contains(key),
+    })
+}
+
+fn run_against_model<S: Smr, DS: ConcurrentSet<S>>(ds: &DS, ops: &[SetOp]) {
+    let mut ctx = ds.smr().register(0);
+    let mut model = BTreeSet::new();
+    for &op in ops {
+        match op {
+            SetOp::Insert(k) => assert_eq!(ds.insert(&mut ctx, k), model.insert(k), "insert({k})"),
+            SetOp::Remove(k) => assert_eq!(ds.remove(&mut ctx, k), model.remove(&k), "remove({k})"),
+            SetOp::Contains(k) => {
+                assert_eq!(ds.contains(&mut ctx, k), model.contains(&k), "contains({k})")
+            }
+        }
+    }
+    assert_eq!(ds.size(&mut ctx), model.len());
+    // Reclaimer ledger invariants.
+    ds.smr().flush(&mut ctx);
+    let stats = ds.smr().thread_stats(&ctx);
+    assert!(stats.frees <= stats.retires, "cannot free more than was retired");
+    assert_eq!(
+        stats.retires - stats.frees,
+        ds.smr().limbo_len(&ctx) as u64,
+        "outstanding retires must equal the limbo bag size"
+    );
+    ds.smr().unregister(&mut ctx);
+}
+
+fn tiny_cfg() -> SmrConfig {
+    SmrConfig::for_tests()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn lazy_list_matches_btreeset(ops in vec(op_strategy(48), 1..400)) {
+        run_against_model(&LazyList::<NbrPlus>::new(tiny_cfg()), &ops);
+    }
+
+    #[test]
+    fn harris_list_matches_btreeset(ops in vec(op_strategy(48), 1..400)) {
+        run_against_model(&HarrisList::<NbrPlus>::new(tiny_cfg()), &ops);
+    }
+
+    #[test]
+    fn hm_list_matches_btreeset(ops in vec(op_strategy(48), 1..400)) {
+        run_against_model(&HmList::<NbrPlus>::new(tiny_cfg()), &ops);
+    }
+
+    #[test]
+    fn dgt_tree_matches_btreeset(ops in vec(op_strategy(128), 1..400)) {
+        run_against_model(&DgtTree::<NbrPlus>::new(tiny_cfg()), &ops);
+    }
+
+    #[test]
+    fn ab_tree_matches_btreeset(ops in vec(op_strategy(256), 1..400)) {
+        run_against_model(&AbTree::<NbrPlus>::new(tiny_cfg()), &ops);
+    }
+
+    #[test]
+    fn lazy_list_under_hazard_pointers_matches_btreeset(ops in vec(op_strategy(48), 1..300)) {
+        run_against_model(&LazyList::<HazardPointers>::new(tiny_cfg()), &ops);
+    }
+
+    #[test]
+    fn dgt_tree_under_hazard_pointers_matches_btreeset(ops in vec(op_strategy(128), 1..300)) {
+        run_against_model(&DgtTree::<HazardPointers>::new(tiny_cfg()), &ops);
+    }
+}
