@@ -14,7 +14,10 @@ fn main() {
     // piggyback on.
     scale.thread_counts = vec![*scale.thread_counts.last().unwrap_or(&2)];
     let results = ablation_signal_counts(&scale);
-    println!("{}", report::to_table("Ablation — NBR vs NBR+ signal traffic", &results));
+    println!(
+        "{}",
+        report::to_table("Ablation — NBR vs NBR+ signal traffic", &results)
+    );
     for r in &results {
         let signals = r.smr_totals.signals_sent;
         let frees = r.smr_totals.frees.max(1);

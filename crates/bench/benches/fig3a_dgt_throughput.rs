@@ -28,13 +28,17 @@ fn bench_fig3a(c: &mut Criterion) {
             .measurement_time(meas)
             .throughput(Throughput::Elements(helpers::OPS_PER_ITER));
         for &kind in helpers::bench_smr_set() {
-            group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
-                b.iter_custom(|iters| {
-                    let spec = helpers::spec_for_iters(mix, KEY_RANGE, threads, iters);
-                    let r = run_with::<DgtTreeFamily>(kind, &spec, helpers::bench_config());
-                    r.duration
-                });
-            });
+            group.bench_with_input(
+                BenchmarkId::from_parameter(kind.label()),
+                &kind,
+                |b, &kind| {
+                    b.iter_custom(|iters| {
+                        let spec = helpers::spec_for_iters(mix, KEY_RANGE, threads, iters);
+                        let r = run_with::<DgtTreeFamily>(kind, &spec, helpers::bench_config());
+                        r.duration
+                    });
+                },
+            );
         }
         group.finish();
     }

@@ -12,7 +12,12 @@ use smr_harness::{run_with, SmrKind, WorkloadMix};
 fn bench_fig4a(c: &mut Criterion) {
     let threads = helpers::bench_threads();
     let (samples, warm, meas) = helpers::criterion_times();
-    let kinds = [SmrKind::NbrPlus, SmrKind::Nbr, SmrKind::Debra, SmrKind::Leaky];
+    let kinds = [
+        SmrKind::NbrPlus,
+        SmrKind::Nbr,
+        SmrKind::Debra,
+        SmrKind::Leaky,
+    ];
     for (key_range, label) in [(65_536u64, "range64k"), (200u64, "range200")] {
         let mut group = c.benchmark_group(format!("fig4a_abtree_{label}"));
         group
@@ -21,18 +26,22 @@ fn bench_fig4a(c: &mut Criterion) {
             .measurement_time(meas)
             .throughput(Throughput::Elements(helpers::OPS_PER_ITER));
         for &kind in &kinds {
-            group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
-                b.iter_custom(|iters| {
-                    let spec = helpers::spec_for_iters(
-                        WorkloadMix::UPDATE_HEAVY,
-                        key_range,
-                        threads,
-                        iters,
-                    );
-                    let r = run_with::<AbTreeFamily>(kind, &spec, helpers::bench_config());
-                    r.duration
-                });
-            });
+            group.bench_with_input(
+                BenchmarkId::from_parameter(kind.label()),
+                &kind,
+                |b, &kind| {
+                    b.iter_custom(|iters| {
+                        let spec = helpers::spec_for_iters(
+                            WorkloadMix::UPDATE_HEAVY,
+                            key_range,
+                            threads,
+                            iters,
+                        );
+                        let r = run_with::<AbTreeFamily>(kind, &spec, helpers::bench_config());
+                        r.duration
+                    });
+                },
+            );
         }
         group.finish();
     }

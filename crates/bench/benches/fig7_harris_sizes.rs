@@ -19,18 +19,22 @@ fn bench_fig7(c: &mut Criterion) {
             .measurement_time(meas)
             .throughput(Throughput::Elements(helpers::OPS_PER_ITER));
         for &kind in helpers::bench_smr_set() {
-            group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
-                b.iter_custom(|iters| {
-                    let spec = helpers::spec_for_iters(
-                        WorkloadMix::UPDATE_HEAVY,
-                        key_range,
-                        threads,
-                        iters,
-                    );
-                    let r = run_with::<HarrisListFamily>(kind, &spec, helpers::bench_config());
-                    r.duration
-                });
-            });
+            group.bench_with_input(
+                BenchmarkId::from_parameter(kind.label()),
+                &kind,
+                |b, &kind| {
+                    b.iter_custom(|iters| {
+                        let spec = helpers::spec_for_iters(
+                            WorkloadMix::UPDATE_HEAVY,
+                            key_range,
+                            threads,
+                            iters,
+                        );
+                        let r = run_with::<HarrisListFamily>(kind, &spec, helpers::bench_config());
+                        r.duration
+                    });
+                },
+            );
         }
         group.finish();
     }

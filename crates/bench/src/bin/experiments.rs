@@ -2,7 +2,7 @@
 //! evaluation and prints them (the output recorded in `EXPERIMENTS.md`).
 //!
 //! ```text
-//! cargo run -p nbr-bench --release --bin experiments -- [--quick|--full] [--csv] [SELECTORS...]
+//! cargo run -p nbr-bench --release --bin experiments -- [--quick|--full|--smoke] [--csv] [--help] [SELECTORS...]
 //!
 //! selectors (default: all):
 //!   --e1-tree   Figure 3a   DGT tree throughput
@@ -33,6 +33,22 @@ struct Options {
     selected: Vec<String>,
 }
 
+const SELECTORS: &[&str] = &[
+    "e1-tree", "e1-list", "e2", "e3", "e4", "fig5", "fig6", "fig7", "fig8", "ablation",
+];
+
+fn usage() -> String {
+    format!(
+        "usage: experiments [--quick|--full|--smoke] [--csv] [SELECTORS...]\n\
+         selectors (default: all): {}",
+        SELECTORS
+            .iter()
+            .map(|s| format!("--{s}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    )
+}
+
 fn parse_args() -> Options {
     let mut scale = ExperimentScale::quick();
     let mut csv = false;
@@ -43,9 +59,15 @@ fn parse_args() -> Options {
             "--quick" => scale = ExperimentScale::quick(),
             "--smoke" => scale = ExperimentScale::smoke(),
             "--csv" => csv = true,
-            s if s.starts_with("--") => selected.push(s.trim_start_matches("--").to_string()),
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            s if s.starts_with("--") && SELECTORS.contains(&s.trim_start_matches("--")) => {
+                selected.push(s.trim_start_matches("--").to_string())
+            }
             other => {
-                eprintln!("unknown argument: {other}");
+                eprintln!("unknown argument: {other}\n{}", usage());
                 std::process::exit(2);
             }
         }

@@ -6,9 +6,9 @@
 //! cargo run -p nbr-bench --release --bin stress -- [rounds]
 //! ```
 
+use smr_common::SmrConfig;
 use smr_harness::families::{run_with, HarrisListFamily, SmrKind};
 use smr_harness::{StopCondition, WorkloadMix, WorkloadSpec};
-use smr_common::SmrConfig;
 use std::time::Duration;
 
 fn main() {

@@ -19,8 +19,8 @@
 pub mod helpers {
     //! Shared plumbing for the Criterion benches.
 
-    use smr_harness::{SmrKind, StopCondition, WorkloadMix, WorkloadSpec};
     use smr_common::SmrConfig;
+    use smr_harness::{SmrKind, StopCondition, WorkloadMix, WorkloadSpec};
     use std::time::Duration;
 
     /// Operations per Criterion "iteration".

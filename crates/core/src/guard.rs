@@ -104,7 +104,10 @@ impl<'s, S: Smr> SmrHandle<'s, S> {
     /// Splits the handle into the reclaimer and the thread context, which is
     /// the shape the data-structure methods expect.
     pub fn parts(&mut self) -> (&'s S, &mut S::ThreadCtx) {
-        (self.smr, self.ctx.as_mut().expect("handle already deregistered"))
+        (
+            self.smr,
+            self.ctx.as_mut().expect("handle already deregistered"),
+        )
     }
 
     /// Allocates a node through the reclaimer (stamping its birth era).
@@ -124,7 +127,8 @@ impl<'s, S: Smr> SmrHandle<'s, S> {
 
     /// This thread's SMR counters.
     pub fn stats(&self) -> ThreadStats {
-        self.smr.thread_stats(self.ctx.as_ref().expect("handle already deregistered"))
+        self.smr
+            .thread_stats(self.ctx.as_ref().expect("handle already deregistered"))
     }
 
     /// Attempts to reclaim everything that is currently safe.
@@ -149,7 +153,11 @@ impl<'s, S: Smr> SmrHandle<'s, S> {
         smr.begin_op(ctx);
         let result = loop {
             smr.begin_read_phase(ctx);
-            let mut phase = ReadPhase { smr, ctx, reserved: false };
+            let mut phase = ReadPhase {
+                smr,
+                ctx,
+                reserved: false,
+            };
             match body(&mut phase) {
                 Ok(OpResult::Done(v)) => break v,
                 Ok(OpResult::Retry) | Err(Neutralized) => continue,

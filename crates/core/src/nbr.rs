@@ -282,13 +282,19 @@ mod tests {
         let hi = nbr.config().hi_watermark;
         alloc_and_retire(&nbr, &mut reclaimer, hi);
         let s = nbr.thread_stats(&reclaimer);
-        assert_eq!(s.frees, 0, "round must be conceded while the reader is silent");
+        assert_eq!(
+            s.frees, 0,
+            "round must be conceded while the reader is silent"
+        );
         assert_eq!(s.reclaim_skips, 1);
 
         // The reader observes the signal at its next checkpoint (restarting its
         // read phase) and eventually finishes its operation; the next
         // reclamation then succeeds.
-        assert!(nbr.checkpoint(&mut reader), "reader must observe the signal");
+        assert!(
+            nbr.checkpoint(&mut reader),
+            "reader must observe the signal"
+        );
         nbr.end_read_phase(&mut reader, &[]);
         nbr.end_op(&mut reader);
         nbr.flush(&mut reclaimer);

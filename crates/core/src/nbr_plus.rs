@@ -274,7 +274,11 @@ mod tests {
         alloc_and_retire(&smr, &mut ctx, hi);
         assert_eq!(smr.limbo_len(&ctx), 0);
         let after = smr.neutralization().slot(0).announce_ts();
-        assert_eq!(after, before + 2, "a verified RGP bumps the timestamp twice");
+        assert_eq!(
+            after,
+            before + 2,
+            "a verified RGP bumps the timestamp twice"
+        );
         assert_eq!(after % 2, 0);
         smr.unregister(&mut ctx);
     }
@@ -302,7 +306,10 @@ mod tests {
         alloc_and_retire(&smr, &mut waiter, LO_WM_SCAN_PERIOD as usize + 1);
         let s = smr.thread_stats(&waiter);
         assert_eq!(s.signals_sent, 0, "the waiter must not signal");
-        assert_eq!(s.rgp_reclaims, 1, "the waiter must piggyback exactly once here");
+        assert_eq!(
+            s.rgp_reclaims, 1,
+            "the waiter must piggyback exactly once here"
+        );
         assert!(
             smr.limbo_len(&waiter) < waiting,
             "bookmarked prefix must have been reclaimed"

@@ -295,7 +295,9 @@ impl<S: Smr> AbTree<S> {
             }
             (Some(_), None) => unreachable!("validated parent must contain the leaf"),
         }
-        unsafe { leaf.deref() }.removed.store(true, Ordering::Release);
+        unsafe { leaf.deref() }
+            .removed
+            .store(true, Ordering::Release);
         // SAFETY: the old leaf was just unlinked under the parent lock held by
         // this thread, so it is retired exactly once.
         unsafe { self.smr.retire(ctx, leaf) };
@@ -758,7 +760,10 @@ mod tests {
         }
         tree.smr().flush(&mut ctx);
         let s = tree.smr().thread_stats(&ctx);
-        assert!(s.retires > 2_000, "copy-on-write leaves must generate retires");
+        assert!(
+            s.retires > 2_000,
+            "copy-on-write leaves must generate retires"
+        );
         assert!(s.frees > s.retires / 2);
         tree.smr().unregister(&mut ctx);
     }

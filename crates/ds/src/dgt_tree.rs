@@ -195,8 +195,8 @@ impl<S: Smr> ConcurrentSet<S> for DgtTree<S> {
             let parent_ref = unsafe { r.parent.deref() };
             parent_ref.lock.lock();
             let child_slot = parent_ref.child_for(key);
-            let valid = !parent_ref.is_removed()
-                && child_slot.load(Ordering::Acquire).ptr_eq(r.leaf);
+            let valid =
+                !parent_ref.is_removed() && child_slot.load(Ordering::Acquire).ptr_eq(r.leaf);
             if !valid {
                 parent_ref.lock.unlock();
                 continue;

@@ -97,7 +97,9 @@ impl<S: Smr> HarrisList<S> {
             // and slot protecting the freshly loaded `t_next`.
             let mut t_prot_slot = SLOT_T_B;
             let mut t_next_slot = SLOT_T_A;
-            let mut t_next = self.smr.protect(ctx, t_next_slot, unsafe { &t.deref().next });
+            let mut t_next = self
+                .smr
+                .protect(ctx, t_next_slot, unsafe { &t.deref().next });
             if self.smr.checkpoint(ctx) {
                 continue 'search_again;
             }
@@ -118,8 +120,14 @@ impl<S: Smr> HarrisList<S> {
                 if t.ptr_eq(self.tail) {
                     break;
                 }
-                t_next_slot = if t_prot_slot == SLOT_T_A { SLOT_T_B } else { SLOT_T_A };
-                t_next = self.smr.protect(ctx, t_next_slot, unsafe { &t.deref().next });
+                t_next_slot = if t_prot_slot == SLOT_T_A {
+                    SLOT_T_B
+                } else {
+                    SLOT_T_A
+                };
+                t_next = self
+                    .smr
+                    .protect(ctx, t_next_slot, unsafe { &t.deref().next });
                 if self.smr.checkpoint(ctx) {
                     continue 'search_again;
                 }
@@ -185,7 +193,10 @@ impl<S: Smr> HarrisList<S> {
                 // they are not reserved.
                 let mut c = left_next.with_tag(0);
                 while !c.ptr_eq(right) {
-                    let nxt = unsafe { c.deref() }.next.load(Ordering::Acquire).with_tag(0);
+                    let nxt = unsafe { c.deref() }
+                        .next
+                        .load(Ordering::Acquire)
+                        .with_tag(0);
                     // SAFETY: unlinked above by this thread's CAS; retired once.
                     unsafe { self.smr.retire(ctx, c) };
                     c = nxt;
@@ -330,7 +341,10 @@ impl<S: Smr> Drop for HarrisList<S> {
     fn drop(&mut self) {
         let mut curr = self.head.next.load(Ordering::Relaxed).with_tag(0);
         while !curr.is_null() {
-            let next = unsafe { curr.deref() }.next.load(Ordering::Relaxed).with_tag(0);
+            let next = unsafe { curr.deref() }
+                .next
+                .load(Ordering::Relaxed)
+                .with_tag(0);
             unsafe { drop(Box::from_raw(curr.as_raw())) };
             curr = next;
         }

@@ -113,7 +113,9 @@ impl<S: Smr> HmList<S> {
             // Rotating hazard slots: pred, curr, next.
             let mut pred_slot = 2usize;
             let mut curr_slot = 0usize;
-            let mut curr = self.smr.protect(ctx, curr_slot, unsafe { &pred.deref().next });
+            let mut curr = self
+                .smr
+                .protect(ctx, curr_slot, unsafe { &pred.deref().next });
             if self.smr.checkpoint(ctx) {
                 continue 'from_root;
             }
@@ -123,7 +125,9 @@ impl<S: Smr> HmList<S> {
                     return FindResult { pred, curr };
                 }
                 let next_slot = 3 - pred_slot - curr_slot; // the remaining slot of {0,1,2}
-                let next = self.smr.protect(ctx, next_slot, unsafe { &curr.deref().next });
+                let next = self
+                    .smr
+                    .protect(ctx, next_slot, unsafe { &curr.deref().next });
                 if self.smr.checkpoint(ctx) {
                     continue 'from_root;
                 }
@@ -136,7 +140,12 @@ impl<S: Smr> HmList<S> {
                     let pred_ref = unsafe { pred.deref() };
                     let unlinked = pred_ref
                         .next
-                        .compare_exchange(curr, next.with_tag(0), Ordering::AcqRel, Ordering::Acquire)
+                        .compare_exchange(
+                            curr,
+                            next.with_tag(0),
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
                         .is_ok();
                     if unlinked {
                         // SAFETY: unlinked by this thread's CAS just now.
@@ -239,7 +248,12 @@ impl<S: Smr> ConcurrentSet<S> for HmList<S> {
             // Logical delete.
             if curr_ref
                 .next
-                .compare_exchange(next, next.with_tag(MARK), Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange(
+                    next,
+                    next.with_tag(MARK),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
                 .is_err()
             {
                 continue;
@@ -249,7 +263,12 @@ impl<S: Smr> ConcurrentSet<S> for HmList<S> {
             let pred_ref = unsafe { r.pred.deref() };
             if pred_ref
                 .next
-                .compare_exchange(r.curr, next.with_tag(0), Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange(
+                    r.curr,
+                    next.with_tag(0),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
                 .is_ok()
             {
                 // SAFETY: unlinked by this thread's CAS; retired exactly once.
@@ -295,7 +314,10 @@ impl<S: Smr> Drop for HmList<S> {
     fn drop(&mut self) {
         let mut curr = self.head.next.load(Ordering::Relaxed).with_tag(0);
         while !curr.is_null() {
-            let next = unsafe { curr.deref() }.next.load(Ordering::Relaxed).with_tag(0);
+            let next = unsafe { curr.deref() }
+                .next
+                .load(Ordering::Relaxed)
+                .with_tag(0);
             unsafe { drop(Box::from_raw(curr.as_raw())) };
             curr = next;
         }

@@ -114,7 +114,12 @@ pub(crate) mod test_support {
 
     /// Runs a randomized single-threaded workload against both the concurrent
     /// structure and a reference `BTreeSet`, checking every return value.
-    pub fn model_check<S: Smr, DS: ConcurrentSet<S>>(ds: &DS, ops: usize, key_range: u64, seed: u64) {
+    pub fn model_check<S: Smr, DS: ConcurrentSet<S>>(
+        ds: &DS,
+        ops: usize,
+        key_range: u64,
+        seed: u64,
+    ) {
         let mut ctx = ds.smr().register(0);
         let mut model = BTreeSet::new();
         let mut rng = SplitMix(seed);
@@ -131,7 +136,11 @@ pub(crate) mod test_support {
                 }
                 _ => {
                     let expected = model.contains(&key);
-                    assert_eq!(ds.contains(&mut ctx, key), expected, "contains({key}) mismatch");
+                    assert_eq!(
+                        ds.contains(&mut ctx, key),
+                        expected,
+                        "contains({key}) mismatch"
+                    );
                 }
             }
         }

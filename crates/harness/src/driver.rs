@@ -137,7 +137,7 @@ where
     DS: Buildable<S> + Send + Sync,
 {
     assert!(
-        spec.threads + usize::from(spec.stalled_thread) + 1 <= config.max_threads,
+        spec.threads + usize::from(spec.stalled_thread) < config.max_threads,
         "not enough SMR thread slots for this trial"
     );
     let ds = Arc::new(DS::build(config));
@@ -338,7 +338,9 @@ mod tests {
     use smr_baselines::Debra;
 
     fn small_config() -> SmrConfig {
-        SmrConfig::default().with_max_threads(16).with_watermarks(256, 64)
+        SmrConfig::default()
+            .with_max_threads(16)
+            .with_watermarks(256, 64)
     }
 
     #[test]

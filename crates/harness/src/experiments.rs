@@ -179,13 +179,22 @@ pub fn e2_peak_memory(scale: &ExperimentScale, stalled: bool) -> Vec<TrialResult
 /// E3 (Figure 4a): (a,b)-tree throughput at a large and a tiny key range
 /// (low vs. high contention), NBR+ / NBR / DEBRA / none.
 pub fn e3_abtree_contention(scale: &ExperimentScale) -> Vec<TrialResult> {
-    let kinds = [SmrKind::NbrPlus, SmrKind::Nbr, SmrKind::Debra, SmrKind::Leaky];
+    let kinds = [
+        SmrKind::NbrPlus,
+        SmrKind::Nbr,
+        SmrKind::Debra,
+        SmrKind::Leaky,
+    ];
     let mut out = Vec::new();
     for &key_range in &[scale.tree_key_range, scale.small_key_range] {
         for &threads in &scale.thread_counts {
             for &kind in &kinds {
                 let spec = scale.spec(WorkloadMix::UPDATE_HEAVY, key_range, threads);
-                out.push(run_with::<AbTreeFamily>(kind, &spec, scale.smr_config(threads)));
+                out.push(run_with::<AbTreeFamily>(
+                    kind,
+                    &spec,
+                    scale.smr_config(threads),
+                ));
             }
         }
     }
@@ -201,9 +210,21 @@ pub fn e4_hmlist_restarts(scale: &ExperimentScale) -> Vec<TrialResult> {
         for &threads in &scale.thread_counts {
             let spec = scale.spec(WorkloadMix::UPDATE_HEAVY, key_range, threads);
             let cfg = scale.smr_config(threads);
-            out.push(run_with::<HmListRestartFamily>(SmrKind::NbrPlus, &spec, cfg.clone()));
-            out.push(run_with::<HmListRestartFamily>(SmrKind::Debra, &spec, cfg.clone()));
-            out.push(run_with::<HmListNoRestartFamily>(SmrKind::Debra, &spec, cfg.clone()));
+            out.push(run_with::<HmListRestartFamily>(
+                SmrKind::NbrPlus,
+                &spec,
+                cfg.clone(),
+            ));
+            out.push(run_with::<HmListRestartFamily>(
+                SmrKind::Debra,
+                &spec,
+                cfg.clone(),
+            ));
+            out.push(run_with::<HmListNoRestartFamily>(
+                SmrKind::Debra,
+                &spec,
+                cfg.clone(),
+            ));
             out.push(run_with::<HmListRestartFamily>(SmrKind::Leaky, &spec, cfg));
         }
     }
@@ -214,7 +235,11 @@ pub fn e4_hmlist_restarts(scale: &ExperimentScale) -> Vec<TrialResult> {
 pub fn fig5_dgt_sizes(scale: &ExperimentScale, sizes: &[u64]) -> Vec<TrialResult> {
     let mut out = Vec::new();
     for &size in sizes {
-        out.extend(throughput_sweep::<DgtTreeFamily>(scale, size, SmrKind::e1_set()));
+        out.extend(throughput_sweep::<DgtTreeFamily>(
+            scale,
+            size,
+            SmrKind::e1_set(),
+        ));
     }
     out
 }
@@ -223,7 +248,11 @@ pub fn fig5_dgt_sizes(scale: &ExperimentScale, sizes: &[u64]) -> Vec<TrialResult
 pub fn fig6_lazylist_sizes(scale: &ExperimentScale, sizes: &[u64]) -> Vec<TrialResult> {
     let mut out = Vec::new();
     for &size in sizes {
-        out.extend(throughput_sweep::<LazyListFamily>(scale, size, SmrKind::e1_set()));
+        out.extend(throughput_sweep::<LazyListFamily>(
+            scale,
+            size,
+            SmrKind::e1_set(),
+        ));
     }
     out
 }
@@ -249,7 +278,12 @@ pub fn fig7_harris_sizes(scale: &ExperimentScale, sizes: &[u64]) -> Vec<TrialRes
 /// Figure 8: (a,b)-tree throughput across key-range sizes (appendix, E3
 /// extension).
 pub fn fig8_abtree_sizes(scale: &ExperimentScale, sizes: &[u64]) -> Vec<TrialResult> {
-    let kinds = [SmrKind::NbrPlus, SmrKind::Nbr, SmrKind::Debra, SmrKind::Leaky];
+    let kinds = [
+        SmrKind::NbrPlus,
+        SmrKind::Nbr,
+        SmrKind::Debra,
+        SmrKind::Leaky,
+    ];
     let mut out = Vec::new();
     for &size in sizes {
         out.extend(throughput_sweep::<AbTreeFamily>(scale, size, &kinds));
@@ -266,7 +300,11 @@ pub fn ablation_signal_counts(scale: &ExperimentScale) -> Vec<TrialResult> {
     let threads = scale.thread_counts.iter().copied().max().unwrap_or(2);
     for &kind in &[SmrKind::Nbr, SmrKind::NbrPlus] {
         let spec = scale.spec(WorkloadMix::UPDATE_HEAVY, scale.tree_key_range, threads);
-        out.push(run_with::<DgtTreeFamily>(kind, &spec, scale.smr_config(threads)));
+        out.push(run_with::<DgtTreeFamily>(
+            kind,
+            &spec,
+            scale.smr_config(threads),
+        ));
     }
     out
 }

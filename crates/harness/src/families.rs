@@ -155,11 +155,7 @@ impl DsFamily for AbTreeFamily {
 
 /// Runs one trial of `spec` for data-structure family `F` under the reclaimer
 /// named by `kind`.
-pub fn run_with<F: DsFamily>(
-    kind: SmrKind,
-    spec: &WorkloadSpec,
-    config: SmrConfig,
-) -> TrialResult {
+pub fn run_with<F: DsFamily>(kind: SmrKind, spec: &WorkloadSpec, config: SmrConfig) -> TrialResult {
     match kind {
         SmrKind::NbrPlus => run_trial::<NbrPlus, F::Ds<NbrPlus>>(spec, config),
         SmrKind::Nbr => run_trial::<Nbr, F::Ds<Nbr>>(spec, config),
@@ -203,7 +199,9 @@ mod tests {
             StopCondition::TotalOps(4_000),
         )
         .with_prefill(64);
-        let config = SmrConfig::default().with_max_threads(8).with_watermarks(128, 32);
+        let config = SmrConfig::default()
+            .with_max_threads(8)
+            .with_watermarks(128, 32);
         for &kind in SmrKind::all() {
             let r = run_with::<LazyListFamily>(kind, &spec, config.clone());
             assert_eq!(r.smr, kind.label(), "label mismatch for {kind:?}");

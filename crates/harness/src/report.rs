@@ -18,10 +18,7 @@ pub fn to_table(title: &str, results: &[TrialResult]) -> String {
         out,
         "| structure | reclaimer | mix | key range | threads | stalled | Mops/s | retired | freed | unreclaimed | signals | neutralized | peak MiB |"
     );
-    let _ = writeln!(
-        out,
-        "|---|---|---|---|---|---|---|---|---|---|---|---|---|"
-    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|---|---|---|");
     for r in results {
         let _ = writeln!(
             out,
@@ -90,7 +87,7 @@ pub fn to_throughput_series(title: &str, results: &[TrialResult]) -> String {
         let _ = write!(header, " {t} |");
     }
     let _ = writeln!(out, "{header}");
-    let _ = writeln!(out, "|{}|", "---|".repeat(threads.len() + 1));
+    let _ = writeln!(out, "|{}", "---|".repeat(threads.len() + 1));
     for (smr, by_threads) in &series {
         let mut row = format!("| {smr} |");
         for t in &threads {

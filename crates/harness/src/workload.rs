@@ -195,12 +195,7 @@ mod tests {
 
     #[test]
     fn generator_respects_mix_roughly() {
-        let spec = WorkloadSpec::new(
-            WorkloadMix::BALANCED,
-            1000,
-            1,
-            StopCondition::TotalOps(1),
-        );
+        let spec = WorkloadSpec::new(WorkloadMix::BALANCED, 1000, 1, StopCondition::TotalOps(1));
         let mut g = OpGenerator::new(&spec, 0);
         let mut ins = 0;
         let mut rem = 0;
@@ -219,12 +214,21 @@ mod tests {
         let pct = |x: i32| (x * 100) / n;
         assert!((20..=30).contains(&pct(ins)), "insert share {}%", pct(ins));
         assert!((20..=30).contains(&pct(rem)), "remove share {}%", pct(rem));
-        assert!((45..=55).contains(&pct(con)), "contains share {}%", pct(con));
+        assert!(
+            (45..=55).contains(&pct(con)),
+            "contains share {}%",
+            pct(con)
+        );
     }
 
     #[test]
     fn generators_are_deterministic_per_seed_and_thread() {
-        let spec = WorkloadSpec::new(WorkloadMix::UPDATE_HEAVY, 100, 2, StopCondition::TotalOps(1));
+        let spec = WorkloadSpec::new(
+            WorkloadMix::UPDATE_HEAVY,
+            100,
+            2,
+            StopCondition::TotalOps(1),
+        );
         let mut a = OpGenerator::new(&spec, 0);
         let mut b = OpGenerator::new(&spec, 0);
         let mut c = OpGenerator::new(&spec, 1);

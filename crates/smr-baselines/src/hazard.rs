@@ -15,8 +15,7 @@
 
 use crate::util::OrphanPool;
 use smr_common::{
-    Atomic, CachePadded, LimboBag, Registry, Retired, Shared, Smr, SmrConfig, SmrNode,
-    ThreadStats,
+    Atomic, CachePadded, LimboBag, Registry, Retired, Shared, Smr, SmrConfig, SmrNode, ThreadStats,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -42,9 +41,8 @@ pub struct HazardPointers {
 impl HazardPointers {
     fn scan_and_reclaim(&self, ctx: &mut HpCtx) {
         ctx.stats.reclaim_scans += 1;
-        let mut protected = Vec::with_capacity(
-            self.config.hazards_per_thread * self.registry.registered().max(1),
-        );
+        let mut protected =
+            Vec::with_capacity(self.config.hazards_per_thread * self.registry.registered().max(1));
         for tid in self.registry.active_tids() {
             for h in self.hazards[tid].slots.iter() {
                 let addr = h.load(Ordering::SeqCst);

@@ -10,8 +10,7 @@
 
 use crate::util::{EraClock, OrphanPool};
 use smr_common::{
-    Atomic, CachePadded, LimboBag, Registry, Retired, Shared, Smr, SmrConfig, SmrNode,
-    ThreadStats,
+    Atomic, CachePadded, LimboBag, Registry, Retired, Shared, Smr, SmrConfig, SmrNode, ThreadStats,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -43,9 +42,8 @@ pub struct HazardEras {
 impl HazardEras {
     fn scan_and_reclaim(&self, ctx: &mut HeCtx) {
         ctx.stats.reclaim_scans += 1;
-        let mut eras = Vec::with_capacity(
-            self.config.hazards_per_thread * self.registry.registered().max(1),
-        );
+        let mut eras =
+            Vec::with_capacity(self.config.hazards_per_thread * self.registry.registered().max(1));
         for tid in self.registry.active_tids() {
             for s in self.slots[tid].slots.iter() {
                 let e = s.load(Ordering::SeqCst);
@@ -61,7 +59,11 @@ impl HazardEras {
         // safety argument).
         let freed = unsafe {
             ctx.limbo.reclaim_if(
-                |r| !eras.iter().any(|&e| r.birth_era() <= e && e <= r.retire_era()),
+                |r| {
+                    !eras
+                        .iter()
+                        .any(|&e| r.birth_era() <= e && e <= r.retire_era())
+                },
                 &mut ctx.stats,
             )
         };

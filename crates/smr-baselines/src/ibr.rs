@@ -12,8 +12,7 @@
 
 use crate::util::{EraClock, OrphanPool};
 use smr_common::{
-    Atomic, CachePadded, LimboBag, Registry, Retired, Shared, Smr, SmrConfig, SmrNode,
-    ThreadStats,
+    Atomic, CachePadded, LimboBag, Registry, Retired, Shared, Smr, SmrConfig, SmrNode, ThreadStats,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -309,7 +308,10 @@ mod tests {
         shared.store(n, Ordering::Release);
         let _ = smr.protect(&mut ctx, 0, &shared);
         let upper = smr.slots[0].upper.load(Ordering::SeqCst);
-        assert!(upper > lower_before, "upper bound must track the global era");
+        assert!(
+            upper > lower_before,
+            "upper bound must track the global era"
+        );
         assert_eq!(smr.slots[0].lower.load(Ordering::SeqCst), lower_before);
         smr.end_op(&mut ctx);
         let old = shared.swap(Shared::null(), Ordering::AcqRel);

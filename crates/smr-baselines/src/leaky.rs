@@ -116,7 +116,11 @@ mod tests {
         assert_eq!(smr.thread_stats(&ctx).frees, 0);
         assert_eq!(smr.limbo_len(&ctx), 100);
         smr.unregister(&mut ctx);
-        assert_eq!(smr.thread_stats(&ctx).frees, 0, "unregister must not free either");
+        assert_eq!(
+            smr.thread_stats(&ctx).frees,
+            0,
+            "unregister must not free either"
+        );
     }
 
     #[test]

@@ -153,7 +153,9 @@ impl Smr for Qsbr {
         // Quiescent state: announce the current epoch and occasionally try to
         // advance it.
         let e = self.epoch.now();
-        self.slots[ctx.tid].quiescent_epoch.store(e, Ordering::SeqCst);
+        self.slots[ctx.tid]
+            .quiescent_epoch
+            .store(e, Ordering::SeqCst);
         ctx.retires_since_check += 1;
         if ctx.retires_since_check >= self.config.epoch_freq {
             ctx.retires_since_check = 0;
@@ -173,7 +175,9 @@ impl Smr for Qsbr {
     fn flush(&self, ctx: &mut QsbrCtx) {
         for _ in 0..3 {
             let e = self.epoch.now();
-            self.slots[ctx.tid].quiescent_epoch.store(e, Ordering::SeqCst);
+            self.slots[ctx.tid]
+                .quiescent_epoch
+                .store(e, Ordering::SeqCst);
             self.try_advance(ctx);
             self.sync_local_epoch(ctx, self.epoch.now());
         }

@@ -121,7 +121,11 @@ mod tests {
         let pool = OrphanPool::new();
         assert!(pool.is_empty());
         let raws: Vec<_> = (0..3)
-            .map(|_| Box::into_raw(Box::new(N { header: NodeHeader::new() })))
+            .map(|_| {
+                Box::into_raw(Box::new(N {
+                    header: NodeHeader::new(),
+                }))
+            })
             .collect();
         let retired = raws
             .iter()

@@ -174,8 +174,7 @@ mod tests {
         let reserved = addrs[1];
         let mut stats = ThreadStats::default();
         // Bookmark at 4: only records 0..4 are candidates; record 1 is reserved.
-        let freed =
-            unsafe { bag.reclaim_prefix_if(4, |r| r.address() != reserved, &mut stats) };
+        let freed = unsafe { bag.reclaim_prefix_if(4, |r| r.address() != reserved, &mut stats) };
         assert_eq!(freed, 3);
         assert_eq!(bag.len(), 3); // reserved survivor + 2 past the bookmark
         assert_eq!(stats.frees, 3);

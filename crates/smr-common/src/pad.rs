@@ -85,7 +85,7 @@ mod tests {
 
     #[test]
     fn adjacent_elements_do_not_share_lines() {
-        let v = vec![CachePadded::new(0u8), CachePadded::new(0u8)];
+        let v = [CachePadded::new(0u8), CachePadded::new(0u8)];
         let a = &*v[0] as *const u8 as usize;
         let b = &*v[1] as *const u8 as usize;
         assert!(b - a >= 128);

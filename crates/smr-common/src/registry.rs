@@ -83,12 +83,7 @@ impl Registry {
 
     /// Claims the first free slot, returning its index.
     pub fn register_any(&self) -> Option<usize> {
-        for tid in 0..self.slots.len() {
-            if self.register_tid(tid) {
-                return Some(tid);
-            }
-        }
-        None
+        (0..self.slots.len()).find(|&tid| self.register_tid(tid))
     }
 
     /// Releases a slot previously claimed with [`Registry::register_tid`] /

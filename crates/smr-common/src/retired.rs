@@ -139,7 +139,7 @@ mod tests {
         };
         let raw = Box::into_raw(Box::new(node));
         let retired = unsafe { Retired::new(raw, 0) };
-        drop(retired);
+        let _ = retired;
         assert_eq!(DROPS.load(Ordering::SeqCst), 0, "drop must not reclaim");
         // Clean up manually so the test itself does not leak.
         unsafe { drop(Box::from_raw(raw)) };

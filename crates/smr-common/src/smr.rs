@@ -126,7 +126,8 @@ impl SmrConfig {
         assert!(self.max_threads > 0);
         assert!(self.lo_watermark <= self.hi_watermark);
         assert!(
-            self.max_reservations * self.max_threads < self.hi_watermark.max(1) * self.max_threads.max(1) + self.hi_watermark,
+            self.max_reservations * self.max_threads
+                < self.hi_watermark.max(1) * self.max_threads.max(1) + self.hi_watermark,
             "total reservations must be smaller than limbo capacity (Section 4.4)"
         );
     }

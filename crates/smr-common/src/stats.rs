@@ -128,7 +128,7 @@ mod tests {
             agg.merge(&t);
         }
         assert_eq!(agg.threads, 4);
-        assert_eq!(agg.total.retires, 0 + 1 + 2 + 3);
+        assert_eq!(agg.total.retires, 1 + 2 + 3);
     }
 
     #[test]

@@ -62,7 +62,12 @@ impl SeqLock {
             return false;
         }
         self.state
-            .compare_exchange(version, version | LOCKED, Ordering::AcqRel, Ordering::Acquire)
+            .compare_exchange(
+                version,
+                version | LOCKED,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
             .is_ok()
     }
 

@@ -12,7 +12,7 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run -p nbr-examples --release --bin custom_ds
+//! cargo run -p nbr-bench --release --example custom_ds
 //! ```
 
 use nbr::{NbrPlus, OpResult, SmrHandle};
@@ -53,12 +53,7 @@ impl Registry {
 
     /// Replaces the record in `slot` with a new one holding `value`,
     /// returning the previous value.
-    fn replace(
-        &self,
-        handle: &mut SmrHandle<'_, NbrPlus>,
-        slot: usize,
-        value: u64,
-    ) -> Option<u64> {
+    fn replace(&self, handle: &mut SmrHandle<'_, NbrPlus>, slot: usize, value: u64) -> Option<u64> {
         let cell = &self.slots[slot];
         handle.run(|phase| {
             // Φ_read: observe the current record.

@@ -8,12 +8,12 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run -p nbr-examples --release --bin harris_list_nbr
+//! cargo run -p nbr-bench --release --example harris_list_nbr
 //! ```
 
+use smr_common::SmrConfig;
 use smr_harness::families::HarrisListFamily;
 use smr_harness::{run_with, SmrKind, StopCondition, WorkloadMix, WorkloadSpec};
-use smr_common::SmrConfig;
 use std::time::Duration;
 
 fn main() {
@@ -35,7 +35,13 @@ fn main() {
         "{:<8} {:>10} {:>12} {:>12} {:>12} {:>10}",
         "scheme", "Mops/s", "retired", "freed", "unreclaimed", "signals"
     );
-    for kind in [SmrKind::NbrPlus, SmrKind::Nbr, SmrKind::Debra, SmrKind::Hp, SmrKind::Leaky] {
+    for kind in [
+        SmrKind::NbrPlus,
+        SmrKind::Nbr,
+        SmrKind::Debra,
+        SmrKind::Hp,
+        SmrKind::Leaky,
+    ] {
         let r = run_with::<HarrisListFamily>(kind, &spec, config.clone());
         println!(
             "{:<8} {:>10.3} {:>12} {:>12} {:>12} {:>10}",

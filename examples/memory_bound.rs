@@ -8,12 +8,12 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run -p nbr-examples --release --bin memory_bound
+//! cargo run -p nbr-bench --release --example memory_bound
 //! ```
 
+use smr_common::SmrConfig;
 use smr_harness::families::DgtTreeFamily;
 use smr_harness::{run_with, SmrKind, StopCondition, WorkloadMix, WorkloadSpec};
-use smr_common::SmrConfig;
 use std::time::Duration;
 
 #[global_allocator]

@@ -8,12 +8,12 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run -p nbr-examples --release --bin oversubscribed
+//! cargo run -p nbr-bench --release --example oversubscribed
 //! ```
 
+use smr_common::SmrConfig;
 use smr_harness::families::DgtTreeFamily;
 use smr_harness::{run_with, SmrKind, StopCondition, WorkloadMix, WorkloadSpec};
-use smr_common::SmrConfig;
 use std::time::Duration;
 
 fn main() {
@@ -21,7 +21,12 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(2);
     let sweep = [cores, cores * 2, cores * 4];
-    let kinds = [SmrKind::NbrPlus, SmrKind::Debra, SmrKind::Hp, SmrKind::Leaky];
+    let kinds = [
+        SmrKind::NbrPlus,
+        SmrKind::Debra,
+        SmrKind::Hp,
+        SmrKind::Leaky,
+    ];
 
     println!("DGT tree, 50i/50d, key range 32768, core count = {cores}\n");
     println!("{:<10} {:>12} {:>12} {:>12}", "threads", "", "", "");

@@ -7,7 +7,7 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run -p nbr-examples --release --bin quickstart
+//! cargo run -p nbr-bench --release --example quickstart
 //! ```
 
 use conc_ds::{ConcurrentSet, LazyList};
@@ -39,7 +39,10 @@ fn main() {
         list.smr().unregister(&mut ctx);
     }
 
-    println!("running {threads} threads for {run_for:?} on a lazy list of ~{} keys", key_range / 2);
+    println!(
+        "running {threads} threads for {run_for:?} on a lazy list of ~{} keys",
+        key_range / 2
+    );
     let stop = Arc::new(AtomicBool::new(false));
     let started = Instant::now();
     let mut handles = Vec::new();

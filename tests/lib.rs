@@ -16,8 +16,8 @@ use std::sync::{Arc, Barrier};
 pub struct SplitMix(pub u64);
 
 impl SplitMix {
-    /// Next pseudo-random value.
-    pub fn next(&mut self) -> u64 {
+    /// Next pseudo-random value (named to avoid clashing with `Iterator::next`).
+    pub fn next_u64(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.0;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -32,10 +32,14 @@ pub fn model_check<S: Smr, DS: ConcurrentSet<S>>(ds: &DS, ops: usize, key_range:
     let mut model = BTreeSet::new();
     let mut rng = SplitMix(seed);
     for _ in 0..ops {
-        let key = 1 + rng.next() % key_range;
-        match rng.next() % 3 {
+        let key = 1 + rng.next_u64() % key_range;
+        match rng.next_u64() % 3 {
             0 => assert_eq!(ds.insert(&mut ctx, key), model.insert(key), "insert({key})"),
-            1 => assert_eq!(ds.remove(&mut ctx, key), model.remove(&key), "remove({key})"),
+            1 => assert_eq!(
+                ds.remove(&mut ctx, key),
+                model.remove(&key),
+                "remove({key})"
+            ),
             _ => assert_eq!(
                 ds.contains(&mut ctx, key),
                 model.contains(&key),
@@ -68,8 +72,8 @@ where
             let mut local = BTreeSet::new();
             barrier.wait();
             for _ in 0..ops_per_thread {
-                let key = base + rng.next() % span;
-                match rng.next() % 3 {
+                let key = base + rng.next_u64() % span;
+                match rng.next_u64() % 3 {
                     0 => assert_eq!(ds.insert(&mut ctx, key), local.insert(key)),
                     1 => assert_eq!(ds.remove(&mut ctx, key), local.remove(&key)),
                     _ => assert_eq!(ds.contains(&mut ctx, key), local.contains(&key)),
@@ -106,8 +110,8 @@ where
             let mut rng = SplitMix(0xABCD + t as u64);
             barrier.wait();
             for _ in 0..ops_per_thread {
-                let key = 1 + rng.next() % key_range;
-                match rng.next() % 3 {
+                let key = 1 + rng.next_u64() % key_range;
+                match rng.next_u64() % 3 {
                     0 => {
                         ds.insert(&mut ctx, key);
                     }

@@ -54,7 +54,12 @@ fn disjoint_lazy_list_nbr_plus() {
 
 #[test]
 fn disjoint_harris_list_hp() {
-    disjoint_stress(Arc::new(HarrisList::<HazardPointers>::new(cfg())), 4, 2_500, 400);
+    disjoint_stress(
+        Arc::new(HarrisList::<HazardPointers>::new(cfg())),
+        4,
+        2_500,
+        400,
+    );
 }
 
 #[test]

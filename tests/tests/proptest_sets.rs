@@ -35,7 +35,11 @@ fn run_against_model<S: Smr, DS: ConcurrentSet<S>>(ds: &DS, ops: &[SetOp]) {
             SetOp::Insert(k) => assert_eq!(ds.insert(&mut ctx, k), model.insert(k), "insert({k})"),
             SetOp::Remove(k) => assert_eq!(ds.remove(&mut ctx, k), model.remove(&k), "remove({k})"),
             SetOp::Contains(k) => {
-                assert_eq!(ds.contains(&mut ctx, k), model.contains(&k), "contains({k})")
+                assert_eq!(
+                    ds.contains(&mut ctx, k),
+                    model.contains(&k),
+                    "contains({k})"
+                )
             }
         }
     }
@@ -43,7 +47,10 @@ fn run_against_model<S: Smr, DS: ConcurrentSet<S>>(ds: &DS, ops: &[SetOp]) {
     // Reclaimer ledger invariants.
     ds.smr().flush(&mut ctx);
     let stats = ds.smr().thread_stats(&ctx);
-    assert!(stats.frees <= stats.retires, "cannot free more than was retired");
+    assert!(
+        stats.frees <= stats.retires,
+        "cannot free more than was retired"
+    );
     assert_eq!(
         stats.retires - stats.frees,
         ds.smr().limbo_len(&ctx) as u64,

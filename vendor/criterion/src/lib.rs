@@ -1,0 +1,302 @@
+//! Vendored, API-compatible stub for the subset of `criterion` 0.5 used by
+//! this workspace (see `vendor/README.md`).
+//!
+//! It runs each benchmark routine through a warm-up and a measurement window
+//! and prints mean time per iteration (plus throughput when configured) in a
+//! criterion-like line format. There is no statistical analysis, HTML report
+//! or baseline comparison — the goal is that `cargo bench` compiles and
+//! produces meaningful relative numbers offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-exported hint preventing the optimizer from deleting a value.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// `n` logical elements processed per iteration.
+    Elements(u64),
+    /// `n` bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id consisting of the parameter value only.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Passed to benchmark closures; drives the measurement loop.
+pub struct Bencher<'a> {
+    iters: u64,
+    elapsed: Duration,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` over the requested number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Lets the routine time itself: it receives the iteration count and must
+    /// return the measured duration for exactly that many iterations.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        self.elapsed = routine(self.iters);
+    }
+}
+
+/// A named group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Duration of the warm-up phase.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Target duration of the measurement phase.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Annotates how much work one iteration performs.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<I: Into<BenchmarkId>, F>(&mut self, id: I, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        self.run_one(&id.id, &mut routine);
+        self
+    }
+
+    /// Benchmarks `routine` under `id`, passing it `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.run_one(&id.id.clone(), &mut |b: &mut Bencher<'_>| routine(b, input));
+        self
+    }
+
+    /// Finishes the group (printing is already done incrementally).
+    pub fn finish(&mut self) {}
+
+    fn run_one(&self, id: &str, routine: &mut dyn FnMut(&mut Bencher<'_>)) {
+        let full = format!("{}/{}", self.name, id);
+
+        // Warm-up: run single iterations until the warm-up window elapses,
+        // which also yields a per-iteration time estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        let mut warm_spent = Duration::ZERO;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+                _marker: std::marker::PhantomData,
+            };
+            routine(&mut b);
+            warm_iters += 1;
+            warm_spent += b.elapsed;
+        }
+        let est_per_iter = (warm_spent / warm_iters.max(1) as u32).max(Duration::from_nanos(1));
+
+        // Measurement: split the measurement window across `sample_size`
+        // samples, each running enough iterations to fill its slice.
+        let per_sample = self.measurement_time / self.sample_size.max(1) as u32;
+        let iters_per_sample = (per_sample.as_nanos() / est_per_iter.as_nanos().max(1))
+            .clamp(1, u64::MAX as u128) as u64;
+        let mut total_iters: u64 = 0;
+        let mut total_time = Duration::ZERO;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters: iters_per_sample,
+                elapsed: Duration::ZERO,
+                _marker: std::marker::PhantomData,
+            };
+            routine(&mut b);
+            total_iters += iters_per_sample;
+            total_time += b.elapsed;
+        }
+
+        let mean = total_time.as_nanos() as f64 / total_iters.max(1) as f64;
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let per_sec = n as f64 * 1e9 / mean.max(1.0);
+                println!(
+                    "{full:<60} time: [{} /iter]  thrpt: [{} elem/s]",
+                    fmt_ns(mean),
+                    fmt_count(per_sec)
+                );
+            }
+            Some(Throughput::Bytes(n)) => {
+                let per_sec = n as f64 * 1e9 / mean.max(1.0);
+                println!(
+                    "{full:<60} time: [{} /iter]  thrpt: [{} B/s]",
+                    fmt_ns(mean),
+                    fmt_count(per_sec)
+                );
+            }
+            None => println!("{full:<60} time: [{} /iter]", fmt_ns(mean)),
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn fmt_count(v: f64) -> String {
+    if v < 1_000.0 {
+        format!("{v:.1}")
+    } else if v < 1_000_000.0 {
+        format!("{:.2}K", v / 1_000.0)
+    } else if v < 1_000_000_000.0 {
+        format!("{:.3}M", v / 1_000_000.0)
+    } else {
+        format!("{:.3}G", v / 1_000_000_000.0)
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Consumes CLI configuration (accepted and ignored by this stub).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(900),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut routine = routine;
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, &mut routine);
+        group.finish();
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes `--bench`; `cargo test --benches` passes
+            // `--test`, in which case a bench binary must do nothing.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}

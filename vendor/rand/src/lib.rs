@@ -1,0 +1,215 @@
+//! Vendored, API-compatible stub for the subset of `rand` 0.8 used by this
+//! workspace (see `vendor/README.md`). The generator is a SplitMix64 stream:
+//! statistically fine for workload generation and fully deterministic.
+
+/// Low-level generator interface.
+pub trait RngCore {
+    /// Returns the next 64 pseudo-random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 pseudo-random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction (only the `seed_from_u64` entry point is provided).
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A half-open or inclusive range that can be sampled.
+pub trait SampleRange<T> {
+    /// Draws a uniform value from the range using `rng`.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// High-level convenience methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a uniform value from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Draws `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Small fast generator (SplitMix64 stream in this stub).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Scramble the seed once so nearby seeds give unrelated streams.
+            let mut rng = SmallRng {
+                state: seed ^ 0x5851_F42D_4C95_7F2D,
+            };
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+}
+
+/// Distributions (only `Uniform` is provided).
+pub mod distributions {
+    use super::RngCore;
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Integer types `Uniform` can sample.
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// Widens to `u64` (all supported types fit).
+        fn to_u64(self) -> u64;
+        /// Narrows from `u64` (the value is known to fit).
+        fn from_u64(v: u64) -> Self;
+        /// The predecessor of `self` (used by the half-open constructor).
+        fn pred(self) -> Self;
+    }
+
+    macro_rules! impl_sample_uniform {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn to_u64(self) -> u64 { self as u64 }
+                fn from_u64(v: u64) -> Self { v as $t }
+                fn pred(self) -> Self { self - 1 }
+            }
+        )*};
+    }
+
+    impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+    /// Uniform distribution over a closed integer interval.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        low: T,
+        high_inclusive: T,
+    }
+
+    impl<T: SampleUniform> Uniform<T> {
+        /// Uniform over `[low, high)`.
+        pub fn new(low: T, high: T) -> Self {
+            assert!(low < high, "Uniform::new called with empty range");
+            Self {
+                low,
+                high_inclusive: high.pred(),
+            }
+        }
+
+        /// Uniform over `[low, high]`.
+        pub fn new_inclusive(low: T, high: T) -> Self {
+            assert!(
+                low <= high,
+                "Uniform::new_inclusive called with empty range"
+            );
+            Self {
+                low,
+                high_inclusive: high,
+            }
+        }
+    }
+
+    impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            let lo = self.low.to_u64();
+            let span = self.high_inclusive.to_u64() - lo;
+            if span == u64::MAX {
+                return T::from_u64(rng.next_u64());
+            }
+            T::from_u64(lo + rng.next_u64() % (span + 1))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let mut c = SmallRng::seed_from_u64(43);
+        let sa: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..1000)).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..1000)).collect();
+        let sc: Vec<u64> = (0..8).map(|_| c.gen_range(0u64..1000)).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let dist = Uniform::new_inclusive(1u64, 10);
+        for _ in 0..1000 {
+            let v = dist.sample(&mut rng);
+            assert!((1..=10).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_covers_range_roughly() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let dist = Uniform::new_inclusive(0u64, 9);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[dist.sample(&mut rng) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((700..=1300).contains(&c), "bucket {i} has {c} hits");
+        }
+    }
+}
