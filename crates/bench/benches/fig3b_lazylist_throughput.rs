@@ -7,13 +7,17 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use nbr_bench::helpers;
 use smr_harness::families::LazyListFamily;
-use smr_harness::{run_with, WorkloadMix};
+use smr_harness::WorkloadMix;
 
 const KEY_RANGE: u64 = 2_048;
 
 fn bench_fig3b(c: &mut Criterion) {
     let threads = helpers::bench_threads();
     let (samples, warm, meas) = helpers::criterion_times();
+    // One prefilled list per reclaimer, shared across the three mix groups
+    // and every Criterion sample (satellite of the ROADMAP "share prefilled
+    // structures" item).
+    let runners = helpers::prefilled_runners::<LazyListFamily>(KEY_RANGE, threads);
     for (mix, mix_label) in [
         (WorkloadMix::UPDATE_HEAVY, "50i-50d"),
         (WorkloadMix::BALANCED, "25i-25d"),
@@ -25,18 +29,13 @@ fn bench_fig3b(c: &mut Criterion) {
             .warm_up_time(warm)
             .measurement_time(meas)
             .throughput(Throughput::Elements(helpers::OPS_PER_ITER));
-        for &kind in helpers::bench_smr_set() {
-            group.bench_with_input(
-                BenchmarkId::from_parameter(kind.label()),
-                &kind,
-                |b, &kind| {
-                    b.iter_custom(|iters| {
-                        let spec = helpers::spec_for_iters(mix, KEY_RANGE, threads, iters);
-                        let r = run_with::<LazyListFamily>(kind, &spec, helpers::bench_config());
-                        r.duration
-                    });
-                },
-            );
+        for (kind, runner) in &runners {
+            group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+                b.iter_custom(|iters| {
+                    let spec = helpers::spec_for_iters(mix, KEY_RANGE, threads, iters);
+                    runner.run(&spec).duration
+                });
+            });
         }
         group.finish();
     }

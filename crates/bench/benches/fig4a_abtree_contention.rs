@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use nbr_bench::helpers;
 use smr_harness::families::AbTreeFamily;
-use smr_harness::{run_with, SmrKind, WorkloadMix};
+use smr_harness::{SmrKind, WorkloadMix};
 
 fn bench_fig4a(c: &mut Criterion) {
     let threads = helpers::bench_threads();
@@ -19,29 +19,28 @@ fn bench_fig4a(c: &mut Criterion) {
         SmrKind::Leaky,
     ];
     for (key_range, label) in [(65_536u64, "range64k"), (200u64, "range200")] {
+        // One prefilled tree per reclaimer, shared across every Criterion
+        // sample of this size group (the 32 K-key prefill per sample was the
+        // bulk of the group's wall-clock).
+        let runners = helpers::prefilled_runners_for::<AbTreeFamily>(&kinds, key_range, threads);
         let mut group = c.benchmark_group(format!("fig4a_abtree_{label}"));
         group
             .sample_size(samples)
             .warm_up_time(warm)
             .measurement_time(meas)
             .throughput(Throughput::Elements(helpers::OPS_PER_ITER));
-        for &kind in &kinds {
-            group.bench_with_input(
-                BenchmarkId::from_parameter(kind.label()),
-                &kind,
-                |b, &kind| {
-                    b.iter_custom(|iters| {
-                        let spec = helpers::spec_for_iters(
-                            WorkloadMix::UPDATE_HEAVY,
-                            key_range,
-                            threads,
-                            iters,
-                        );
-                        let r = run_with::<AbTreeFamily>(kind, &spec, helpers::bench_config());
-                        r.duration
-                    });
-                },
-            );
+        for (kind, runner) in &runners {
+            group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+                b.iter_custom(|iters| {
+                    let spec = helpers::spec_for_iters(
+                        WorkloadMix::UPDATE_HEAVY,
+                        key_range,
+                        threads,
+                        iters,
+                    );
+                    runner.run(&spec).duration
+                });
+            });
         }
         group.finish();
     }

@@ -6,35 +6,33 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use nbr_bench::helpers;
 use smr_harness::families::HarrisListFamily;
-use smr_harness::{run_with, WorkloadMix};
+use smr_harness::WorkloadMix;
 
 fn bench_fig7(c: &mut Criterion) {
     let threads = helpers::bench_threads();
     let (samples, warm, meas) = helpers::criterion_times();
     for (key_range, label) in [(200u64, "range200"), (2_048u64, "range2k")] {
+        // One prefilled list per reclaimer, shared across every Criterion
+        // sample of this size group.
+        let runners = helpers::prefilled_runners::<HarrisListFamily>(key_range, threads);
         let mut group = c.benchmark_group(format!("fig7_harris_{label}"));
         group
             .sample_size(samples)
             .warm_up_time(warm)
             .measurement_time(meas)
             .throughput(Throughput::Elements(helpers::OPS_PER_ITER));
-        for &kind in helpers::bench_smr_set() {
-            group.bench_with_input(
-                BenchmarkId::from_parameter(kind.label()),
-                &kind,
-                |b, &kind| {
-                    b.iter_custom(|iters| {
-                        let spec = helpers::spec_for_iters(
-                            WorkloadMix::UPDATE_HEAVY,
-                            key_range,
-                            threads,
-                            iters,
-                        );
-                        let r = run_with::<HarrisListFamily>(kind, &spec, helpers::bench_config());
-                        r.duration
-                    });
-                },
-            );
+        for (kind, runner) in &runners {
+            group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+                b.iter_custom(|iters| {
+                    let spec = helpers::spec_for_iters(
+                        WorkloadMix::UPDATE_HEAVY,
+                        key_range,
+                        threads,
+                        iters,
+                    );
+                    runner.run(&spec).duration
+                });
+            });
         }
         group.finish();
     }

@@ -51,11 +51,29 @@ fn main() {
                             .with_max_threads(threads + 4)
                             .with_watermarks(1024, 256)
                             .with_signal_cost_ns(2_000);
-                        let r = run_with::<HarrisListFamily>(kind, &spec, config);
+                        let r = run_with::<HarrisListFamily>(kind, &spec, config.clone());
                         eprintln!(
                             "    ok: {:.3} Mops/s, {} retired, {} freed",
                             r.mops, r.smr_totals.retires, r.smr_totals.frees
                         );
+                        if r.smr_totals.frees == 0 && r.smr_totals.retires > 0 {
+                            // A run that frees nothing must say why rather
+                            // than silently reporting 0: either the scheme
+                            // never reclaims (leaky) or the trial stayed
+                            // below every scan trigger.
+                            if kind == SmrKind::Leaky {
+                                eprintln!("    note: leaky baseline never reclaims by design");
+                            } else {
+                                eprintln!(
+                                    "    note: 0 reclaimed — {} retires stayed below the scan \
+                                     trigger (hi_watermark={}, heartbeat={} ops; {} scans ran)",
+                                    r.smr_totals.retires,
+                                    config.hi_watermark,
+                                    config.scan_heartbeat_ops,
+                                    r.smr_totals.reclaim_scans,
+                                );
+                            }
+                        }
                     }
                 }
             }

@@ -1,0 +1,261 @@
+//! `throughput` — the machine-readable perf-trajectory harness.
+//!
+//! Runs the read-mostly list matrix (scheme × structure × key range at the CI
+//! thread count) and writes one JSON document per invocation. The output is
+//! committed as `BENCH_<pr>.json` at the repo root so every perf-oriented PR
+//! leaves a comparable record; pass `--baseline <prior.json>` to embed the
+//! prior run's numbers and per-cell speedups in the new document.
+//!
+//! ```text
+//! cargo run -p nbr-bench --release --bin throughput -- \
+//!     [--out BENCH_2.json] [--baseline old.json] [--trials 3] \
+//!     [--millis 300] [--threads N] [--tiny] [--label note]
+//! ```
+//!
+//! Each cell is emitted on its own line with a stable `key`
+//! (`scheme|structure|mix|r<range>|t<threads>`), which is what the baseline
+//! parser keys on — keep the format line-oriented.
+
+use smr_common::SmrConfig;
+use smr_harness::families::{HarrisListFamily, HmListRestartFamily};
+use smr_harness::{run_with, SmrKind, StopCondition, TrialResult, WorkloadMix, WorkloadSpec};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+struct Args {
+    out: String,
+    baseline: Option<String>,
+    trials: usize,
+    millis: u64,
+    threads: usize,
+    key_ranges: Vec<u64>,
+    label: String,
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .clamp(2, 8)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: "BENCH_2.json".to_string(),
+        baseline: None,
+        trials: 3,
+        millis: 300,
+        threads: default_threads(),
+        key_ranges: vec![200, 2_048],
+        label: String::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--out" => args.out = val("--out"),
+            "--baseline" => args.baseline = Some(val("--baseline")),
+            "--trials" => args.trials = val("--trials").parse().expect("--trials"),
+            "--millis" => args.millis = val("--millis").parse().expect("--millis"),
+            "--threads" => args.threads = val("--threads").parse().expect("--threads"),
+            "--label" => args.label = val("--label"),
+            "--tiny" => {
+                // CI smoke scale: one short trial, one key range.
+                args.trials = 1;
+                args.millis = 40;
+                args.key_ranges = vec![200];
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    args
+}
+
+/// One measured cell of the matrix.
+struct Cell {
+    key: String,
+    scheme: &'static str,
+    ds: &'static str,
+    mops: f64,
+    peak_limbo: u64,
+    retires: u64,
+    frees: u64,
+}
+
+fn cell_key(r: &TrialResult) -> String {
+    format!(
+        "{}|{}|{}|r{}|t{}",
+        r.smr, r.ds, r.mix, r.key_range, r.threads
+    )
+}
+
+/// Extracts `"key": mops` pairs (plus peak limbo) from a prior run's JSON.
+/// The format is line-oriented by construction, so a full JSON parser is not
+/// needed: every cell line carries `"key":"..."` and `"mops":<f64>`.
+fn parse_baseline(text: &str) -> BTreeMap<String, (f64, u64)> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let Some(key) = extract_str(line, "\"key\":\"") else {
+            continue;
+        };
+        let Some(mops) = extract_num(line, "\"mops\":") else {
+            continue;
+        };
+        let peak = extract_num(line, "\"peak_limbo\":").unwrap_or(0.0) as u64;
+        out.insert(key, (mops, peak));
+    }
+    out
+}
+
+/// Escapes a user-supplied string for embedding in a JSON string literal
+/// (`--label` is free text; every other interpolated string is a fixed
+/// scheme/structure label).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn extract_str(line: &str, tag: &str) -> Option<String> {
+    let start = line.find(tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+fn extract_num(line: &str, tag: &str) -> Option<f64> {
+    let start = line.find(tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn run_cell<F: smr_harness::DsFamily>(kind: SmrKind, key_range: u64, args: &Args) -> Cell {
+    let spec = WorkloadSpec::new(
+        WorkloadMix::READ_HEAVY,
+        key_range,
+        args.threads,
+        StopCondition::Duration(Duration::from_millis(args.millis)),
+    );
+    let config = SmrConfig::default()
+        .with_max_threads(args.threads + 4)
+        .with_watermarks(1024, 256)
+        .with_signal_cost_ns(2_000);
+    // Best-of-N to damp scheduler noise on small CI machines.
+    let mut best: Option<TrialResult> = None;
+    for _ in 0..args.trials.max(1) {
+        let r = run_with::<F>(kind, &spec, config.clone());
+        if best.as_ref().map(|b| r.mops > b.mops).unwrap_or(true) {
+            best = Some(r);
+        }
+    }
+    let r = best.expect("at least one trial ran");
+    eprintln!(
+        "  {:<28} {:>8.3} Mops/s  peak_limbo={} retired={} freed={}",
+        cell_key(&r),
+        r.mops,
+        r.smr_totals.peak_limbo,
+        r.smr_totals.retires,
+        r.smr_totals.frees
+    );
+    Cell {
+        key: cell_key(&r),
+        scheme: r.smr,
+        ds: r.ds,
+        mops: r.mops,
+        peak_limbo: r.smr_totals.peak_limbo,
+        retires: r.smr_totals.retires,
+        frees: r.smr_totals.frees,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let baseline = args.baseline.as_ref().map(|p| {
+        let text = std::fs::read_to_string(p).unwrap_or_else(|e| panic!("read {p}: {e}"));
+        parse_baseline(&text)
+    });
+
+    let schemes = SmrKind::all();
+    let mut cells = Vec::new();
+    for &key_range in &args.key_ranges {
+        for &kind in schemes {
+            cells.push(run_cell::<HarrisListFamily>(kind, key_range, &args));
+            cells.push(run_cell::<HmListRestartFamily>(kind, key_range, &args));
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"harness\": \"throughput\",");
+    let _ = writeln!(out, "  \"label\": \"{}\",", escape_json(&args.label));
+    let _ = writeln!(out, "  \"mix\": \"5i-5d\",");
+    let _ = writeln!(out, "  \"threads\": {},", args.threads);
+    let _ = writeln!(out, "  \"trials\": {},", args.trials);
+    let _ = writeln!(out, "  \"trial_millis\": {},", args.millis);
+    let _ = writeln!(out, "  \"cells\": [");
+    let n = cells.len();
+    for (i, c) in cells.iter().enumerate() {
+        let mut line = format!(
+            "    {{\"key\":\"{}\",\"scheme\":\"{}\",\"ds\":\"{}\",\"mops\":{:.4},\"peak_limbo\":{},\"retires\":{},\"frees\":{}",
+            c.key, c.scheme, c.ds, c.mops, c.peak_limbo, c.retires, c.frees
+        );
+        if let Some(base) = &baseline {
+            if let Some(&(bm, bp)) = base.get(&c.key) {
+                let _ = write!(
+                    line,
+                    ",\"baseline_mops\":{:.4},\"baseline_peak_limbo\":{},\"speedup\":{:.4}",
+                    bm,
+                    bp,
+                    if bm > 0.0 { c.mops / bm } else { 0.0 }
+                );
+            }
+        }
+        let _ = write!(line, "}}{}", if i + 1 < n { "," } else { "" });
+        let _ = writeln!(out, "{line}");
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+
+    std::fs::write(&args.out, &out).unwrap_or_else(|e| panic!("write {}: {e}", args.out));
+    eprintln!("wrote {}", args.out);
+
+    if let Some(base) = &baseline {
+        let improved: Vec<&Cell> = cells
+            .iter()
+            .filter(|c| {
+                base.get(&c.key)
+                    .map(|&(bm, _)| bm > 0.0 && c.mops / bm >= 1.10)
+                    .unwrap_or(false)
+            })
+            .collect();
+        eprintln!(
+            "cells ≥ 1.10x over baseline: {} of {}",
+            improved.len(),
+            cells.len()
+        );
+        for c in improved {
+            let (bm, _) = base[&c.key];
+            eprintln!(
+                "  {}: {:.3} → {:.3} ({:.2}x)",
+                c.key,
+                bm,
+                c.mops,
+                c.mops / bm
+            );
+        }
+    }
+}

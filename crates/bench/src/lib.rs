@@ -20,7 +20,10 @@ pub mod helpers {
     //! Shared plumbing for the Criterion benches.
 
     use smr_common::SmrConfig;
-    use smr_harness::{SmrKind, StopCondition, WorkloadMix, WorkloadSpec};
+    use smr_harness::{
+        build_prefilled, DsFamily, PrefilledTrial, SmrKind, StopCondition, WorkloadMix,
+        WorkloadSpec,
+    };
     use std::time::Duration;
 
     /// Operations per Criterion "iteration".
@@ -74,5 +77,31 @@ pub mod helpers {
     /// Criterion settings shared by all throughput benches.
     pub fn criterion_times() -> (usize, Duration, Duration) {
         (10, Duration::from_millis(300), Duration::from_millis(900))
+    }
+
+    /// Builds one prefilled structure of family `F` per reclaimer in `kinds`,
+    /// each reusable across operation mixes and Criterion samples — so a
+    /// bench group prefills once instead of once per measurement (ROADMAP
+    /// open item on `cargo bench` wall-clock).
+    pub fn prefilled_runners_for<F: DsFamily>(
+        kinds: &[SmrKind],
+        key_range: u64,
+        threads: usize,
+    ) -> Vec<(SmrKind, Box<dyn PrefilledTrial>)> {
+        kinds
+            .iter()
+            .map(|&kind| {
+                let spec = spec_for_iters(WorkloadMix::UPDATE_HEAVY, key_range, threads, 1);
+                (kind, build_prefilled::<F>(kind, &spec, bench_config()))
+            })
+            .collect()
+    }
+
+    /// [`prefilled_runners_for`] over the default bench reclaimer set.
+    pub fn prefilled_runners<F: DsFamily>(
+        key_range: u64,
+        threads: usize,
+    ) -> Vec<(SmrKind, Box<dyn PrefilledTrial>)> {
+        prefilled_runners_for::<F>(bench_smr_set(), key_range, threads)
     }
 }

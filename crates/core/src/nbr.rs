@@ -8,12 +8,17 @@
 //! retired before the broadcast.
 
 use crate::neutralize::{HandshakeOutcome, NeutralizationCore};
-use smr_common::{LimboBag, Retired, Shared, Smr, SmrConfig, SmrNode, ThreadStats};
+use smr_common::{
+    LimboBag, Retired, ScanPolicy, ScanState, Shared, Smr, SmrConfig, SmrNode, ThreadStats,
+};
 
 /// Per-thread context for [`Nbr`].
 pub struct NbrCtx {
     tid: usize,
     limbo: LimboBag,
+    scan: ScanState,
+    /// Reusable scratch for the per-scan reservation snapshot.
+    reserved: Vec<usize>,
     stats: ThreadStats,
 }
 
@@ -27,6 +32,7 @@ impl NbrCtx {
 /// The NBR reclaimer (Algorithm 1).
 pub struct Nbr {
     core: NeutralizationCore,
+    policy: ScanPolicy,
 }
 
 impl Nbr {
@@ -46,6 +52,7 @@ impl Nbr {
             return 0;
         }
         ctx.stats.reclaim_scans += 1;
+        ctx.scan.note_scan();
         let (seq, sent) = self.core.signal_all(ctx.tid);
         ctx.stats.signals_sent += sent;
         match self.core.await_neutralization(ctx.tid, seq) {
@@ -54,18 +61,16 @@ impl Nbr {
                 0
             }
             HandshakeOutcome::AllNeutralized => {
-                let reserved = self.core.collect_reservations(ctx.tid);
+                self.core
+                    .collect_reservations_into(ctx.tid, &mut ctx.reserved);
                 // SAFETY: every record in the prefix was unlinked before the
                 // broadcast; the handshake established that every other thread
                 // either restarted its read phase (discarding unreserved
                 // pointers) or is confined to its reservations, which we
                 // exclude below. This is exactly Lemma 1/8 of the paper.
                 unsafe {
-                    ctx.limbo.reclaim_prefix_if(
-                        tail,
-                        |r| reserved.binary_search(&r.address()).is_err(),
-                        &mut ctx.stats,
-                    )
+                    ctx.limbo
+                        .reclaim_prefix_unreserved(tail, &ctx.reserved, &mut ctx.stats)
                 }
             }
         }
@@ -79,8 +84,10 @@ impl Smr for Nbr {
     const USES_PHASES: bool = true;
 
     fn new(config: SmrConfig) -> Self {
+        let policy = ScanPolicy::from_config(&config);
         Self {
             core: NeutralizationCore::new(config),
+            policy,
         }
     }
 
@@ -93,6 +100,10 @@ impl Smr for Nbr {
         NbrCtx {
             tid,
             limbo: LimboBag::with_capacity(self.core.config().hi_watermark + 1),
+            scan: ScanState::new(),
+            reserved: Vec::with_capacity(
+                self.core.config().max_reservations * self.core.config().max_threads,
+            ),
             stats: ThreadStats::default(),
         }
     }
@@ -129,6 +140,13 @@ impl Smr for Nbr {
     #[inline]
     fn end_op(&self, ctx: &mut NbrCtx) {
         self.core.quiesce(ctx.tid);
+        // Operation-exit heartbeat: outside any phase a broadcast is always
+        // legal, so a thread that never reaches the HiWatermark still empties
+        // its bag within a bounded number of its own operations.
+        if ctx.scan.tick_op(&self.policy, ctx.limbo.len()) {
+            ctx.stats.heartbeat_scans += 1;
+            self.reclaim_with_signals(ctx);
+        }
     }
 
     unsafe fn retire<T: SmrNode>(&self, ctx: &mut NbrCtx, ptr: Shared<T>) {
@@ -136,7 +154,7 @@ impl Smr for Nbr {
         ctx.limbo.push(Retired::new(ptr.as_raw(), 0));
         ctx.stats.retires += 1;
         ctx.stats.observe_limbo(ctx.limbo.len());
-        if ctx.limbo.len() >= self.core.config().hi_watermark {
+        if self.policy.scan_on_retire(ctx.limbo.len()) {
             self.reclaim_with_signals(ctx);
         }
     }

@@ -21,7 +21,9 @@
 //! (see the `ablation_nbr` bench and EXPERIMENTS.md).
 
 use crate::neutralize::{HandshakeOutcome, NeutralizationCore};
-use smr_common::{LimboBag, Retired, Shared, Smr, SmrConfig, SmrNode, ThreadStats};
+use smr_common::{
+    LimboBag, Retired, ScanPolicy, ScanState, Shared, Smr, SmrConfig, SmrNode, ThreadStats,
+};
 
 /// How many retire calls at the LoWatermark are amortized over one scan of the
 /// announcement timestamps (Section 5.1: "we amortize the overhead of scanning
@@ -32,6 +34,9 @@ const LO_WM_SCAN_PERIOD: u64 = 4;
 pub struct NbrPlusCtx {
     tid: usize,
     limbo: LimboBag,
+    scan: ScanState,
+    /// Reusable scratch for the per-scan reservation snapshot.
+    reserved: Vec<usize>,
     stats: ThreadStats,
     /// True until the thread (re-)enters the LoWatermark region
     /// (`firstLoWmEntryFlag` of Algorithm 2).
@@ -54,6 +59,7 @@ impl NbrPlusCtx {
 /// The NBR+ reclaimer (Algorithm 2).
 pub struct NbrPlus {
     core: NeutralizationCore,
+    policy: ScanPolicy,
 }
 
 impl NbrPlus {
@@ -70,17 +76,15 @@ impl NbrPlus {
 
     /// Free every unreserved record in the prefix `[0, up_to)` of the bag.
     fn reclaim_freeable(&self, ctx: &mut NbrPlusCtx, up_to: usize) -> usize {
-        let reserved = self.core.collect_reservations(ctx.tid);
+        self.core
+            .collect_reservations_into(ctx.tid, &mut ctx.reserved);
         // SAFETY: callers establish that every record in the prefix was
         // retired before a verified RGP (HiWatermark path) or before the
         // bookmark of an observed RGP (LoWatermark path); unreserved records
         // are therefore safe (Lemmas 8/9 of the paper).
         unsafe {
-            ctx.limbo.reclaim_prefix_if(
-                up_to,
-                |r| reserved.binary_search(&r.address()).is_err(),
-                &mut ctx.stats,
-            )
+            ctx.limbo
+                .reclaim_prefix_unreserved(up_to, &ctx.reserved, &mut ctx.stats)
         }
     }
 
@@ -92,6 +96,7 @@ impl NbrPlus {
             return 0;
         }
         ctx.stats.reclaim_scans += 1;
+        ctx.scan.note_scan();
         self.core.announce_rgp_begin(ctx.tid);
         let (seq, sent) = self.core.signal_all(ctx.tid);
         ctx.stats.signals_sent += sent;
@@ -145,8 +150,10 @@ impl Smr for NbrPlus {
     const USES_PHASES: bool = true;
 
     fn new(config: SmrConfig) -> Self {
+        let policy = ScanPolicy::from_config(&config);
         Self {
             core: NeutralizationCore::new(config),
+            policy,
         }
     }
 
@@ -159,6 +166,10 @@ impl Smr for NbrPlus {
         NbrPlusCtx {
             tid,
             limbo: LimboBag::with_capacity(self.core.config().hi_watermark + 1),
+            scan: ScanState::new(),
+            reserved: Vec::with_capacity(
+                self.core.config().max_reservations * self.core.config().max_threads,
+            ),
             stats: ThreadStats::default(),
             first_lo_wm_entry: true,
             bookmark: 0,
@@ -197,6 +208,13 @@ impl Smr for NbrPlus {
     #[inline]
     fn end_op(&self, ctx: &mut NbrPlusCtx) {
         self.core.quiesce(ctx.tid);
+        // Operation-exit heartbeat. Below the LoWatermark there is no
+        // bookmark to piggyback on, so the heartbeat induces its own RGP —
+        // amortized over `scan_heartbeat_ops` operations.
+        if ctx.scan.tick_op(&self.policy, ctx.limbo.len()) {
+            ctx.stats.heartbeat_scans += 1;
+            self.reclaim_at_hi_watermark(ctx);
+        }
     }
 
     unsafe fn retire<T: SmrNode>(&self, ctx: &mut NbrPlusCtx, ptr: Shared<T>) {
@@ -205,10 +223,9 @@ impl Smr for NbrPlus {
         ctx.stats.retires += 1;
         ctx.stats.observe_limbo(ctx.limbo.len());
         let len = ctx.limbo.len();
-        let cfg = self.core.config();
-        if len >= cfg.hi_watermark {
+        if self.policy.scan_on_retire(len) {
             self.reclaim_at_hi_watermark(ctx);
-        } else if len >= cfg.lo_watermark {
+        } else if self.policy.opportunistic_on_retire(len) {
             self.try_reclaim_at_lo_watermark(ctx);
         }
     }

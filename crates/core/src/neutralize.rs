@@ -38,16 +38,20 @@
 //! The paper uses CAS-as-fence on x86 to order (a) the `restartable := true`
 //! write before any subsequent read of shared records, and (b) the reservation
 //! writes before `restartable := false`. Here both transitions are `SeqCst`
-//! read-modify-writes (`swap`), and the reservation stores are `SeqCst`, so the
-//! store-buffer interleavings the paper worries about are excluded under the
-//! C11/Rust model: a reclaimer that reads `restartable[t] == false` also
-//! observes every reservation `t` published before flipping the flag
-//! (release/acquire via the RMW), and a reader that acknowledges a signal has
-//! a happens-before edge from the reclaimer's unlinks to its restarted
-//! traversal (it read the reclaimer's `pending` store).
+//! read-modify-writes (`swap`); the reservation stores themselves are only
+//! `Release`, because the reclaimer trusts them solely after observing
+//! `restartable[t] == false`, and that observation synchronizes with the
+//! `SeqCst` swap sequenced after them — so a reclaimer that reads
+//! `restartable[t] == false` also observes every reservation `t` published
+//! before flipping the flag. A reader that acknowledges a signal has a
+//! happens-before edge from the reclaimer's unlinks to its restarted
+//! traversal (it read the reclaimer's `pending` store). The reclaimer's
+//! reservation scan itself issues one `SeqCst` fence and then per-slot
+//! `Acquire` loads (see DESIGN.md, "Memory-ordering argument for single-fence
+//! scans").
 
 use smr_common::{CachePadded, Registry, SmrConfig};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
 /// Per-thread shared neutralization state (single-writer for `restartable`,
@@ -219,11 +223,20 @@ impl NeutralizationCore {
         let slot = self.slot(tid);
         for r in slot.reservations.iter() {
             if r.load(Ordering::Relaxed) != 0 {
-                r.store(0, Ordering::SeqCst);
+                // Release is enough: the clear becomes visible to a reclaimer
+                // no later than the SeqCst swap below, and a reclaimer that
+                // still sees the stale reservation only keeps a record longer
+                // (conservative).
+                r.store(0, Ordering::Release);
             }
         }
         let pending = slot.pending.load(Ordering::SeqCst);
-        slot.acked.store(pending, Ordering::SeqCst);
+        if pending != slot.acked.load(Ordering::Relaxed) {
+            // `acked` is single-writer, so the unconditional store the seed
+            // performed here was an XCHG on every operation; skipping it when
+            // nothing is pending keeps the per-op fast path store-free.
+            slot.acked.store(pending, Ordering::SeqCst);
+        }
         // SeqCst RMW: the paper's CAS-as-fence (line 8). Ensures no read of a
         // shared record in the upcoming Φ_read can be ordered before the
         // thread became restartable.
@@ -259,9 +272,18 @@ impl NeutralizationCore {
             reservations.len(),
             slot.reservations.len()
         );
+        // Release stores suffice for the reservation values: the reclaimer
+        // only trusts them after observing `restartable == false`, and that
+        // observation synchronizes with the SeqCst swap below, which is
+        // sequenced after every store here. The seed published all `R` slots
+        // with SeqCst stores (R XCHGs per operation); skipping the slots that
+        // stay zero and downgrading the rest to Release leaves the per-op
+        // cost at the single swap the paper's Algorithm 1 line 12 requires.
         for (i, r) in slot.reservations.iter().enumerate() {
             let val = reservations.get(i).copied().unwrap_or(0);
-            r.store(val, Ordering::SeqCst);
+            if val != 0 || r.load(Ordering::Relaxed) != 0 {
+                r.store(val, Ordering::Release);
+            }
         }
         // SeqCst RMW: the paper's CAS-as-fence (line 12).
         slot.restartable.swap(false, Ordering::SeqCst);
@@ -349,18 +371,18 @@ impl NeutralizationCore {
     }
 
     /// Collects every reservation currently announced by any registered thread
-    /// other than `collector` (Algorithm 1, line 22). The result is a small
-    /// sorted vector (at most `R × N` entries) used to exclude reserved
-    /// records from reclamation.
-    pub fn collect_reservations(&self, collector: usize) -> Vec<usize> {
-        let mut reserved =
-            Vec::with_capacity(self.config.max_reservations * self.registry.registered());
+    /// other than `collector` (Algorithm 1, line 22) into `reserved`, sorted
+    /// and deduplicated — at most `R × N` entries, gathered with one `SeqCst`
+    /// fence plus per-slot `Acquire` loads (single-fence scan, DESIGN.md).
+    pub fn collect_reservations_into(&self, collector: usize, reserved: &mut Vec<usize>) {
+        reserved.clear();
+        fence(Ordering::SeqCst);
         for tid in self.registry.active_tids() {
             if tid == collector {
                 continue;
             }
             for r in self.slot(tid).reservations.iter() {
-                let addr = r.load(Ordering::SeqCst);
+                let addr = r.load(Ordering::Acquire);
                 if addr != 0 {
                     reserved.push(addr);
                 }
@@ -368,6 +390,14 @@ impl NeutralizationCore {
         }
         reserved.sort_unstable();
         reserved.dedup();
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`NeutralizationCore::collect_reservations_into`].
+    pub fn collect_reservations(&self, collector: usize) -> Vec<usize> {
+        let mut reserved =
+            Vec::with_capacity(self.config.max_reservations * self.registry.registered());
+        self.collect_reservations_into(collector, &mut reserved);
         reserved
     }
 

@@ -130,8 +130,12 @@ struct SharedState {
     ops_budget: u64,
 }
 
-/// Runs one trial of `spec` with data structure `DS` under reclaimer `S`.
-pub fn run_trial<S, DS>(spec: &WorkloadSpec, config: SmrConfig) -> TrialResult
+/// Builds a structure and prefills it per `spec` — the setup phase of
+/// [`run_trial`], exposed separately so benchmark matrices can share one
+/// prefilled structure across operation mixes and Criterion samples instead
+/// of re-prefilling for every measurement (see
+/// [`build_prefilled`](crate::families::build_prefilled)).
+pub fn build_and_prefill<S, DS>(spec: &WorkloadSpec, config: SmrConfig) -> Arc<DS>
 where
     S: Smr,
     DS: Buildable<S> + Send + Sync,
@@ -141,8 +145,26 @@ where
         "not enough SMR thread slots for this trial"
     );
     let ds = Arc::new(DS::build(config));
-
     prefill(&ds, spec);
+    ds
+}
+
+/// Runs the measured portion of one trial of `spec` on an existing structure.
+///
+/// No prefill happens here: the structure is used as-is, so repeated trials
+/// on the same instance measure its steady-state occupancy (the uniform-key
+/// mixes hover around half the key range, which is exactly what
+/// [`WorkloadSpec::new`]'s prefill establishes).
+pub fn run_trial_on<S, DS>(ds: &Arc<DS>, spec: &WorkloadSpec) -> TrialResult
+where
+    S: Smr,
+    DS: Buildable<S> + Send + Sync,
+{
+    let config = ds.smr().config();
+    assert!(
+        spec.threads + usize::from(spec.stalled_thread) < config.max_threads,
+        "not enough SMR thread slots for this trial"
+    );
     alloc_track::reset_peak();
 
     let ops_budget = match spec.stop {
@@ -158,13 +180,13 @@ where
 
     let mut handles = Vec::new();
     for t in 0..spec.threads {
-        let ds = Arc::clone(&ds);
+        let ds = Arc::clone(ds);
         let shared = Arc::clone(&shared);
         let spec = spec.clone();
         handles.push(std::thread::spawn(move || worker(&*ds, &shared, &spec, t)));
     }
     if spec.stalled_thread {
-        let ds = Arc::clone(&ds);
+        let ds = Arc::clone(ds);
         let shared = Arc::clone(&shared);
         let stall_tid = spec.threads;
         handles.push(std::thread::spawn(move || {
@@ -211,6 +233,17 @@ where
         peak_mem_bytes: alloc_track::peak_bytes(),
         stalled_thread: spec.stalled_thread,
     }
+}
+
+/// Runs one trial of `spec` with data structure `DS` under reclaimer `S`:
+/// build, prefill, measure.
+pub fn run_trial<S, DS>(spec: &WorkloadSpec, config: SmrConfig) -> TrialResult
+where
+    S: Smr,
+    DS: Buildable<S> + Send + Sync,
+{
+    let ds = build_and_prefill::<S, DS>(spec, config);
+    run_trial_on::<S, DS>(&ds, spec)
 }
 
 /// Prefills the structure to `spec.prefill` keys using the highest thread slots

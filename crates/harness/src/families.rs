@@ -7,12 +7,16 @@
 //! [`run_with`] dispatches one trial to the right monomorphization of
 //! [`run_trial`](crate::driver::run_trial) for a given [`DsFamily`].
 
-use crate::driver::{run_trial, Buildable, HmListNoRestart, TrialResult};
+use crate::driver::{
+    build_and_prefill, run_trial, run_trial_on, Buildable, HmListNoRestart, TrialResult,
+};
 use crate::workload::WorkloadSpec;
 use conc_ds::{AbTree, DgtTree, HarrisList, HmList, LazyList};
 use nbr::{Nbr, NbrPlus};
 use smr_baselines::{Debra, HazardEras, HazardPointers, Ibr, Leaky, Qsbr, Rcu};
 use smr_common::{Smr, SmrConfig};
+use std::marker::PhantomData;
+use std::sync::Arc;
 
 /// The reclamation algorithms of the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -166,6 +170,56 @@ pub fn run_with<F: DsFamily>(kind: SmrKind, spec: &WorkloadSpec, config: SmrConf
         SmrKind::Ibr => run_trial::<Ibr, F::Ds<Ibr>>(spec, config),
         SmrKind::He => run_trial::<HazardEras, F::Ds<HazardEras>>(spec, config),
         SmrKind::Leaky => run_trial::<Leaky, F::Ds<Leaky>>(spec, config),
+    }
+}
+
+/// A prefilled (reclaimer × structure) instance that can run the measured
+/// portion of many trials — the type-erased handle benchmark matrices hold so
+/// one prefill is shared across operation mixes and Criterion samples.
+pub trait PrefilledTrial: Send + Sync {
+    /// Runs the measured portion of `spec` on the shared structure (no
+    /// prefill — see [`run_trial_on`]).
+    fn run(&self, spec: &WorkloadSpec) -> TrialResult;
+}
+
+struct Prefilled<S: Smr, DS: Buildable<S> + Send + Sync> {
+    ds: Arc<DS>,
+    _smr: PhantomData<fn() -> S>,
+}
+
+impl<S: Smr, DS: Buildable<S> + Send + Sync> PrefilledTrial for Prefilled<S, DS> {
+    fn run(&self, spec: &WorkloadSpec) -> TrialResult {
+        run_trial_on::<S, DS>(&self.ds, spec)
+    }
+}
+
+/// Builds and prefills one structure of family `F` under the reclaimer named
+/// by `kind`, returning a reusable trial runner. `spec` supplies the key
+/// range, prefill size and thread count used for the prefill phase.
+pub fn build_prefilled<F: DsFamily>(
+    kind: SmrKind,
+    spec: &WorkloadSpec,
+    config: SmrConfig,
+) -> Box<dyn PrefilledTrial> {
+    fn mk<S: Smr, DS: Buildable<S> + Send + Sync>(
+        spec: &WorkloadSpec,
+        config: SmrConfig,
+    ) -> Box<dyn PrefilledTrial> {
+        Box::new(Prefilled::<S, DS> {
+            ds: build_and_prefill::<S, DS>(spec, config),
+            _smr: PhantomData,
+        })
+    }
+    match kind {
+        SmrKind::NbrPlus => mk::<NbrPlus, F::Ds<NbrPlus>>(spec, config),
+        SmrKind::Nbr => mk::<Nbr, F::Ds<Nbr>>(spec, config),
+        SmrKind::Debra => mk::<Debra, F::Ds<Debra>>(spec, config),
+        SmrKind::Qsbr => mk::<Qsbr, F::Ds<Qsbr>>(spec, config),
+        SmrKind::Rcu => mk::<Rcu, F::Ds<Rcu>>(spec, config),
+        SmrKind::Hp => mk::<HazardPointers, F::Ds<HazardPointers>>(spec, config),
+        SmrKind::Ibr => mk::<Ibr, F::Ds<Ibr>>(spec, config),
+        SmrKind::He => mk::<HazardEras, F::Ds<HazardEras>>(spec, config),
+        SmrKind::Leaky => mk::<Leaky, F::Ds<Leaky>>(spec, config),
     }
 }
 

@@ -28,7 +28,9 @@ pub mod families;
 pub mod report;
 pub mod workload;
 
-pub use driver::{run_trial, Buildable, HmListNoRestart, TrialResult};
+pub use driver::{
+    build_and_prefill, run_trial, run_trial_on, Buildable, HmListNoRestart, TrialResult,
+};
 pub use experiments::ExperimentScale;
-pub use families::{run_with, DsFamily, SmrKind};
+pub use families::{build_prefilled, run_with, DsFamily, PrefilledTrial, SmrKind};
 pub use workload::{Op, OpGenerator, StopCondition, WorkloadMix, WorkloadSpec};

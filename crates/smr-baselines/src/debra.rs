@@ -19,9 +19,10 @@
 
 use crate::util::{EraClock, OrphanPool};
 use smr_common::{
-    CachePadded, LimboBag, Registry, Retired, Shared, Smr, SmrConfig, SmrNode, ThreadStats,
+    CachePadded, LimboBag, Registry, Retired, ScanPolicy, ScanState, Shared, Smr, SmrConfig,
+    SmrNode, ThreadStats,
 };
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicU64, Ordering};
 
 const ACTIVE_BIT: u64 = 1;
 const QUIESCENT: u64 = u64::MAX;
@@ -43,12 +44,14 @@ pub struct DebraCtx {
     bag_epochs: [u64; BAGS],
     local_epoch: u64,
     ops_since_advance: usize,
+    scan: ScanState,
     stats: ThreadStats,
 }
 
 /// The DEBRA epoch-based reclaimer.
 pub struct Debra {
     config: SmrConfig,
+    policy: ScanPolicy,
     registry: Registry,
     epoch: EraClock,
     slots: Vec<CachePadded<EpochSlot>>,
@@ -57,20 +60,31 @@ pub struct Debra {
 
 impl Debra {
     fn announce(&self, tid: usize, epoch: u64, active: bool) {
-        let value = if active {
-            (epoch << 1) | ACTIVE_BIT
+        if active {
+            self.slots[tid]
+                .announced
+                .store((epoch << 1) | ACTIVE_BIT, Ordering::SeqCst);
         } else {
-            QUIESCENT
-        };
-        self.slots[tid].announced.store(value, Ordering::SeqCst);
+            // Going quiescent only *permits* more reclamation, so Release
+            // suffices: the finished operation's reads stay ordered before
+            // the store, and the next begin_op re-announces active with
+            // SeqCst before any shared read.
+            self.slots[tid]
+                .announced
+                .store(QUIESCENT, Ordering::Release);
+        }
     }
 
     /// Attempts to advance the global epoch: every active (non-quiescent)
-    /// thread must have announced the current epoch.
+    /// thread must have announced the current epoch. Single-fence scan (see
+    /// DESIGN.md): one SeqCst fence, then Acquire loads — a stale read only
+    /// under-reports a thread's progress and blocks the advance
+    /// (conservative).
     fn try_advance(&self, ctx: &mut DebraCtx) {
+        fence(Ordering::SeqCst);
         let current = self.epoch.now();
         for tid in self.registry.active_tids() {
-            let a = self.slots[tid].announced.load(Ordering::SeqCst);
+            let a = self.slots[tid].announced.load(Ordering::Acquire);
             if a == QUIESCENT {
                 continue;
             }
@@ -129,6 +143,7 @@ impl Smr for Debra {
             .collect();
         Self {
             registry: Registry::new(config.max_threads),
+            policy: ScanPolicy::from_config(&config),
             epoch: EraClock::new(),
             slots,
             orphans: OrphanPool::new(),
@@ -150,6 +165,7 @@ impl Smr for Debra {
             bag_epochs: [now; BAGS],
             local_epoch: now,
             ops_since_advance: 0,
+            scan: ScanState::new(),
             stats: ThreadStats::default(),
         }
     }
@@ -173,12 +189,26 @@ impl Smr for Debra {
         if ctx.ops_since_advance >= self.config.epoch_freq {
             ctx.ops_since_advance = 0;
             self.try_advance(ctx);
+            // The epoch-paced advance is DEBRA's regular scan: restart the
+            // heartbeat window so the op-exit trigger only fires when this
+            // path has been starved (ScanState::tick_op's pacing contract).
+            ctx.scan.note_scan();
         }
     }
 
     #[inline]
     fn end_op(&self, ctx: &mut DebraCtx) {
         self.announce(ctx.tid, 0, false);
+        let pending = self.limbo_len(ctx);
+        if ctx.scan.tick_op(&self.policy, pending) {
+            ctx.stats.heartbeat_scans += 1;
+            ctx.scan.note_scan();
+            // Heartbeat: nudge the epoch forward and free every bag two
+            // grace periods old, so a slow-retiring thread still returns
+            // memory between watermark-paced advances.
+            self.try_advance(ctx);
+            self.sync_local_epoch(ctx, self.epoch.now());
+        }
     }
 
     unsafe fn retire<T: SmrNode>(&self, ctx: &mut DebraCtx, ptr: Shared<T>) {

@@ -15,9 +15,10 @@
 
 use crate::util::OrphanPool;
 use smr_common::{
-    Atomic, CachePadded, LimboBag, Registry, Retired, Shared, Smr, SmrConfig, SmrNode, ThreadStats,
+    Atomic, CachePadded, LimboBag, Registry, Retired, ScanPolicy, ScanState, Shared, Smr,
+    SmrConfig, SmrNode, ThreadStats,
 };
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicUsize, Ordering};
 
 struct HazardSlots {
     slots: Box<[AtomicUsize]>,
@@ -27,12 +28,17 @@ struct HazardSlots {
 pub struct HpCtx {
     tid: usize,
     limbo: LimboBag,
+    scan: ScanState,
+    /// Reusable scratch for the per-scan hazard snapshot (no allocation on
+    /// the reclamation path).
+    protected: Vec<usize>,
     stats: ThreadStats,
 }
 
 /// The hazard-pointer reclaimer.
 pub struct HazardPointers {
     config: SmrConfig,
+    policy: ScanPolicy,
     registry: Registry,
     hazards: Vec<CachePadded<HazardSlots>>,
     orphans: OrphanPool,
@@ -41,28 +47,32 @@ pub struct HazardPointers {
 impl HazardPointers {
     fn scan_and_reclaim(&self, ctx: &mut HpCtx) {
         ctx.stats.reclaim_scans += 1;
-        let mut protected =
-            Vec::with_capacity(self.config.hazards_per_thread * self.registry.registered().max(1));
+        ctx.scan.note_scan();
+        // Single-fence scan: one SeqCst fence orders this scan against every
+        // announcing thread's protect sequence (hazard store, then validating
+        // load); the per-slot loads themselves only need Acquire. See
+        // DESIGN.md, "Memory-ordering argument for single-fence scans".
+        fence(Ordering::SeqCst);
+        ctx.protected.clear();
         for tid in self.registry.active_tids() {
             for h in self.hazards[tid].slots.iter() {
-                let addr = h.load(Ordering::SeqCst);
+                let addr = h.load(Ordering::Acquire);
                 if addr != 0 {
-                    protected.push(addr);
+                    ctx.protected.push(addr);
                 }
             }
         }
-        protected.sort_unstable();
-        protected.dedup();
+        ctx.protected.sort_unstable();
+        ctx.protected.dedup();
         let before = ctx.limbo.len();
         // SAFETY: a retired record is unlinked; any thread that could still
         // dereference it must have announced (and validated) a hazard pointer
-        // to it before our scan read that thread's slots, so records absent
-        // from `protected` are safe (Michael's original argument).
+        // to it before our scan's fence, so records absent from `protected`
+        // are safe (Michael's original argument; single-fence variant argued
+        // in DESIGN.md).
         let freed = unsafe {
-            ctx.limbo.reclaim_if(
-                |r| protected.binary_search(&r.address()).is_err(),
-                &mut ctx.stats,
-            )
+            ctx.limbo
+                .reclaim_prefix_unreserved(usize::MAX, &ctx.protected, &mut ctx.stats)
         };
         if freed == 0 && before > 0 {
             ctx.stats.reclaim_skips += 1;
@@ -101,6 +111,7 @@ impl Smr for HazardPointers {
             .collect();
         Self {
             registry: Registry::new(config.max_threads),
+            policy: ScanPolicy::from_config(&config),
             hazards,
             orphans: OrphanPool::new(),
             config,
@@ -117,6 +128,8 @@ impl Smr for HazardPointers {
         HpCtx {
             tid,
             limbo: LimboBag::with_capacity(self.config.hi_watermark + 1),
+            scan: ScanState::new(),
+            protected: Vec::with_capacity(self.config.hazards_per_thread * self.config.max_threads),
             stats: ThreadStats::default(),
         }
     }
@@ -167,6 +180,10 @@ impl Smr for HazardPointers {
     #[inline]
     fn end_op(&self, ctx: &mut HpCtx) {
         self.clear_slots(ctx.tid);
+        if ctx.scan.tick_op(&self.policy, ctx.limbo.len()) {
+            ctx.stats.heartbeat_scans += 1;
+            self.scan_and_reclaim(ctx);
+        }
     }
 
     unsafe fn retire<T: SmrNode>(&self, ctx: &mut HpCtx, ptr: Shared<T>) {
@@ -174,7 +191,7 @@ impl Smr for HazardPointers {
         ctx.limbo.push(Retired::new(ptr.as_raw(), 0));
         ctx.stats.retires += 1;
         ctx.stats.observe_limbo(ctx.limbo.len());
-        if ctx.limbo.len() >= self.config.hi_watermark {
+        if self.policy.scan_on_retire(ctx.limbo.len()) {
             self.scan_and_reclaim(ctx);
         }
     }

@@ -10,9 +10,10 @@
 
 use crate::util::{EraClock, OrphanPool};
 use smr_common::{
-    Atomic, CachePadded, LimboBag, Registry, Retired, Shared, Smr, SmrConfig, SmrNode, ThreadStats,
+    Atomic, CachePadded, LimboBag, Registry, Retired, ScanPolicy, ScanState, Shared, Smr,
+    SmrConfig, SmrNode, ThreadStats,
 };
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicU64, Ordering};
 
 /// Slot value meaning "no era announced".
 const NONE: u64 = 0;
@@ -25,6 +26,9 @@ struct EraSlots {
 pub struct HeCtx {
     tid: usize,
     limbo: LimboBag,
+    scan: ScanState,
+    /// Reusable scratch for the per-scan era snapshot.
+    eras: Vec<u64>,
     allocs_since_advance: usize,
     retires_since_scan: usize,
     stats: ThreadStats,
@@ -33,6 +37,7 @@ pub struct HeCtx {
 /// The hazard-eras reclaimer.
 pub struct HazardEras {
     config: SmrConfig,
+    policy: ScanPolicy,
     registry: Registry,
     era: EraClock,
     slots: Vec<CachePadded<EraSlots>>,
@@ -42,31 +47,30 @@ pub struct HazardEras {
 impl HazardEras {
     fn scan_and_reclaim(&self, ctx: &mut HeCtx) {
         ctx.stats.reclaim_scans += 1;
-        let mut eras =
-            Vec::with_capacity(self.config.hazards_per_thread * self.registry.registered().max(1));
+        ctx.scan.note_scan();
+        // Single-fence scan (see DESIGN.md): one SeqCst fence, then Acquire
+        // loads of every announced era.
+        fence(Ordering::SeqCst);
+        ctx.eras.clear();
         for tid in self.registry.active_tids() {
             for s in self.slots[tid].slots.iter() {
-                let e = s.load(Ordering::SeqCst);
+                let e = s.load(Ordering::Acquire);
                 if e != NONE {
-                    eras.push(e);
+                    ctx.eras.push(e);
                 }
             }
         }
+        // Sort-then-sweep: the sorted era set lets the bag test each record
+        // with two binary searches instead of a walk over every slot
+        // (O((R + T·K) log) rather than O(R × T·K)).
+        ctx.eras.sort_unstable();
+        ctx.eras.dedup();
         let before = ctx.limbo.len();
         // SAFETY: a thread can only dereference a record while announcing an
         // era within the record's lifetime; if no announced era intersects
         // [birth, retire], no thread can still dereference it (Hazard Eras
-        // safety argument).
-        let freed = unsafe {
-            ctx.limbo.reclaim_if(
-                |r| {
-                    !eras
-                        .iter()
-                        .any(|&e| r.birth_era() <= e && e <= r.retire_era())
-                },
-                &mut ctx.stats,
-            )
-        };
+        // safety argument; single-fence variant argued in DESIGN.md).
+        let freed = unsafe { ctx.limbo.reclaim_outside_eras(&ctx.eras, &mut ctx.stats) };
         if freed == 0 && before > 0 {
             ctx.stats.reclaim_skips += 1;
         }
@@ -104,6 +108,7 @@ impl Smr for HazardEras {
             .collect();
         Self {
             registry: Registry::new(config.max_threads),
+            policy: ScanPolicy::from_config(&config),
             era: EraClock::new(),
             slots,
             orphans: OrphanPool::new(),
@@ -121,6 +126,8 @@ impl Smr for HazardEras {
         HeCtx {
             tid,
             limbo: LimboBag::new(),
+            scan: ScanState::new(),
+            eras: Vec::with_capacity(self.config.hazards_per_thread * self.config.max_threads),
             allocs_since_advance: 0,
             retires_since_scan: 0,
             stats: ThreadStats::default(),
@@ -182,6 +189,10 @@ impl Smr for HazardEras {
     #[inline]
     fn end_op(&self, ctx: &mut HeCtx) {
         self.clear_slots(ctx.tid);
+        if ctx.scan.tick_op(&self.policy, ctx.limbo.len()) {
+            ctx.stats.heartbeat_scans += 1;
+            self.scan_and_reclaim(ctx);
+        }
     }
 
     fn alloc<T: SmrNode>(&self, ctx: &mut HeCtx, mut value: T) -> Shared<T> {
@@ -204,7 +215,7 @@ impl Smr for HazardEras {
         ctx.stats.observe_limbo(ctx.limbo.len());
         ctx.retires_since_scan += 1;
         if ctx.retires_since_scan >= self.config.empty_freq
-            || ctx.limbo.len() >= self.config.hi_watermark
+            || self.policy.scan_on_retire(ctx.limbo.len())
         {
             ctx.retires_since_scan = 0;
             self.scan_and_reclaim(ctx);

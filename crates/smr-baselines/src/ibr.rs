@@ -12,9 +12,10 @@
 
 use crate::util::{EraClock, OrphanPool};
 use smr_common::{
-    Atomic, CachePadded, LimboBag, Registry, Retired, Shared, Smr, SmrConfig, SmrNode, ThreadStats,
+    Atomic, CachePadded, LimboBag, Registry, Retired, ScanPolicy, ScanState, Shared, Smr,
+    SmrConfig, SmrNode, ThreadStats,
 };
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicU64, Ordering};
 
 /// Announcement meaning "not inside an operation".
 const IDLE: u64 = u64::MAX;
@@ -28,6 +29,10 @@ struct IntervalSlot {
 pub struct IbrCtx {
     tid: usize,
     limbo: LimboBag,
+    scan: ScanState,
+    /// Reusable scratch: announced interval lower/upper bounds, each sorted.
+    lowers: Vec<u64>,
+    uppers: Vec<u64>,
     allocs_since_advance: usize,
     retires_since_scan: usize,
     stats: ThreadStats,
@@ -36,6 +41,7 @@ pub struct IbrCtx {
 /// The 2GEIBR interval-based reclaimer.
 pub struct Ibr {
     config: SmrConfig,
+    policy: ScanPolicy,
     registry: Registry,
     era: EraClock,
     slots: Vec<CachePadded<IntervalSlot>>,
@@ -45,30 +51,41 @@ pub struct Ibr {
 impl Ibr {
     fn scan_and_reclaim(&self, ctx: &mut IbrCtx) {
         ctx.stats.reclaim_scans += 1;
-        // Snapshot every announced interval once, then test each record.
-        let mut intervals = Vec::with_capacity(self.registry.registered());
+        ctx.scan.note_scan();
+        // Single-fence scan (see DESIGN.md): one SeqCst fence, then Acquire
+        // loads of every announced interval.
+        fence(Ordering::SeqCst);
+        ctx.lowers.clear();
+        ctx.uppers.clear();
         for tid in self.registry.active_tids() {
-            let lo = self.slots[tid].lower.load(Ordering::SeqCst);
-            let up = self.slots[tid].upper.load(Ordering::SeqCst);
+            let lo = self.slots[tid].lower.load(Ordering::Acquire);
+            let up = self.slots[tid].upper.load(Ordering::Acquire);
             if lo != IDLE {
-                intervals.push((lo, up));
+                // The two loads are not a single atomic snapshot: a
+                // concurrent end_op/begin_op can leave us a torn pair with
+                // up < lo. Clamp to [lo, max(lo, up)] — conservative (pins at
+                // least era `lo`) and restores the lo ≤ up invariant the
+                // sorted sweep's counting argument relies on.
+                ctx.lowers.push(lo);
+                ctx.uppers.push(up.max(lo));
             }
         }
+        // Sort-then-sweep: with both bound arrays sorted, each record is
+        // tested with two binary searches — |lo ≤ retire| == |up < birth| ⇔
+        // no announced interval overlaps [birth, retire] — taking the scan
+        // from O(R × T) to O((R + T) log T).
+        ctx.lowers.sort_unstable();
+        ctx.uppers.sort_unstable();
         let before = ctx.limbo.len();
         // SAFETY: a record whose [birth, retire] interval is disjoint from
         // every announced [lower, upper] interval cannot be reached by any
         // in-flight operation: an operation can only hold pointers to records
         // that were live at some era inside its announced interval (Wen et
-        // al.'s reachability argument).
+        // al.'s reachability argument; single-fence variant argued in
+        // DESIGN.md).
         let freed = unsafe {
-            ctx.limbo.reclaim_if(
-                |r| {
-                    intervals
-                        .iter()
-                        .all(|&(lo, up)| r.birth_era() > up || r.retire_era() < lo)
-                },
-                &mut ctx.stats,
-            )
+            ctx.limbo
+                .reclaim_disjoint_intervals(&ctx.lowers, &ctx.uppers, &mut ctx.stats)
         };
         if freed == 0 && before > 0 {
             ctx.stats.reclaim_skips += 1;
@@ -101,6 +118,7 @@ impl Smr for Ibr {
             .collect();
         Self {
             registry: Registry::new(config.max_threads),
+            policy: ScanPolicy::from_config(&config),
             era: EraClock::new(),
             slots,
             orphans: OrphanPool::new(),
@@ -119,6 +137,9 @@ impl Smr for Ibr {
         IbrCtx {
             tid,
             limbo: LimboBag::new(),
+            scan: ScanState::new(),
+            lowers: Vec::with_capacity(self.config.max_threads),
+            uppers: Vec::with_capacity(self.config.max_threads),
             allocs_since_advance: 0,
             retires_since_scan: 0,
             stats: ThreadStats::default(),
@@ -142,8 +163,16 @@ impl Smr for Ibr {
 
     #[inline]
     fn end_op(&self, ctx: &mut IbrCtx) {
-        self.slots[ctx.tid].lower.store(IDLE, Ordering::SeqCst);
-        self.slots[ctx.tid].upper.store(IDLE, Ordering::SeqCst);
+        // Withdrawing an announcement only *permits* more reclamation, so a
+        // delayed-visibility (Release) store is safe: a scan that still sees
+        // the old interval merely pins a few records longer. The next
+        // operation re-announces with SeqCst before its first shared read.
+        self.slots[ctx.tid].lower.store(IDLE, Ordering::Release);
+        self.slots[ctx.tid].upper.store(IDLE, Ordering::Release);
+        if ctx.scan.tick_op(&self.policy, ctx.limbo.len()) {
+            ctx.stats.heartbeat_scans += 1;
+            self.scan_and_reclaim(ctx);
+        }
     }
 
     #[inline]
@@ -193,7 +222,7 @@ impl Smr for Ibr {
         ctx.stats.observe_limbo(ctx.limbo.len());
         ctx.retires_since_scan += 1;
         if ctx.retires_since_scan >= self.config.empty_freq
-            || ctx.limbo.len() >= self.config.hi_watermark
+            || self.policy.scan_on_retire(ctx.limbo.len())
         {
             ctx.retires_since_scan = 0;
             self.scan_and_reclaim(ctx);

@@ -14,9 +14,10 @@
 
 use crate::util::{EraClock, OrphanPool};
 use smr_common::{
-    CachePadded, LimboBag, Registry, Retired, Shared, Smr, SmrConfig, SmrNode, ThreadStats,
+    CachePadded, LimboBag, Registry, Retired, ScanPolicy, ScanState, Shared, Smr, SmrConfig,
+    SmrNode, ThreadStats,
 };
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicU64, Ordering};
 
 const BAGS: usize = 3;
 /// Sentinel meaning "offline": the thread is not running operations at all and
@@ -35,12 +36,14 @@ pub struct QsbrCtx {
     bag_epochs: [u64; BAGS],
     local_epoch: u64,
     retires_since_check: usize,
+    scan: ScanState,
     stats: ThreadStats,
 }
 
 /// The QSBR reclaimer.
 pub struct Qsbr {
     config: SmrConfig,
+    policy: ScanPolicy,
     registry: Registry,
     epoch: EraClock,
     slots: Vec<CachePadded<QsbrSlot>>,
@@ -49,11 +52,15 @@ pub struct Qsbr {
 
 impl Qsbr {
     /// The global epoch can advance once every online thread has been
-    /// quiescent in the current epoch.
+    /// quiescent in the current epoch. Single-fence scan (see DESIGN.md): one
+    /// SeqCst fence, then Acquire loads of every announcement — a stale read
+    /// can only under-report a thread's progress, which blocks the advance
+    /// (conservative).
     fn try_advance(&self, ctx: &mut QsbrCtx) {
+        fence(Ordering::SeqCst);
         let current = self.epoch.now();
         for tid in self.registry.active_tids() {
-            let q = self.slots[tid].quiescent_epoch.load(Ordering::SeqCst);
+            let q = self.slots[tid].quiescent_epoch.load(Ordering::Acquire);
             if q == OFFLINE {
                 continue;
             }
@@ -102,6 +109,7 @@ impl Smr for Qsbr {
             .collect();
         Self {
             registry: Registry::new(config.max_threads),
+            policy: ScanPolicy::from_config(&config),
             epoch: EraClock::new(),
             slots,
             orphans: OrphanPool::new(),
@@ -124,6 +132,7 @@ impl Smr for Qsbr {
             bag_epochs: [now; BAGS],
             local_epoch: now,
             retires_since_check: 0,
+            scan: ScanState::new(),
             stats: ThreadStats::default(),
         }
     }
@@ -151,15 +160,32 @@ impl Smr for Qsbr {
     #[inline]
     fn end_op(&self, ctx: &mut QsbrCtx) {
         // Quiescent state: announce the current epoch and occasionally try to
-        // advance it.
+        // advance it. Release suffices for the announcement: it orders the
+        // finished operation's reads before the store (the direction safety
+        // needs), and a scan that sees the old value merely delays the
+        // advance (conservative).
         let e = self.epoch.now();
         self.slots[ctx.tid]
             .quiescent_epoch
-            .store(e, Ordering::SeqCst);
+            .store(e, Ordering::Release);
         ctx.retires_since_check += 1;
         if ctx.retires_since_check >= self.config.epoch_freq {
             ctx.retires_since_check = 0;
             self.try_advance(ctx);
+            // The epoch-paced advance is QSBR's regular scan: restart the
+            // heartbeat window so the op-exit trigger only fires when this
+            // path has been starved (ScanState::tick_op's pacing contract).
+            ctx.scan.note_scan();
+        }
+        let pending = self.limbo_len(ctx);
+        if ctx.scan.tick_op(&self.policy, pending) {
+            ctx.stats.heartbeat_scans += 1;
+            ctx.scan.note_scan();
+            // Heartbeat: nudge the epoch forward and free whatever two
+            // completed grace periods have made safe, so a thread retiring
+            // slowly still returns memory.
+            self.try_advance(ctx);
+            self.sync_local_epoch(ctx, self.epoch.now());
         }
     }
 

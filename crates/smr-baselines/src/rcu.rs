@@ -17,9 +17,10 @@
 
 use crate::util::{EraClock, OrphanPool};
 use smr_common::{
-    CachePadded, LimboBag, Registry, Retired, Shared, Smr, SmrConfig, SmrNode, ThreadStats,
+    CachePadded, LimboBag, Registry, Retired, ScanPolicy, ScanState, Shared, Smr, SmrConfig,
+    SmrNode, ThreadStats,
 };
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicU64, Ordering};
 
 /// Announcement value meaning "not inside an operation".
 const IDLE: u64 = u64::MAX;
@@ -32,6 +33,7 @@ struct RcuSlot {
 pub struct RcuCtx {
     tid: usize,
     limbo: LimboBag,
+    scan: ScanState,
     retires_since_scan: usize,
     retires_since_advance: usize,
     stats: ThreadStats,
@@ -40,6 +42,7 @@ pub struct RcuCtx {
 /// The RCU-style reclaimer.
 pub struct Rcu {
     config: SmrConfig,
+    policy: ScanPolicy,
     registry: Registry,
     era: EraClock,
     slots: Vec<CachePadded<RcuSlot>>,
@@ -48,10 +51,13 @@ pub struct Rcu {
 
 impl Rcu {
     /// Minimum era announced by any thread currently inside an operation.
+    /// Single-fence scan (see DESIGN.md): one SeqCst fence, then Acquire
+    /// loads of every announcement.
     fn min_announced_era(&self) -> u64 {
+        fence(Ordering::SeqCst);
         let mut min = u64::MAX;
         for tid in self.registry.active_tids() {
-            let a = self.slots[tid].announced.load(Ordering::SeqCst);
+            let a = self.slots[tid].announced.load(Ordering::Acquire);
             if a != IDLE {
                 min = min.min(a);
             }
@@ -61,6 +67,7 @@ impl Rcu {
 
     fn scan_and_reclaim(&self, ctx: &mut RcuCtx) {
         ctx.stats.reclaim_scans += 1;
+        ctx.scan.note_scan();
         let min = self.min_announced_era();
         let before = ctx.limbo.len();
         // SAFETY: a record retired in era `e` was unlinked before era `e`
@@ -92,6 +99,7 @@ impl Smr for Rcu {
             .collect();
         Self {
             registry: Registry::new(config.max_threads),
+            policy: ScanPolicy::from_config(&config),
             era: EraClock::new(),
             slots,
             orphans: OrphanPool::new(),
@@ -109,6 +117,7 @@ impl Smr for Rcu {
         RcuCtx {
             tid,
             limbo: LimboBag::new(),
+            scan: ScanState::new(),
             retires_since_scan: 0,
             retires_since_advance: 0,
             stats: ThreadStats::default(),
@@ -129,7 +138,15 @@ impl Smr for Rcu {
 
     #[inline]
     fn end_op(&self, ctx: &mut RcuCtx) {
-        self.slots[ctx.tid].announced.store(IDLE, Ordering::SeqCst);
+        // Withdrawing the announcement only *permits* more reclamation
+        // (Release suffices): prior reads of this operation stay ordered
+        // before the store, and the next begin_op re-announces with SeqCst
+        // before any shared read.
+        self.slots[ctx.tid].announced.store(IDLE, Ordering::Release);
+        if ctx.scan.tick_op(&self.policy, ctx.limbo.len()) {
+            ctx.stats.heartbeat_scans += 1;
+            self.scan_and_reclaim(ctx);
+        }
     }
 
     #[inline]

@@ -44,6 +44,7 @@ pub mod backoff;
 pub mod header;
 pub mod limbo;
 pub mod pad;
+pub mod policy;
 pub mod registry;
 pub mod retired;
 pub mod smr;
@@ -55,6 +56,7 @@ pub use backoff::Backoff;
 pub use header::{NodeHeader, SmrNode};
 pub use limbo::LimboBag;
 pub use pad::CachePadded;
+pub use policy::{ScanPolicy, ScanState};
 pub use registry::{Registry, ThreadSlot};
 pub use retired::Retired;
 pub use smr::{Smr, SmrConfig};

@@ -1,61 +1,127 @@
 //! Per-thread limbo bags (Algorithm 1, line 2).
 //!
 //! Each thread accumulates the records it has unlinked in a private
-//! [`LimboBag`]. When the bag grows past the reclaimer-specific watermark the
-//! reclaimer runs its scan (signals + reservation scan for NBR, epoch scan for
-//! DEBRA, hazard scan for HP, …) and frees every record the scan proves safe.
+//! [`LimboBag`]. When the bag grows past the reclaimer's scan trigger (see
+//! [`ScanPolicy`](crate::ScanPolicy)) the reclaimer runs its scan (signals +
+//! reservation scan for NBR, epoch scan for DEBRA, hazard scan for HP, …) and
+//! frees every record the scan proves safe.
+//!
+//! The bag is a *segmented batch list*: records live in fixed-capacity
+//! segments, so the retire fast path never pays a reallocate-and-copy of the
+//! whole bag, and a reclamation sweep compacts each segment in place instead
+//! of allocating a fresh vector per scan (which the pre-segmented bag did on
+//! every scan — a malloc/free pair plus a full copy of up to `HiWatermark`
+//! records on the hottest path in the tree).
 //!
 //! The bag preserves retire order, which NBR+ relies on: a thread at the
 //! LoWatermark bookmarks the current tail and may later free exactly the
-//! prefix retired before the bookmark (Algorithm 2, lines 14/19).
+//! prefix retired before the bookmark (Algorithm 2, lines 14/19). Segments are
+//! kept in retire order and in-place compaction never reorders survivors.
+//!
+//! Reclamation is *sort-then-sweep*: the caller sorts its snapshot of the
+//! announced protections once (hazard addresses, eras, or interval bounds) and
+//! the sweep tests each retired record with a binary search — so the
+//! interval-based schemes (IBR, HE) go from O(records × threads) per scan to
+//! O((records + threads) · log threads), and the address-based schemes (HP,
+//! NBR) keep their binary search without any per-record indirection.
 
 use crate::retired::Retired;
 use crate::stats::ThreadStats;
 
+/// Records per segment. Large enough that segment allocation is amortized
+/// over hundreds of retires, small enough that a partially reclaimed bag
+/// returns memory to the allocator in useful chunks.
+const SEGMENT_CAPACITY: usize = 256;
+
 /// An ordered bag of retired records owned by a single thread.
 #[derive(Default)]
 pub struct LimboBag {
-    records: Vec<Retired>,
+    /// Non-empty segments in retire order (older segments first). Each
+    /// segment is filled exactly to its capacity before a new one is started,
+    /// so pushes never reallocate an existing segment.
+    segments: Vec<Vec<Retired>>,
+    /// Total records across all segments.
+    len: usize,
 }
 
 impl LimboBag {
     /// An empty bag.
     pub fn new() -> Self {
-        Self {
-            records: Vec::new(),
-        }
+        Self::default()
     }
 
     /// An empty bag with room for `capacity` records (avoids growth in the
     /// retire fast path).
     pub fn with_capacity(capacity: usize) -> Self {
-        Self {
-            records: Vec::with_capacity(capacity),
-        }
+        let mut segments = Vec::with_capacity(capacity.div_ceil(SEGMENT_CAPACITY).max(1));
+        segments.push(Vec::with_capacity(capacity.clamp(1, SEGMENT_CAPACITY)));
+        Self { segments, len: 0 }
     }
 
     /// Appends a retired record (Algorithm 1, line 19).
     #[inline]
     pub fn push(&mut self, retired: Retired) {
-        self.records.push(retired);
+        match self.segments.last_mut() {
+            Some(seg) if seg.len() < seg.capacity() => seg.push(retired),
+            _ => {
+                let mut seg = Vec::with_capacity(SEGMENT_CAPACITY);
+                seg.push(retired);
+                self.segments.push(seg);
+            }
+        }
+        self.len += 1;
     }
 
     /// Number of unreclaimed records currently held.
     #[inline]
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.len
     }
 
     /// True when the bag holds no records.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.len == 0
     }
 
-    /// Iterates over the held records (used by interval-based scans that need
-    /// eras rather than addresses).
+    /// Iterates over the held records in retire order (used by interval-based
+    /// scans that need eras rather than addresses).
     pub fn iter(&self) -> impl Iterator<Item = &Retired> {
-        self.records.iter()
+        self.segments.iter().flatten()
+    }
+
+    /// The core sweep: frees every record in the prefix `[0, up_to)` whose
+    /// fate `decide` approves, compacting each segment in place so survivors
+    /// (and the suffix past `up_to`) keep their retire order. Returns the
+    /// number of records freed.
+    ///
+    /// # Safety
+    /// The caller must guarantee that any record for which `decide` returns
+    /// `true` is safe in the sense of Section 3: unlinked and unreachable from
+    /// every thread's private pointers.
+    unsafe fn sweep_prefix(
+        &mut self,
+        up_to: usize,
+        mut decide: impl FnMut(&Retired) -> bool,
+    ) -> usize {
+        let limit = up_to.min(self.len);
+        if limit == 0 {
+            return 0;
+        }
+        let mut freed = 0usize;
+        let mut start = 0usize; // global index of the current segment's head
+        for seg in &mut self.segments {
+            let seg_len = seg.len();
+            if start >= limit {
+                break;
+            }
+            let seg_limit = (limit - start).min(seg_len);
+            freed += compact_segment(seg, seg_limit, &mut decide);
+            start += seg_len;
+        }
+        self.len -= freed;
+        self.segments.retain(|s| !s.is_empty());
+        freed
     }
 
     /// Frees every record in the prefix `[0, up_to)` whose fate `decide`
@@ -72,21 +138,10 @@ impl LimboBag {
     pub unsafe fn reclaim_prefix_if(
         &mut self,
         up_to: usize,
-        mut decide: impl FnMut(&Retired) -> bool,
+        decide: impl FnMut(&Retired) -> bool,
         stats: &mut ThreadStats,
     ) -> usize {
-        let limit = up_to.min(self.records.len());
-        let mut freed = 0usize;
-        let mut kept: Vec<Retired> = Vec::with_capacity(self.records.len());
-        for (i, rec) in self.records.drain(..).enumerate() {
-            if i < limit && decide(&rec) {
-                rec.reclaim();
-                freed += 1;
-            } else {
-                kept.push(rec);
-            }
-        }
-        self.records = kept;
+        let freed = self.sweep_prefix(up_to, decide);
         stats.frees += freed as u64;
         freed
     }
@@ -103,6 +158,81 @@ impl LimboBag {
         self.reclaim_prefix_if(usize::MAX, decide, stats)
     }
 
+    /// Frees every record in the prefix `[0, up_to)` whose address is absent
+    /// from `reserved`, which **must be sorted** (binary search per record).
+    /// This is the NBR/NBR+/HP sweep: one sorted snapshot of the announced
+    /// reservations or hazards, swept against the batch in a single pass.
+    ///
+    /// # Safety
+    /// `reserved` must contain every address a registered thread may still
+    /// dereference; beyond that, same contract as
+    /// [`LimboBag::reclaim_prefix_if`].
+    pub unsafe fn reclaim_prefix_unreserved(
+        &mut self,
+        up_to: usize,
+        reserved: &[usize],
+        stats: &mut ThreadStats,
+    ) -> usize {
+        debug_assert!(reserved.windows(2).all(|w| w[0] <= w[1]));
+        let freed = self.sweep_prefix(up_to, |r| reserved.binary_search(&r.address()).is_err());
+        stats.frees += freed as u64;
+        freed
+    }
+
+    /// Frees every record whose lifetime `[birth, retire]` contains none of
+    /// the announced `eras`, which **must be sorted** — the hazard-eras sweep.
+    /// An era `e` pins a record iff `birth ≤ e ≤ retire`, so the record is
+    /// safe iff the count of eras `< birth` equals the count of eras
+    /// `≤ retire` (two binary searches instead of a scan over every slot).
+    ///
+    /// # Safety
+    /// `eras` must contain every era announced by a registered thread at the
+    /// scan's linearization point (the callers' single `SeqCst` fence); same
+    /// overall contract as [`LimboBag::reclaim_prefix_if`].
+    pub unsafe fn reclaim_outside_eras(&mut self, eras: &[u64], stats: &mut ThreadStats) -> usize {
+        debug_assert!(eras.windows(2).all(|w| w[0] <= w[1]));
+        let freed = self.sweep_prefix(usize::MAX, |r| {
+            let below = eras.partition_point(|&e| e < r.birth_era());
+            let covered = eras.partition_point(|&e| e <= r.retire_era());
+            below == covered
+        });
+        stats.frees += freed as u64;
+        freed
+    }
+
+    /// Frees every record whose lifetime `[birth, retire]` is disjoint from
+    /// every announced interval, given the interval **lower bounds and upper
+    /// bounds each sorted separately** — the IBR (2GEIBR) sweep.
+    ///
+    /// An interval `[lo, up]` overlaps `[birth, retire]` iff
+    /// `lo ≤ retire ∧ up ≥ birth`. Since every valid interval has `lo ≤ up`,
+    /// the intervals with `up < birth` are a subset of those with
+    /// `lo ≤ retire`, so the overlap count is
+    /// `|{lo ≤ retire}| − |{up < birth}|` — two binary searches per record
+    /// instead of a walk over every announced interval.
+    ///
+    /// # Safety
+    /// `lowers`/`uppers` must cover every interval announced by a registered
+    /// thread at the scan's linearization point; same overall contract as
+    /// [`LimboBag::reclaim_prefix_if`].
+    pub unsafe fn reclaim_disjoint_intervals(
+        &mut self,
+        lowers: &[u64],
+        uppers: &[u64],
+        stats: &mut ThreadStats,
+    ) -> usize {
+        debug_assert_eq!(lowers.len(), uppers.len());
+        debug_assert!(lowers.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!(uppers.windows(2).all(|w| w[0] <= w[1]));
+        let freed = self.sweep_prefix(usize::MAX, |r| {
+            let starts_at_or_before = lowers.partition_point(|&lo| lo <= r.retire_era());
+            let ends_before = uppers.partition_point(|&up| up < r.birth_era());
+            starts_at_or_before == ends_before
+        });
+        stats.frees += freed as u64;
+        freed
+    }
+
     /// Frees everything unconditionally. Used at shutdown, after all threads
     /// have deregistered (when every record is trivially safe), and by the
     /// leaky reclaimer's drop path in tests.
@@ -116,14 +246,53 @@ impl LimboBag {
     /// Removes and returns all records without freeing them (ownership moves
     /// to the caller, e.g. a global pool at thread deregistration).
     pub fn drain(&mut self) -> Vec<Retired> {
-        std::mem::take(&mut self.records)
+        self.len = 0;
+        let mut out = Vec::new();
+        for mut seg in self.segments.drain(..) {
+            out.append(&mut seg);
+        }
+        out
     }
+}
+
+/// Compacts one segment in place: frees every record in `[0, limit)` that
+/// `decide` approves, shifting survivors (and the suffix `[limit, len)`) left
+/// without reordering. Returns the number of records freed.
+///
+/// `Retired` has no `Drop` glue (dropping one leaks rather than frees), so the
+/// raw moves below are plain bit copies. The segment length is zeroed for the
+/// duration of the sweep: if `decide` panics, the in-flight records leak —
+/// which is safe — instead of being double-freed by an unwinding caller.
+unsafe fn compact_segment(
+    seg: &mut Vec<Retired>,
+    limit: usize,
+    decide: &mut impl FnMut(&Retired) -> bool,
+) -> usize {
+    let len = seg.len();
+    debug_assert!(limit <= len);
+    let ptr = seg.as_mut_ptr();
+    seg.set_len(0);
+    let mut write = 0usize;
+    for read in 0..len {
+        let rec = ptr.add(read);
+        if read < limit && decide(&*rec) {
+            core::ptr::read(rec).reclaim();
+        } else {
+            if write != read {
+                core::ptr::copy_nonoverlapping(rec, ptr.add(write), 1);
+            }
+            write += 1;
+        }
+    }
+    seg.set_len(write);
+    len - write
 }
 
 impl core::fmt::Debug for LimboBag {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("LimboBag")
-            .field("len", &self.records.len())
+            .field("len", &self.len)
+            .field("segments", &self.segments.len())
             .finish()
     }
 }
@@ -146,6 +315,17 @@ mod tests {
             k,
         }));
         unsafe { Retired::new(raw, era) }
+    }
+
+    fn retire_interval(k: u64, birth: u64, retire: u64) -> Retired {
+        let mut node = N {
+            header: NodeHeader::new(),
+            k,
+        };
+        use crate::header::SmrNode;
+        node.header_mut().set_birth_era(birth);
+        let raw = Box::into_raw(Box::new(node));
+        unsafe { Retired::new(raw, retire) }
     }
 
     #[test]
@@ -213,5 +393,102 @@ mod tests {
             stats.frees += 1;
         }
         assert_eq!(stats.frees, 3);
+    }
+
+    #[test]
+    fn segmented_push_crosses_segment_boundaries_in_order() {
+        let mut bag = LimboBag::new();
+        let n = SEGMENT_CAPACITY * 2 + 17;
+        let mut addrs = Vec::new();
+        for i in 0..n {
+            let r = retire_one(i as u64, i as u64);
+            addrs.push(r.address());
+            bag.push(r);
+        }
+        assert_eq!(bag.len(), n);
+        assert!(bag.segments.len() >= 3);
+        let seen: Vec<usize> = bag.iter().map(|r| r.address()).collect();
+        assert_eq!(seen, addrs, "retire order must survive segmentation");
+        let mut stats = ThreadStats::default();
+        // Free every third record across segment boundaries; survivors stay
+        // ordered.
+        let victims: Vec<usize> = addrs.iter().copied().step_by(3).collect();
+        let freed = unsafe { bag.reclaim_if(|r| victims.contains(&r.address()), &mut stats) };
+        assert_eq!(freed, victims.len());
+        let survivors: Vec<usize> = bag.iter().map(|r| r.address()).collect();
+        let expect: Vec<usize> = addrs
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(i, _)| i % 3 != 0)
+            .map(|(_, a)| a)
+            .collect();
+        assert_eq!(survivors, expect);
+        unsafe { bag.reclaim_all(&mut stats) };
+        assert_eq!(stats.frees as usize, n);
+    }
+
+    #[test]
+    fn reclaim_prefix_unreserved_uses_sorted_addresses() {
+        let mut bag = LimboBag::new();
+        let mut addrs = Vec::new();
+        for i in 0..8 {
+            let r = retire_one(i, i);
+            addrs.push(r.address());
+            bag.push(r);
+        }
+        let mut reserved = vec![addrs[2], addrs[5], addrs[7]];
+        reserved.sort_unstable();
+        let mut stats = ThreadStats::default();
+        // Prefix of 6: records 0..6 except the reserved 2 and 5 are freed;
+        // 6, 7 lie past the bookmark.
+        let freed = unsafe { bag.reclaim_prefix_unreserved(6, &reserved, &mut stats) };
+        assert_eq!(freed, 4);
+        let survivors: Vec<usize> = bag.iter().map(|r| r.address()).collect();
+        assert_eq!(survivors, vec![addrs[2], addrs[5], addrs[6], addrs[7]]);
+        unsafe { bag.reclaim_all(&mut stats) };
+    }
+
+    #[test]
+    fn reclaim_outside_eras_matches_linear_check() {
+        let mut bag = LimboBag::new();
+        // Lifetimes: [0,1] [2,4] [5,5] [3,8] [9,10]
+        for &(k, b, r) in &[(0, 0, 1), (1, 2, 4), (2, 5, 5), (3, 3, 8), (4, 9, 10)] {
+            bag.push(retire_interval(k, b, r));
+        }
+        let eras = vec![4, 9]; // sorted announced eras
+        let mut stats = ThreadStats::default();
+        // Era 4 pins [2,4] and [3,8]; era 9 pins [9,10]. [0,1] and [5,5] free.
+        let freed = unsafe { bag.reclaim_outside_eras(&eras, &mut stats) };
+        assert_eq!(freed, 2);
+        let remaining: Vec<(u64, u64)> = bag
+            .iter()
+            .map(|r| (r.birth_era(), r.retire_era()))
+            .collect();
+        assert_eq!(remaining, vec![(2, 4), (3, 8), (9, 10)]);
+        unsafe { bag.reclaim_all(&mut stats) };
+    }
+
+    #[test]
+    fn reclaim_disjoint_intervals_matches_linear_check() {
+        let mut bag = LimboBag::new();
+        // Lifetimes: [0,1] [2,4] [6,7] [3,8] [12,14]
+        for &(k, b, r) in &[(0, 0, 1), (1, 2, 4), (2, 6, 7), (3, 3, 8), (4, 12, 14)] {
+            bag.push(retire_interval(k, b, r));
+        }
+        // Announced intervals (already per-bound sorted): [3,5] and [9,13].
+        let lowers = vec![3, 9];
+        let uppers = vec![5, 13];
+        let mut stats = ThreadStats::default();
+        // [3,5] overlaps [2,4] and [3,8]; [9,13] overlaps [12,14].
+        // [0,1] and [6,7] are disjoint from both and must be freed.
+        let freed = unsafe { bag.reclaim_disjoint_intervals(&lowers, &uppers, &mut stats) };
+        assert_eq!(freed, 2);
+        let remaining: Vec<(u64, u64)> = bag
+            .iter()
+            .map(|r| (r.birth_era(), r.retire_era()))
+            .collect();
+        assert_eq!(remaining, vec![(2, 4), (3, 8), (12, 14)]);
+        unsafe { bag.reclaim_all(&mut stats) };
     }
 }

@@ -1,0 +1,152 @@
+//! Adaptive reclamation-scan triggers shared by every reclaimer.
+//!
+//! The paper's Algorithm 1 scans when the limbo bag reaches a fixed
+//! HiWatermark. That alone has a failure mode this repo's stress runs exposed
+//! (ROADMAP: "HP reclaims nothing below the watermark"): a thread that retires
+//! fewer than `hi_watermark` records over its whole lifetime never scans, so
+//! short trials and short-lived threads return no memory at all until they
+//! deregister — and frees performed during deregistration are invisible to
+//! the thread's own counters.
+//!
+//! [`ScanPolicy`] combines three triggers:
+//!
+//! * **HiWatermark** (paper, Algorithm 1 line 20): retire scans once the bag
+//!   reaches `hi_watermark` — the bounded-garbage backstop.
+//! * **LoWatermark**: reclaimers with a cheap opportunistic path (NBR+'s RGP
+//!   piggybacking) engage it once the bag reaches `lo_watermark`.
+//! * **Operation heartbeat**: every `heartbeat_ops` *completed operations*
+//!   (counted at operation exit — `Smr::end_op`, which the
+//!   [`SmrHandle`](../../nbr/struct.SmrHandle.html)/`ReadPhase` guard calls on
+//!   every `run`), a thread holding any garbage runs one scan. This is the
+//!   adaptive part: a fast-retiring thread is paced by the watermarks and
+//!   almost never hits the heartbeat, while a slow-retiring thread frees its
+//!   garbage within a bounded number of its own operations instead of never.
+//!
+//! The heartbeat runs at operation exit — never inside a read phase — so it
+//! composes with the NBR phase rules (a scan may broadcast signals, which is
+//! write-phase behaviour). Scans triggered by the heartbeat are counted in
+//! [`ThreadStats::heartbeat_scans`](crate::ThreadStats::heartbeat_scans).
+
+use crate::smr::SmrConfig;
+
+/// The scan-trigger parameters, derived from [`SmrConfig`].
+#[derive(Debug, Clone)]
+pub struct ScanPolicy {
+    /// Bag size that forces a reclamation scan on retire (Algorithm 1's `S`).
+    pub hi_watermark: usize,
+    /// Bag size at which opportunistic reclamation engages (NBR+).
+    pub lo_watermark: usize,
+    /// Completed operations between heartbeat scans (0 disables the
+    /// heartbeat).
+    pub heartbeat_ops: u32,
+}
+
+impl ScanPolicy {
+    /// Derives the policy from a config.
+    pub fn from_config(config: &SmrConfig) -> Self {
+        Self {
+            hi_watermark: config.hi_watermark,
+            lo_watermark: config.lo_watermark,
+            heartbeat_ops: config.scan_heartbeat_ops.min(u32::MAX as usize) as u32,
+        }
+    }
+
+    /// Retire-path trigger: must this retire run a scan?
+    #[inline]
+    pub fn scan_on_retire(&self, limbo_len: usize) -> bool {
+        limbo_len >= self.hi_watermark
+    }
+
+    /// Retire-path trigger for the opportunistic (LoWatermark) path.
+    #[inline]
+    pub fn opportunistic_on_retire(&self, limbo_len: usize) -> bool {
+        limbo_len >= self.lo_watermark
+    }
+}
+
+/// Per-thread heartbeat state. Lives in the reclaimer's thread context; no
+/// synchronization involved.
+#[derive(Debug, Default)]
+pub struct ScanState {
+    ops_since_scan: u32,
+}
+
+impl ScanState {
+    /// Fresh state (no operations recorded).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ticks the operation-exit heartbeat. Returns `true` when the caller
+    /// should run a reclamation scan now: the thread has completed
+    /// `heartbeat_ops` operations since its last scan while garbage is
+    /// pending. Callers must invoke [`ScanState::note_scan`] after any scan
+    /// (heartbeat- or watermark-triggered) so the two triggers share one
+    /// pacing window.
+    #[inline]
+    pub fn tick_op(&mut self, policy: &ScanPolicy, limbo_len: usize) -> bool {
+        if policy.heartbeat_ops == 0 {
+            return false;
+        }
+        // Saturating: an idle thread with an empty bag must not wrap around.
+        self.ops_since_scan = self.ops_since_scan.saturating_add(1);
+        limbo_len > 0 && self.ops_since_scan >= policy.heartbeat_ops
+    }
+
+    /// Records that a scan ran, restarting the heartbeat window.
+    #[inline]
+    pub fn note_scan(&mut self) {
+        self.ops_since_scan = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(hi: usize, lo: usize, hb: usize) -> ScanPolicy {
+        ScanPolicy::from_config(
+            &SmrConfig::default()
+                .with_watermarks(hi, lo)
+                .with_scan_heartbeat_ops(hb),
+        )
+    }
+
+    #[test]
+    fn watermark_triggers_mirror_config() {
+        let p = policy(100, 25, 64);
+        assert!(!p.scan_on_retire(99));
+        assert!(p.scan_on_retire(100));
+        assert!(!p.opportunistic_on_retire(24));
+        assert!(p.opportunistic_on_retire(25));
+    }
+
+    #[test]
+    fn heartbeat_fires_after_window_with_garbage() {
+        let p = policy(100, 25, 4);
+        let mut s = ScanState::new();
+        for _ in 0..3 {
+            assert!(!s.tick_op(&p, 1));
+        }
+        assert!(s.tick_op(&p, 1), "4th op with garbage must fire");
+        s.note_scan();
+        assert!(!s.tick_op(&p, 1), "window restarts after a scan");
+    }
+
+    #[test]
+    fn heartbeat_never_fires_on_empty_bag_or_when_disabled() {
+        let p = policy(100, 25, 2);
+        let mut s = ScanState::new();
+        for _ in 0..10 {
+            assert!(!s.tick_op(&p, 0), "empty bag must not scan");
+        }
+        // The elapsed window applies as soon as garbage appears.
+        assert!(s.tick_op(&p, 1));
+
+        let off = policy(100, 25, 0);
+        let mut s = ScanState::new();
+        for _ in 0..10 {
+            assert!(!s.tick_op(&off, 5), "heartbeat disabled");
+        }
+    }
+}

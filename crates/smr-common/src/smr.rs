@@ -53,6 +53,12 @@ pub struct SmrConfig {
     /// Models the user↔kernel transition of a real POSIX signal so the
     /// NBR-vs-NBR+ signal-count trade-off remains measurable. 0 disables it.
     pub signal_cost_ns: u64,
+    /// Operation-exit heartbeat: a thread holding any unreclaimed garbage
+    /// runs one reclamation scan every this many completed operations, so
+    /// short-lived threads return memory even when they never reach the
+    /// HiWatermark (see [`ScanPolicy`](crate::ScanPolicy)). 0 disables the
+    /// heartbeat (restoring the paper's fixed-watermark behaviour).
+    pub scan_heartbeat_ops: usize,
 }
 
 impl Default for SmrConfig {
@@ -67,6 +73,7 @@ impl Default for SmrConfig {
             empty_freq: 64,
             ack_spin_limit: 4096,
             signal_cost_ns: 0,
+            scan_heartbeat_ops: 1024,
         }
     }
 }
@@ -85,6 +92,7 @@ impl SmrConfig {
             empty_freq: 8,
             ack_spin_limit: 1 << 14,
             signal_cost_ns: 0,
+            scan_heartbeat_ops: 64,
         }
     }
 
@@ -111,6 +119,13 @@ impl SmrConfig {
     /// Builder-style setter for [`SmrConfig::signal_cost_ns`].
     pub fn with_signal_cost_ns(mut self, ns: u64) -> Self {
         self.signal_cost_ns = ns;
+        self
+    }
+
+    /// Builder-style setter for [`SmrConfig::scan_heartbeat_ops`]
+    /// (0 disables the operation-exit heartbeat).
+    pub fn with_scan_heartbeat_ops(mut self, ops: usize) -> Self {
+        self.scan_heartbeat_ops = ops;
         self
     }
 

@@ -26,6 +26,9 @@ pub struct ThreadStats {
     pub reclaim_scans: u64,
     /// Reclamation scans that freed nothing (e.g. blocked by a straggler).
     pub reclaim_skips: u64,
+    /// Reclamation scans triggered by the operation-exit heartbeat
+    /// ([`ScanPolicy`](crate::ScanPolicy)) rather than a watermark crossing.
+    pub heartbeat_scans: u64,
     /// NBR+ LoWatermark reclaims piggybacked on an observed RGP.
     pub rgp_reclaims: u64,
     /// Hazard-pointer / protection validation failures (operation restarts).
@@ -58,6 +61,7 @@ impl AddAssign for ThreadStats {
         self.neutralizations += rhs.neutralizations;
         self.reclaim_scans += rhs.reclaim_scans;
         self.reclaim_skips += rhs.reclaim_skips;
+        self.heartbeat_scans += rhs.heartbeat_scans;
         self.rgp_reclaims += rhs.rgp_reclaims;
         self.protect_failures += rhs.protect_failures;
         self.peak_limbo = self.peak_limbo.max(rhs.peak_limbo);

@@ -148,6 +148,40 @@ fn without_stalled_thread_everyone_reclaims() {
 }
 
 #[test]
+fn adaptive_trigger_preserves_bounds_for_bounded_schemes() {
+    // The operation-exit heartbeat only *adds* scans — it must never weaken
+    // the Lemma 10-style bounds. Run the bounded schemes with an aggressive
+    // heartbeat (a scan every 64 ops) under the stalled-thread workload and
+    // assert the same bounds as the fixed-watermark tests above.
+    let config = cfg().with_scan_heartbeat_ops(64);
+    for kind in [SmrKind::NbrPlus, SmrKind::Nbr, SmrKind::Hp] {
+        let r = run_with::<DgtTreeFamily>(kind, &stalled_spec(4_096, 60_000), config.clone());
+        assert!(
+            r.outstanding_garbage() <= bound(&config, 3),
+            "{} with heartbeat: outstanding garbage {} exceeds the bound {}",
+            kind.label(),
+            r.outstanding_garbage(),
+            bound(&config, 3)
+        );
+        assert!(
+            r.smr_totals.frees > 0,
+            "{} with heartbeat must still reclaim",
+            kind.label()
+        );
+    }
+    // IBR's stalled-reader bound includes the live set pinned at the stall
+    // point (see ibr_bounds_garbage_with_stalled_thread).
+    let live_at_stall = 2 * (4_096 / 2);
+    let r = run_with::<DgtTreeFamily>(SmrKind::Ibr, &stalled_spec(4_096, 60_000), config.clone());
+    assert!(
+        r.outstanding_garbage() <= bound(&config, 3) + live_at_stall,
+        "IBR with heartbeat: outstanding garbage {} exceeds the interval bound {}",
+        r.outstanding_garbage(),
+        bound(&config, 3) + live_at_stall
+    );
+}
+
+#[test]
 fn nbr_plus_piggybacks_instead_of_signalling() {
     // System-level version of the Section 5 claim: for the same workload NBR+
     // must send fewer signals than NBR while reclaiming a comparable amount.

@@ -1,0 +1,110 @@
+//! The adaptive scan trigger ([`smr_common::ScanPolicy`]): short trials must
+//! return memory under every reclaiming scheme, and the extra
+//! heartbeat-triggered scans must never weaken the per-scheme garbage bounds
+//! asserted in `garbage_bound.rs`.
+
+use smr_common::SmrConfig;
+use smr_harness::families::HarrisListFamily;
+use smr_harness::{run_with, SmrKind, StopCondition, WorkloadMix, WorkloadSpec};
+
+/// Every reclaiming scheme. Leaky is excluded by construction (it never
+/// frees).
+fn reclaiming_schemes() -> Vec<SmrKind> {
+    SmrKind::all()
+        .iter()
+        .copied()
+        .filter(|&k| k != SmrKind::Leaky)
+        .collect()
+}
+
+/// The ROADMAP failure mode ("HP reclaims nothing below the watermark"): a
+/// short trial whose per-thread retire count stays far below `hi_watermark`
+/// must still free memory under every scheme, because the operation-exit
+/// heartbeat scans once per `scan_heartbeat_ops` completed operations.
+#[test]
+fn every_scheme_frees_memory_below_the_hi_watermark() {
+    let config = SmrConfig::default()
+        .with_max_threads(16)
+        .with_watermarks(100_000, 25_000) // unreachably high watermarks
+        .with_scan_heartbeat_ops(256);
+    // Update-heavy on a small list: ~25% of ops retire a record, so 30 K ops
+    // across 2 threads retire a few thousand records — far below the
+    // watermark, but dozens of heartbeat windows.
+    let spec = WorkloadSpec::new(
+        WorkloadMix::UPDATE_HEAVY,
+        512,
+        2,
+        StopCondition::TotalOps(30_000),
+    );
+    for kind in reclaiming_schemes() {
+        let r = run_with::<HarrisListFamily>(kind, &spec, config.clone());
+        assert!(
+            r.smr_totals.retires < config.hi_watermark as u64,
+            "{}: trial must stay below the hi watermark to be meaningful",
+            kind.label()
+        );
+        assert!(
+            r.smr_totals.frees > 0,
+            "{} freed nothing out of {} retires below the watermark \
+             (heartbeat_scans={}, reclaim_scans={})",
+            kind.label(),
+            r.smr_totals.retires,
+            r.smr_totals.heartbeat_scans,
+            r.smr_totals.reclaim_scans,
+        );
+    }
+}
+
+/// With the heartbeat disabled the seed behaviour returns: hazard pointers
+/// free nothing below the watermark (the control for the test above; the
+/// epoch/era families still reclaim through their `epoch_freq`-paced scans).
+#[test]
+fn disabled_heartbeat_restores_fixed_watermark_behaviour() {
+    let config = SmrConfig::default()
+        .with_max_threads(16)
+        .with_watermarks(100_000, 25_000)
+        .with_scan_heartbeat_ops(0);
+    let spec = WorkloadSpec::new(
+        WorkloadMix::UPDATE_HEAVY,
+        512,
+        2,
+        StopCondition::TotalOps(30_000),
+    );
+    let r = run_with::<HarrisListFamily>(SmrKind::Hp, &spec, config.clone());
+    assert_eq!(
+        r.smr_totals.frees, 0,
+        "HP with no heartbeat and an unreachable watermark must free nothing"
+    );
+    assert_eq!(r.smr_totals.heartbeat_scans, 0);
+}
+
+/// Heartbeat scans are bounded work: at most one scan per
+/// `scan_heartbeat_ops` completed operations per thread.
+#[test]
+fn heartbeat_scan_count_is_bounded_by_ops() {
+    let heartbeat = 256u64;
+    let total_ops = 40_000u64;
+    let config = SmrConfig::default()
+        .with_max_threads(16)
+        .with_watermarks(100_000, 25_000)
+        .with_scan_heartbeat_ops(heartbeat as usize);
+    let spec = WorkloadSpec::new(
+        WorkloadMix::UPDATE_HEAVY,
+        512,
+        2,
+        StopCondition::TotalOps(total_ops),
+    );
+    for kind in reclaiming_schemes() {
+        let r = run_with::<HarrisListFamily>(kind, &spec, config.clone());
+        // Workers overshoot the ops budget by at most one 64-op batch each;
+        // allow generous slack on top of total/heartbeat.
+        let bound = r.total_ops / heartbeat + 2 * spec.threads as u64;
+        assert!(
+            r.smr_totals.heartbeat_scans <= bound,
+            "{}: {} heartbeat scans exceeds the pacing bound {}",
+            kind.label(),
+            r.smr_totals.heartbeat_scans,
+            bound
+        );
+    }
+}
