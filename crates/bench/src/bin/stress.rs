@@ -22,6 +22,8 @@ fn main() {
         SmrKind::Debra,
         SmrKind::Hp,
         SmrKind::Ibr,
+        SmrKind::EpochPop,
+        SmrKind::HpPop,
         SmrKind::Leaky,
     ];
     let sizes = [200u64, 2_048];

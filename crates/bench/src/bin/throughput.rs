@@ -8,9 +8,14 @@
 //!
 //! ```text
 //! cargo run -p nbr-bench --release --bin throughput -- \
-//!     [--out BENCH_2.json] [--baseline old.json] [--trials 3] \
-//!     [--millis 300] [--threads N] [--tiny] [--label note]
+//!     [--out BENCH_3.json] [--baseline old.json] [--trials 3] \
+//!     [--millis 300] [--threads N] [--tiny] [--label note] \
+//!     [--zipf theta]
 //! ```
+//!
+//! `--zipf <theta>` switches the key distribution from uniform to a YCSB
+//! Zipfian with the given `θ ∈ (0, 1)`; zipfian cells carry a `|zipf<θ>`
+//! suffix in their key so they never collide with uniform baselines.
 //!
 //! Each cell is emitted on its own line with a stable `key`
 //! (`scheme|structure|mix|r<range>|t<threads>`), which is what the baseline
@@ -18,7 +23,9 @@
 
 use smr_common::SmrConfig;
 use smr_harness::families::{HarrisListFamily, HmListRestartFamily};
-use smr_harness::{run_with, SmrKind, StopCondition, TrialResult, WorkloadMix, WorkloadSpec};
+use smr_harness::{
+    run_with, KeyDist, SmrKind, StopCondition, TrialResult, WorkloadMix, WorkloadSpec,
+};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -31,6 +38,7 @@ struct Args {
     threads: usize,
     key_ranges: Vec<u64>,
     label: String,
+    key_dist: KeyDist,
 }
 
 fn default_threads() -> usize {
@@ -42,13 +50,14 @@ fn default_threads() -> usize {
 
 fn parse_args() -> Args {
     let mut args = Args {
-        out: "BENCH_2.json".to_string(),
+        out: "BENCH_3.json".to_string(),
         baseline: None,
         trials: 3,
         millis: 300,
         threads: default_threads(),
         key_ranges: vec![200, 2_048],
         label: String::new(),
+        key_dist: KeyDist::Uniform,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -63,6 +72,14 @@ fn parse_args() -> Args {
             "--millis" => args.millis = val("--millis").parse().expect("--millis"),
             "--threads" => args.threads = val("--threads").parse().expect("--threads"),
             "--label" => args.label = val("--label"),
+            "--zipf" => {
+                let theta: f64 = val("--zipf").parse().expect("--zipf");
+                assert!(
+                    theta > 0.0 && theta < 1.0,
+                    "--zipf theta must lie in (0, 1), got {theta}"
+                );
+                args.key_dist = KeyDist::Zipf(theta);
+            }
             "--tiny" => {
                 // CI smoke scale: one short trial, one key range.
                 args.trials = 1;
@@ -86,10 +103,14 @@ struct Cell {
     frees: u64,
 }
 
-fn cell_key(r: &TrialResult) -> String {
+fn cell_key(r: &TrialResult, dist: KeyDist) -> String {
+    let suffix = match dist {
+        KeyDist::Uniform => String::new(),
+        KeyDist::Zipf(_) => format!("|{}", dist.label()),
+    };
     format!(
-        "{}|{}|{}|r{}|t{}",
-        r.smr, r.ds, r.mix, r.key_range, r.threads
+        "{}|{}|{}|r{}|t{}{}",
+        r.smr, r.ds, r.mix, r.key_range, r.threads, suffix
     )
 }
 
@@ -143,43 +164,19 @@ fn extract_num(line: &str, tag: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-fn run_cell<F: smr_harness::DsFamily>(kind: SmrKind, key_range: u64, args: &Args) -> Cell {
+fn run_once<F: smr_harness::DsFamily>(kind: SmrKind, key_range: u64, args: &Args) -> TrialResult {
     let spec = WorkloadSpec::new(
         WorkloadMix::READ_HEAVY,
         key_range,
         args.threads,
         StopCondition::Duration(Duration::from_millis(args.millis)),
-    );
+    )
+    .with_key_dist(args.key_dist);
     let config = SmrConfig::default()
         .with_max_threads(args.threads + 4)
         .with_watermarks(1024, 256)
         .with_signal_cost_ns(2_000);
-    // Best-of-N to damp scheduler noise on small CI machines.
-    let mut best: Option<TrialResult> = None;
-    for _ in 0..args.trials.max(1) {
-        let r = run_with::<F>(kind, &spec, config.clone());
-        if best.as_ref().map(|b| r.mops > b.mops).unwrap_or(true) {
-            best = Some(r);
-        }
-    }
-    let r = best.expect("at least one trial ran");
-    eprintln!(
-        "  {:<28} {:>8.3} Mops/s  peak_limbo={} retired={} freed={}",
-        cell_key(&r),
-        r.mops,
-        r.smr_totals.peak_limbo,
-        r.smr_totals.retires,
-        r.smr_totals.frees
-    );
-    Cell {
-        key: cell_key(&r),
-        scheme: r.smr,
-        ds: r.ds,
-        mops: r.mops,
-        peak_limbo: r.smr_totals.peak_limbo,
-        retires: r.smr_totals.retires,
-        frees: r.smr_totals.frees,
-    }
+    run_with::<F>(kind, &spec, config)
 }
 
 fn main() {
@@ -189,20 +186,68 @@ fn main() {
         parse_baseline(&text)
     });
 
+    // One runner closure per cell of the matrix, so the trial loop below can
+    // *interleave*: every cell runs once per pass over the whole matrix,
+    // rather than all N trials back-to-back. CI-grade machines see *bursty*
+    // interference (a noisy neighbour for a few seconds); back-to-back
+    // trials let one burst swallow every sample of a single cell, while
+    // interleaved passes spread it across the matrix — best-of-N then
+    // converges per cell instead of condemning whichever cell the burst hit.
+    type Runner = Box<dyn Fn(&Args) -> TrialResult>;
     let schemes = SmrKind::all();
-    let mut cells = Vec::new();
+    let mut runners: Vec<Runner> = Vec::new();
     for &key_range in &args.key_ranges {
         for &kind in schemes {
-            cells.push(run_cell::<HarrisListFamily>(kind, key_range, &args));
-            cells.push(run_cell::<HmListRestartFamily>(kind, key_range, &args));
+            runners.push(Box::new(move |a| {
+                run_once::<HarrisListFamily>(kind, key_range, a)
+            }));
+            runners.push(Box::new(move |a| {
+                run_once::<HmListRestartFamily>(kind, key_range, a)
+            }));
         }
     }
+
+    let mut best: Vec<Option<TrialResult>> = runners.iter().map(|_| None).collect();
+    for pass in 0..args.trials.max(1) {
+        eprintln!("pass {}/{}", pass + 1, args.trials.max(1));
+        for (slot, runner) in best.iter_mut().zip(&runners) {
+            let r = runner(&args);
+            if slot.as_ref().map(|b| r.mops > b.mops).unwrap_or(true) {
+                *slot = Some(r);
+            }
+        }
+    }
+
+    let cells: Vec<Cell> = best
+        .into_iter()
+        .map(|r| {
+            let r = r.expect("at least one pass ran");
+            eprintln!(
+                "  {:<28} {:>8.3} Mops/s  peak_limbo={} retired={} freed={}",
+                cell_key(&r, args.key_dist),
+                r.mops,
+                r.smr_totals.peak_limbo,
+                r.smr_totals.retires,
+                r.smr_totals.frees
+            );
+            Cell {
+                key: cell_key(&r, args.key_dist),
+                scheme: r.smr,
+                ds: r.ds,
+                mops: r.mops,
+                peak_limbo: r.smr_totals.peak_limbo,
+                retires: r.smr_totals.retires,
+                frees: r.smr_totals.frees,
+            }
+        })
+        .collect();
 
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"harness\": \"throughput\",");
     let _ = writeln!(out, "  \"label\": \"{}\",", escape_json(&args.label));
     let _ = writeln!(out, "  \"mix\": \"5i-5d\",");
+    let _ = writeln!(out, "  \"key_dist\": \"{}\",", args.key_dist.label());
     let _ = writeln!(out, "  \"threads\": {},", args.threads);
     let _ = writeln!(out, "  \"trials\": {},", args.trials);
     let _ = writeln!(out, "  \"trial_millis\": {},", args.millis);
@@ -234,6 +279,14 @@ fn main() {
     eprintln!("wrote {}", args.out);
 
     if let Some(base) = &baseline {
+        let matched = cells.iter().filter(|c| base.contains_key(&c.key)).count();
+        if matched == 0 {
+            eprintln!(
+                "warning: no cell key matched the baseline — check that \
+                 --threads (and the key ranges / distribution) match the \
+                 baseline run, or every speedup field will be absent"
+            );
+        }
         let improved: Vec<&Cell> = cells
             .iter()
             .filter(|c| {
@@ -243,9 +296,10 @@ fn main() {
             })
             .collect();
         eprintln!(
-            "cells ≥ 1.10x over baseline: {} of {}",
+            "cells ≥ 1.10x over baseline: {} of {} ({} matched)",
             improved.len(),
-            cells.len()
+            cells.len(),
+            matched
         );
         for c in improved {
             let (bm, _) = base[&c.key];

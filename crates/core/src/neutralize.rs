@@ -22,6 +22,12 @@
 //!   `acked[t] >= seq` (t has discarded every read-phase pointer it obtained
 //!   before the signal).
 //!
+//! The pending/acked handshake itself is the reusable
+//! [`PingChannel`](smr_common::PingChannel) in `smr-common`: neutralization
+//! layers the `restartable` exemption and the restart semantics on top of it,
+//! and the Publish-on-Ping reclaimers (`smr-pop`) layer
+//! publish-private-reservations semantics on the very same channel.
+//!
 //! This preserves Assumption 4 of the paper ("a signalled thread executes its
 //! handler before dereferencing any reference field") *by construction*: a
 //! reader never dereferences a pointer loaded in a read phase without first
@@ -50,22 +56,17 @@
 //! `Acquire` loads (see DESIGN.md, "Memory-ordering argument for single-fence
 //! scans").
 
-use smr_common::{CachePadded, Registry, SmrConfig};
+use smr_common::{CachePadded, PingChannel, PingOutcome, Registry, SmrConfig};
 use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::time::Duration;
 
 /// Per-thread shared neutralization state (single-writer for `restartable`,
-/// `acked`, `reservations`, `announce_ts`; multi-writer for `pending`).
+/// `reservations`, `announce_ts`). The pending/acked signal handshake itself
+/// lives in the shared [`PingChannel`] owned by [`NeutralizationCore`].
 #[derive(Debug)]
 pub struct SignalSlot {
     /// True while the owning thread is inside a read phase (Φ_read) and may be
     /// neutralized (Algorithm 1, line 3).
     restartable: AtomicBool,
-    /// Highest neutralization sequence number "delivered" to this thread.
-    pending: AtomicU64,
-    /// Highest sequence number the thread has acknowledged (it holds no
-    /// read-phase pointers obtained before that signal).
-    acked: AtomicU64,
     /// NBR+ announcement timestamp (Algorithm 2): odd while the owner is
     /// broadcasting signals, even otherwise; two completed increments after a
     /// snapshot ⇒ a relaxed grace period elapsed.
@@ -79,8 +80,6 @@ impl SignalSlot {
     fn new(max_reservations: usize) -> Self {
         Self {
             restartable: AtomicBool::new(false),
-            pending: AtomicU64::new(0),
-            acked: AtomicU64::new(0),
             announce_ts: AtomicU64::new(0),
             reservations: (0..max_reservations).map(|_| AtomicUsize::new(0)).collect(),
         }
@@ -100,7 +99,9 @@ pub struct NeutralizationCore {
     config: SmrConfig,
     registry: Registry,
     slots: Vec<CachePadded<SignalSlot>>,
-    signal_seq: AtomicU64,
+    /// The pending/acked handshake, shared with the Publish-on-Ping
+    /// reclaimers (`smr-pop`) via `smr-common`.
+    ping: PingChannel,
     orphans: std::sync::Mutex<Vec<smr_common::Retired>>,
 }
 
@@ -108,7 +109,7 @@ impl std::fmt::Debug for NeutralizationCore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NeutralizationCore")
             .field("threads", &self.registry.registered())
-            .field("signal_seq", &self.signal_seq.load(Ordering::Relaxed))
+            .field("signal_seq", &self.ping.current_seq())
             .finish()
     }
 }
@@ -134,7 +135,7 @@ impl NeutralizationCore {
         Self {
             registry: Registry::new(config.max_threads),
             slots,
-            signal_seq: AtomicU64::new(0),
+            ping: PingChannel::new(config.max_threads, config.signal_cost_ns),
             orphans: std::sync::Mutex::new(Vec::new()),
             config,
         }
@@ -168,9 +169,7 @@ impl NeutralizationCore {
         slot.restartable.store(false, Ordering::SeqCst);
         // Catch up with the global sequence: this thread holds no pointers, so
         // it trivially acknowledges everything that has been sent so far.
-        let seq = self.signal_seq.load(Ordering::SeqCst);
-        slot.pending.store(seq, Ordering::SeqCst);
-        slot.acked.store(seq, Ordering::SeqCst);
+        self.ping.reset_slot(tid);
         for r in slot.reservations.iter() {
             r.store(0, Ordering::SeqCst);
         }
@@ -230,12 +229,12 @@ impl NeutralizationCore {
                 r.store(0, Ordering::Release);
             }
         }
-        let pending = slot.pending.load(Ordering::SeqCst);
-        if pending != slot.acked.load(Ordering::Relaxed) {
-            // `acked` is single-writer, so the unconditional store the seed
-            // performed here was an XCHG on every operation; skipping it when
-            // nothing is pending keeps the per-op fast path store-free.
-            slot.acked.store(pending, Ordering::SeqCst);
+        if let Some(seq) = self.ping.poll(tid) {
+            // Only ack when something is pending: `acked` is single-writer,
+            // so the unconditional store the seed performed here was an XCHG
+            // on every operation; skipping it when nothing is pending keeps
+            // the per-op fast path store-free.
+            self.ping.ack(tid, seq);
         }
         // SeqCst RMW: the paper's CAS-as-fence (line 8). Ensures no read of a
         // shared record in the upcoming Φ_read can be ordered before the
@@ -249,10 +248,8 @@ impl NeutralizationCore {
     /// published here, which is what un-blocks the signalling reclaimer.
     #[inline]
     pub fn checkpoint(&self, tid: usize) -> bool {
-        let slot = self.slot(tid);
-        let pending = slot.pending.load(Ordering::SeqCst);
-        if pending > slot.acked.load(Ordering::Relaxed) {
-            slot.acked.store(pending, Ordering::SeqCst);
+        if let Some(seq) = self.ping.poll(tid) {
+            self.ping.ack(tid, seq);
             true
         } else {
             false
@@ -304,70 +301,40 @@ impl NeutralizationCore {
 
     /// Sends a neutralization signal to every registered thread except
     /// `sender` (Algorithm 1, line 16). Returns the sequence number of this
-    /// broadcast and the number of signals sent.
+    /// broadcast and the number of signals sent. Delivery (including the
+    /// simulated per-signal `pthread_kill` cost, `SmrConfig::signal_cost_ns`)
+    /// is the shared [`PingChannel`]'s `ping_all`.
     pub fn signal_all(&self, sender: usize) -> (u64, u64) {
-        let seq = self.signal_seq.fetch_add(1, Ordering::SeqCst) + 1;
-        let mut sent = 0u64;
-        for tid in self.registry.active_tids() {
-            if tid == sender {
-                continue;
-            }
-            self.slot(tid).pending.fetch_max(seq, Ordering::SeqCst);
-            sent += 1;
-            self.simulate_signal_cost();
-        }
-        (seq, sent)
-    }
-
-    /// Busy-waits for the configured per-signal cost, modelling the
-    /// user↔kernel round trip of a real `pthread_kill` so that the
-    /// signal-count trade-off between NBR and NBR+ remains measurable.
-    #[inline]
-    fn simulate_signal_cost(&self) {
-        let ns = self.config.signal_cost_ns;
-        if ns == 0 {
-            return;
-        }
-        let start = std::time::Instant::now();
-        let budget = Duration::from_nanos(ns);
-        while start.elapsed() < budget {
-            std::hint::spin_loop();
-        }
+        self.ping.ping_all(sender, &self.registry)
     }
 
     /// Waits (bounded) until every registered thread other than `sender` is
     /// observed neutralized with respect to `seq`: either non-restartable or
     /// having acknowledged `seq`.
     ///
-    /// The wait backs off from spinning to yielding so that, on oversubscribed
-    /// machines, a descheduled reader gets the CPU it needs to reach its next
-    /// checkpoint (with real signals the kernel would deliver the handler
-    /// regardless of scheduling; the yield is the cooperative substitute). The
-    /// total number of iterations is bounded by `SmrConfig::ack_spin_limit`;
-    /// on expiry the round is conceded and the caller skips reclamation.
+    /// The wait (the shared [`PingChannel`]'s `await_acks`) backs off from
+    /// spinning to yielding so that, on oversubscribed machines, a
+    /// descheduled reader gets the CPU it needs to reach its next checkpoint
+    /// (with real signals the kernel would deliver the handler regardless of
+    /// scheduling; the yield is the cooperative substitute). The total number
+    /// of iterations is bounded by `SmrConfig::ack_spin_limit`; on expiry the
+    /// round is conceded and the caller skips reclamation.
     pub fn await_neutralization(&self, sender: usize, seq: u64) -> HandshakeOutcome {
-        for tid in self.registry.active_tids() {
-            if tid == sender {
-                continue;
-            }
-            let slot = self.slot(tid);
-            let mut backoff = smr_common::Backoff::new();
-            let mut iterations = 0usize;
-            loop {
-                if !slot.restartable.load(Ordering::SeqCst) {
-                    break;
-                }
-                if slot.acked.load(Ordering::SeqCst) >= seq {
-                    break;
-                }
-                iterations += 1;
-                if iterations > self.config.ack_spin_limit {
-                    return HandshakeOutcome::TimedOut;
-                }
-                backoff.snooze();
-            }
+        let outcome = self.ping.await_acks(
+            sender,
+            seq,
+            &self.registry,
+            self.config.ack_spin_limit,
+            // A non-restartable thread (write phase or quiescent) needs no
+            // acknowledgement: its published reservations are honoured,
+            // exactly as in Algorithm 1.
+            |tid| !self.slot(tid).restartable.load(Ordering::SeqCst),
+            || {},
+        );
+        match outcome {
+            PingOutcome::AllAcked => HandshakeOutcome::AllNeutralized,
+            PingOutcome::TimedOut => HandshakeOutcome::TimedOut,
         }
-        HandshakeOutcome::AllNeutralized
     }
 
     /// Collects every reservation currently announced by any registered thread
@@ -460,7 +427,7 @@ impl NeutralizationCore {
 
     /// Current value of the global signal sequence (diagnostics/tests).
     pub fn signal_sequence(&self) -> u64 {
-        self.signal_seq.load(Ordering::SeqCst)
+        self.ping.current_seq()
     }
 }
 

@@ -1,0 +1,156 @@
+//! A fixed-size hash map with Harris-Michael-list buckets (the HMLHT
+//! structure of the Publish-on-Ping benchmark / setbench).
+//!
+//! The map is an array of `HmCore` buckets (the engine behind
+//! [`HmList`](crate::HmList)) sharing **one** reclaimer instance: a key is
+//! hashed (SplitMix64 finalizer) to pick
+//! its bucket and the operation proceeds exactly as on the flat list, with
+//! the bucket's head sentinel as the operation's root. Since every bucket
+//! list restarts from its own head (the `FromRoot` policy), the NBR phase
+//! discipline is preserved — a neutralized operation restarts its read phase
+//! from the root it started at — so the map runs under every reclaimer in
+//! the workspace, including NBR/NBR+ and the Publish-on-Ping family.
+//!
+//! The bucket count is fixed at construction (no resizing), mirroring the
+//! related repos' HMLHT: short chains turn the lists' O(n) traversals into
+//! near-O(1) operations, which shifts the SMR cost profile from
+//! traversal-dominated to operation-bracket-dominated — a usefully different
+//! scenario for the benchmark matrix.
+
+use crate::hm_list::{HmCore, RestartPolicy};
+use crate::ConcurrentSet;
+use smr_common::{Smr, SmrConfig};
+
+/// Default number of buckets (used by [`HmHashMap::new`]).
+pub const DEFAULT_BUCKETS: usize = 64;
+
+/// A fixed-size hash set of `u64` keys built from Harris-Michael-list
+/// buckets sharing one reclaimer.
+pub struct HmHashMap<S: Smr> {
+    smr: S,
+    buckets: Box<[HmCore]>,
+}
+
+unsafe impl<S: Smr> Send for HmHashMap<S> {}
+unsafe impl<S: Smr> Sync for HmHashMap<S> {}
+
+/// SplitMix64 finalizer: spreads adjacent keys across buckets.
+#[inline]
+fn hash(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl<S: Smr> HmHashMap<S> {
+    /// Creates an empty map with [`DEFAULT_BUCKETS`] buckets.
+    pub fn new(config: SmrConfig) -> Self {
+        Self::with_buckets(config, DEFAULT_BUCKETS)
+    }
+
+    /// Creates an empty map with a specific bucket count.
+    pub fn with_buckets(config: SmrConfig, buckets: usize) -> Self {
+        assert!(buckets > 0, "hash map needs at least one bucket");
+        Self {
+            smr: S::new(config),
+            buckets: (0..buckets)
+                .map(|_| HmCore::new(RestartPolicy::FromRoot))
+                .collect(),
+        }
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    #[inline]
+    fn bucket(&self, key: u64) -> &HmCore {
+        &self.buckets[(hash(key) % self.buckets.len() as u64) as usize]
+    }
+}
+
+impl<S: Smr> ConcurrentSet<S> for HmHashMap<S> {
+    fn smr(&self) -> &S {
+        &self.smr
+    }
+
+    fn contains(&self, ctx: &mut S::ThreadCtx, key: u64) -> bool {
+        self.bucket(key).contains(&self.smr, ctx, key)
+    }
+
+    fn insert(&self, ctx: &mut S::ThreadCtx, key: u64) -> bool {
+        self.bucket(key).insert(&self.smr, ctx, key)
+    }
+
+    fn remove(&self, ctx: &mut S::ThreadCtx, key: u64) -> bool {
+        self.bucket(key).remove(&self.smr, ctx, key)
+    }
+
+    fn size(&self, ctx: &mut S::ThreadCtx) -> usize {
+        self.buckets.iter().map(|b| b.count(&self.smr, ctx)).sum()
+    }
+
+    fn name() -> &'static str {
+        "hm-hashmap"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{disjoint_key_stress, model_check};
+    use nbr::NbrPlus;
+    use smr_baselines::{Debra, HazardPointers};
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_basics() {
+        let map = HmHashMap::<NbrPlus>::new(SmrConfig::for_tests());
+        let mut ctx = map.smr().register(0);
+        assert!(map.insert(&mut ctx, 4));
+        assert!(map.insert(&mut ctx, 68)); // likely a different bucket
+        assert!(!map.insert(&mut ctx, 4));
+        assert!(map.contains(&mut ctx, 4));
+        assert!(map.remove(&mut ctx, 4));
+        assert!(!map.contains(&mut ctx, 4));
+        assert_eq!(map.size(&mut ctx), 1);
+        map.smr().unregister(&mut ctx);
+    }
+
+    #[test]
+    fn keys_spread_across_buckets() {
+        let map = HmHashMap::<Debra>::with_buckets(SmrConfig::for_tests(), 8);
+        let mut ctx = map.smr().register(0);
+        for k in 1..=256u64 {
+            assert!(map.insert(&mut ctx, k));
+        }
+        assert_eq!(map.size(&mut ctx), 256);
+        let occupied = map
+            .buckets
+            .iter()
+            .filter(|b| b.count(map.smr(), &mut ctx) > 0)
+            .count();
+        assert_eq!(occupied, 8, "256 keys must land in all 8 buckets");
+        map.smr().unregister(&mut ctx);
+    }
+
+    #[test]
+    fn model_check_under_nbr_plus() {
+        let map = HmHashMap::<NbrPlus>::with_buckets(SmrConfig::for_tests(), 8);
+        model_check(&map, 4_000, 64, 21);
+    }
+
+    #[test]
+    fn model_check_under_hp() {
+        let map = HmHashMap::<HazardPointers>::with_buckets(SmrConfig::for_tests(), 8);
+        model_check(&map, 4_000, 64, 22);
+    }
+
+    #[test]
+    fn concurrent_disjoint_stress() {
+        let map = Arc::new(HmHashMap::<NbrPlus>::new(SmrConfig::for_tests()));
+        disjoint_key_stress(map, 4, 3_000);
+    }
+}

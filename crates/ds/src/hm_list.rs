@@ -13,6 +13,13 @@
 //! ("debra-norestarts"). [`HmList`] implements both behaviours behind the
 //! [`RestartPolicy`] knob so the exact same comparison can be reproduced.
 //!
+//! The list logic itself lives in the crate-internal `HmCore`, which owns
+//! the sentinels but *not* the reclaimer: several cores can share one `S`,
+//! which is how the
+//! fixed-size hash map of HM-list buckets
+//! ([`HmHashMap`](crate::HmHashMap), the related repos' HMLHT structure)
+//! composes out of this module.
+//!
 //! **Safety note:** the `ContinueFromPred` policy must only be paired with
 //! reclaimers that do not rely on the NBR phase protocol (it is a documented
 //! phase-rule violation for NBR/NBR+, exactly as the paper describes); the
@@ -58,43 +65,27 @@ struct FindResult {
     curr: Shared<Node>,
 }
 
-/// The Harris-Michael lock-free list-based set.
-pub struct HmList<S: Smr> {
-    smr: S,
+/// One Harris-Michael list instance: the sentinels and traversal/update
+/// logic, decoupled from the reclaimer so that many cores can share a single
+/// `S` (the [`HmHashMap`](crate::HmHashMap) buckets). The owning structure
+/// supplies the reclaimer to every call; operations bracket themselves with
+/// `begin_op`/`end_op` and follow the NBR phase discipline, with each core's
+/// head sentinel acting as the operation's root.
+pub(crate) struct HmCore {
     head: Box<Node>,
     tail: Shared<Node>,
     policy: RestartPolicy,
 }
 
-unsafe impl<S: Smr> Send for HmList<S> {}
-unsafe impl<S: Smr> Sync for HmList<S> {}
-
-impl<S: Smr> HmList<S> {
-    /// Creates an empty list with the given restart policy.
-    pub fn with_policy(config: SmrConfig, policy: RestartPolicy) -> Self {
+impl HmCore {
+    pub(crate) fn new(policy: RestartPolicy) -> Self {
         let tail = Shared::from_raw(Box::into_raw(Box::new(Node::new(KEY_MAX))));
         let head = Box::new(Node {
             header: NodeHeader::new(),
             key: KEY_MIN,
             next: Atomic::new(tail),
         });
-        Self {
-            smr: S::new(config),
-            head,
-            tail,
-            policy,
-        }
-    }
-
-    /// Creates an empty list with the restart-from-root policy (the variant
-    /// that is safe under every reclaimer, including NBR/NBR+).
-    pub fn new(config: SmrConfig) -> Self {
-        Self::with_policy(config, RestartPolicy::FromRoot)
-    }
-
-    /// The restart policy this list was created with.
-    pub fn policy(&self) -> RestartPolicy {
-        self.policy
+        Self { head, tail, policy }
     }
 
     #[inline]
@@ -106,17 +97,15 @@ impl<S: Smr> HmList<S> {
     /// curr.key`, both reachable and unmarked at the linearization point, and
     /// unlinks any marked node it encounters along the way. On return the
     /// thread is still inside a read phase with `pred`/`curr` protected.
-    fn find(&self, ctx: &mut S::ThreadCtx, key: u64) -> FindResult {
+    fn find<S: Smr>(&self, smr: &S, ctx: &mut S::ThreadCtx, key: u64) -> FindResult {
         'from_root: loop {
-            self.smr.begin_read_phase(ctx);
+            smr.begin_read_phase(ctx);
             let mut pred = self.head_shared();
             // Rotating hazard slots: pred, curr, next.
             let mut pred_slot = 2usize;
             let mut curr_slot = 0usize;
-            let mut curr = self
-                .smr
-                .protect(ctx, curr_slot, unsafe { &pred.deref().next });
-            if self.smr.checkpoint(ctx) {
+            let mut curr = smr.protect(ctx, curr_slot, unsafe { &pred.deref().next });
+            if smr.checkpoint(ctx) {
                 continue 'from_root;
             }
             loop {
@@ -125,18 +114,15 @@ impl<S: Smr> HmList<S> {
                     return FindResult { pred, curr };
                 }
                 let next_slot = 3 - pred_slot - curr_slot; // the remaining slot of {0,1,2}
-                let next = self
-                    .smr
-                    .protect(ctx, next_slot, unsafe { &curr.deref().next });
-                if self.smr.checkpoint(ctx) {
+                let next = smr.protect(ctx, next_slot, unsafe { &curr.deref().next });
+                if smr.checkpoint(ctx) {
                     continue 'from_root;
                 }
                 if next.tag() & MARK != 0 {
                     // `curr` is logically deleted: unlink it (auxiliary Φ_write
                     // on the reserved pred/curr pair), then resume according to
                     // the policy.
-                    self.smr
-                        .end_read_phase(ctx, &[pred.untagged_usize(), curr.untagged_usize()]);
+                    smr.end_read_phase(ctx, &[pred.untagged_usize(), curr.untagged_usize()]);
                     let pred_ref = unsafe { pred.deref() };
                     let unlinked = pred_ref
                         .next
@@ -149,7 +135,7 @@ impl<S: Smr> HmList<S> {
                         .is_ok();
                     if unlinked {
                         // SAFETY: unlinked by this thread's CAS just now.
-                        unsafe { self.smr.retire(ctx, curr) };
+                        unsafe { smr.retire(ctx, curr) };
                     }
                     match self.policy {
                         RestartPolicy::FromRoot => continue 'from_root,
@@ -160,7 +146,7 @@ impl<S: Smr> HmList<S> {
                             // Original HM04: keep going from pred. Re-open a
                             // read phase so the phase brackets stay balanced
                             // (this path is never used with NBR).
-                            self.smr.begin_read_phase(ctx);
+                            smr.begin_read_phase(ctx);
                             curr = next.with_tag(0);
                             // pred keeps its slot; curr takes over next's slot.
                             curr_slot = next_slot;
@@ -179,38 +165,31 @@ impl<S: Smr> HmList<S> {
             }
         }
     }
-}
 
-impl<S: Smr> ConcurrentSet<S> for HmList<S> {
-    fn smr(&self) -> &S {
-        &self.smr
-    }
-
-    fn contains(&self, ctx: &mut S::ThreadCtx, key: u64) -> bool {
+    pub(crate) fn contains<S: Smr>(&self, smr: &S, ctx: &mut S::ThreadCtx, key: u64) -> bool {
         check_key(key);
-        self.smr.begin_op(ctx);
-        let r = self.find(ctx, key);
+        smr.begin_op(ctx);
+        let r = self.find(smr, ctx, key);
         let found = !r.curr.ptr_eq(self.tail) && unsafe { r.curr.deref() }.key == key;
-        self.smr.end_read_phase(ctx, &[]);
-        self.smr.clear_protections(ctx);
-        self.smr.end_op(ctx);
+        smr.end_read_phase(ctx, &[]);
+        smr.clear_protections(ctx);
+        smr.end_op(ctx);
         found
     }
 
-    fn insert(&self, ctx: &mut S::ThreadCtx, key: u64) -> bool {
+    pub(crate) fn insert<S: Smr>(&self, smr: &S, ctx: &mut S::ThreadCtx, key: u64) -> bool {
         check_key(key);
-        self.smr.begin_op(ctx);
+        smr.begin_op(ctx);
         let inserted = loop {
-            let r = self.find(ctx, key);
+            let r = self.find(smr, ctx, key);
             if !r.curr.ptr_eq(self.tail) && unsafe { r.curr.deref() }.key == key {
-                self.smr.end_read_phase(ctx, &[]);
+                smr.end_read_phase(ctx, &[]);
                 break false;
             }
-            self.smr
-                .end_read_phase(ctx, &[r.pred.untagged_usize(), r.curr.untagged_usize()]);
+            smr.end_read_phase(ctx, &[r.pred.untagged_usize(), r.curr.untagged_usize()]);
             let mut node = Node::new(key);
             node.next = Atomic::new(r.curr);
-            let node = self.smr.alloc(ctx, node);
+            let node = smr.alloc(ctx, node);
             let pred_ref = unsafe { r.pred.deref() };
             if pred_ref
                 .next
@@ -220,24 +199,23 @@ impl<S: Smr> ConcurrentSet<S> for HmList<S> {
                 break true;
             }
             // SAFETY: never published.
-            unsafe { self.smr.dealloc_unpublished(ctx, node) };
+            unsafe { smr.dealloc_unpublished(ctx, node) };
         };
-        self.smr.clear_protections(ctx);
-        self.smr.end_op(ctx);
+        smr.clear_protections(ctx);
+        smr.end_op(ctx);
         inserted
     }
 
-    fn remove(&self, ctx: &mut S::ThreadCtx, key: u64) -> bool {
+    pub(crate) fn remove<S: Smr>(&self, smr: &S, ctx: &mut S::ThreadCtx, key: u64) -> bool {
         check_key(key);
-        self.smr.begin_op(ctx);
+        smr.begin_op(ctx);
         let removed = loop {
-            let r = self.find(ctx, key);
+            let r = self.find(smr, ctx, key);
             if r.curr.ptr_eq(self.tail) || unsafe { r.curr.deref() }.key != key {
-                self.smr.end_read_phase(ctx, &[]);
+                smr.end_read_phase(ctx, &[]);
                 break false;
             }
-            self.smr
-                .end_read_phase(ctx, &[r.pred.untagged_usize(), r.curr.untagged_usize()]);
+            smr.end_read_phase(ctx, &[r.pred.untagged_usize(), r.curr.untagged_usize()]);
             let curr_ref = unsafe { r.curr.deref() };
             let next = curr_ref.next.load(Ordering::Acquire);
             if next.tag() & MARK != 0 {
@@ -272,22 +250,24 @@ impl<S: Smr> ConcurrentSet<S> for HmList<S> {
                 .is_ok()
             {
                 // SAFETY: unlinked by this thread's CAS; retired exactly once.
-                unsafe { self.smr.retire(ctx, r.curr) };
+                unsafe { smr.retire(ctx, r.curr) };
             } else {
-                let r2 = self.find(ctx, key);
+                let r2 = self.find(smr, ctx, key);
                 let _ = r2;
-                self.smr.end_read_phase(ctx, &[]);
+                smr.end_read_phase(ctx, &[]);
             }
             break true;
         };
-        self.smr.clear_protections(ctx);
-        self.smr.end_op(ctx);
+        smr.clear_protections(ctx);
+        smr.end_op(ctx);
         removed
     }
 
-    fn size(&self, ctx: &mut S::ThreadCtx) -> usize {
-        self.smr.begin_op(ctx);
-        self.smr.begin_read_phase(ctx);
+    /// Counts the unmarked nodes by raw traversal (no protection — only
+    /// meaningful while no other thread mutates the core).
+    pub(crate) fn count<S: Smr>(&self, smr: &S, ctx: &mut S::ThreadCtx) -> usize {
+        smr.begin_op(ctx);
+        smr.begin_read_phase(ctx);
         let mut count = 0usize;
         let mut curr = self.head.next.load(Ordering::Acquire).with_tag(0);
         loop {
@@ -300,17 +280,13 @@ impl<S: Smr> ConcurrentSet<S> for HmList<S> {
             }
             curr = next.with_tag(0);
         }
-        self.smr.end_read_phase(ctx, &[]);
-        self.smr.end_op(ctx);
+        smr.end_read_phase(ctx, &[]);
+        smr.end_op(ctx);
         count
-    }
-
-    fn name() -> &'static str {
-        "hm-list"
     }
 }
 
-impl<S: Smr> Drop for HmList<S> {
+impl Drop for HmCore {
     fn drop(&mut self) {
         let mut curr = self.head.next.load(Ordering::Relaxed).with_tag(0);
         while !curr.is_null() {
@@ -321,6 +297,62 @@ impl<S: Smr> Drop for HmList<S> {
             unsafe { drop(Box::from_raw(curr.as_raw())) };
             curr = next;
         }
+    }
+}
+
+/// The Harris-Michael lock-free list-based set.
+pub struct HmList<S: Smr> {
+    smr: S,
+    core: HmCore,
+}
+
+unsafe impl<S: Smr> Send for HmList<S> {}
+unsafe impl<S: Smr> Sync for HmList<S> {}
+
+impl<S: Smr> HmList<S> {
+    /// Creates an empty list with the given restart policy.
+    pub fn with_policy(config: SmrConfig, policy: RestartPolicy) -> Self {
+        Self {
+            smr: S::new(config),
+            core: HmCore::new(policy),
+        }
+    }
+
+    /// Creates an empty list with the restart-from-root policy (the variant
+    /// that is safe under every reclaimer, including NBR/NBR+).
+    pub fn new(config: SmrConfig) -> Self {
+        Self::with_policy(config, RestartPolicy::FromRoot)
+    }
+
+    /// The restart policy this list was created with.
+    pub fn policy(&self) -> RestartPolicy {
+        self.core.policy
+    }
+}
+
+impl<S: Smr> ConcurrentSet<S> for HmList<S> {
+    fn smr(&self) -> &S {
+        &self.smr
+    }
+
+    fn contains(&self, ctx: &mut S::ThreadCtx, key: u64) -> bool {
+        self.core.contains(&self.smr, ctx, key)
+    }
+
+    fn insert(&self, ctx: &mut S::ThreadCtx, key: u64) -> bool {
+        self.core.insert(&self.smr, ctx, key)
+    }
+
+    fn remove(&self, ctx: &mut S::ThreadCtx, key: u64) -> bool {
+        self.core.remove(&self.smr, ctx, key)
+    }
+
+    fn size(&self, ctx: &mut S::ThreadCtx) -> usize {
+        self.core.count(&self.smr, ctx)
+    }
+
+    fn name() -> &'static str {
+        "hm-list"
     }
 }
 

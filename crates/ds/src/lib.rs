@@ -10,6 +10,7 @@
 //! | [`lazy_list`] | sorted linked list | Heller et al. (LL05) | per-node locks, wait-free contains |
 //! | [`harris_list`] | sorted linked list | Harris (HL01) | lock-free, marked next pointers |
 //! | [`hm_list`] | sorted linked list | Harris-Michael (HM04), plus the restart-from-root variant of experiment E4 | lock-free |
+//! | [`hm_hashmap`] | fixed-size hash set, HM-list buckets | the HMLHT structure of the setbench-family benchmarks | lock-free |
 //! | [`dgt_tree`] | external binary search tree | David, Guerraoui & Trigonakis (DGT15) | versioned locks, sync-free searches |
 //! | [`ab_tree`] | leaf-oriented (a,b)-tree | stands in for Brown's ABTree (see DESIGN.md, substitution S3) | versioned locks, copy-on-write nodes, sync-free searches |
 //!
@@ -34,12 +35,14 @@
 pub mod ab_tree;
 pub mod dgt_tree;
 pub mod harris_list;
+pub mod hm_hashmap;
 pub mod hm_list;
 pub mod lazy_list;
 
 pub use ab_tree::AbTree;
 pub use dgt_tree::DgtTree;
 pub use harris_list::HarrisList;
+pub use hm_hashmap::HmHashMap;
 pub use hm_list::HmList;
 pub use lazy_list::LazyList;
 

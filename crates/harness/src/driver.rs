@@ -52,6 +52,11 @@ impl<S: Smr> Buildable<S> for conc_ds::HmList<S> {
         "hm-list-restart"
     }
 }
+impl<S: Smr> Buildable<S> for conc_ds::HmHashMap<S> {
+    fn build(config: SmrConfig) -> Self {
+        Self::new(config)
+    }
+}
 
 /// The original Harris-Michael list (no restart from root after unlinks) —
 /// the "norestarts" configuration of experiment E4. Only meaningful with

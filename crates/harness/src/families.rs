@@ -11,10 +11,11 @@ use crate::driver::{
     build_and_prefill, run_trial, run_trial_on, Buildable, HmListNoRestart, TrialResult,
 };
 use crate::workload::WorkloadSpec;
-use conc_ds::{AbTree, DgtTree, HarrisList, HmList, LazyList};
+use conc_ds::{AbTree, DgtTree, HarrisList, HmHashMap, HmList, LazyList};
 use nbr::{Nbr, NbrPlus};
 use smr_baselines::{Debra, HazardEras, HazardPointers, Ibr, Leaky, Qsbr, Rcu};
 use smr_common::{Smr, SmrConfig};
+use smr_pop::{EpochPop, HpPop};
 use std::marker::PhantomData;
 use std::sync::Arc;
 
@@ -37,6 +38,12 @@ pub enum SmrKind {
     Ibr,
     /// Hazard eras.
     He,
+    /// Publish-on-Ping epoch reclamation (private epoch reservations,
+    /// published on ping over the cooperative channel).
+    EpochPop,
+    /// Publish-on-Ping hazard pointers (private per-hop slots, published on
+    /// ping over the cooperative channel).
+    HpPop,
     /// No reclamation (leaky upper bound).
     Leaky,
 }
@@ -53,6 +60,8 @@ impl SmrKind {
             SmrKind::Hp => "HP",
             SmrKind::Ibr => "IBR",
             SmrKind::He => "HE",
+            SmrKind::EpochPop => "EpochPOP",
+            SmrKind::HpPop => "HP-POP",
             SmrKind::Leaky => "none",
         }
     }
@@ -70,7 +79,8 @@ impl SmrKind {
         ]
     }
 
-    /// Every implemented reclaimer (E1 set plus NBR and HE).
+    /// Every implemented reclaimer (E1 set plus NBR, HE and the
+    /// Publish-on-Ping family).
     pub fn all() -> &'static [SmrKind] {
         &[
             SmrKind::NbrPlus,
@@ -81,6 +91,8 @@ impl SmrKind {
             SmrKind::Ibr,
             SmrKind::He,
             SmrKind::Hp,
+            SmrKind::EpochPop,
+            SmrKind::HpPop,
             SmrKind::Leaky,
         ]
     }
@@ -157,6 +169,15 @@ impl DsFamily for AbTreeFamily {
     }
 }
 
+/// The fixed-size hash map of Harris-Michael-list buckets (HMLHT).
+pub struct HmHashMapFamily;
+impl DsFamily for HmHashMapFamily {
+    type Ds<S: Smr> = HmHashMap<S>;
+    fn label() -> &'static str {
+        "hm-hashmap"
+    }
+}
+
 /// Runs one trial of `spec` for data-structure family `F` under the reclaimer
 /// named by `kind`.
 pub fn run_with<F: DsFamily>(kind: SmrKind, spec: &WorkloadSpec, config: SmrConfig) -> TrialResult {
@@ -169,6 +190,8 @@ pub fn run_with<F: DsFamily>(kind: SmrKind, spec: &WorkloadSpec, config: SmrConf
         SmrKind::Hp => run_trial::<HazardPointers, F::Ds<HazardPointers>>(spec, config),
         SmrKind::Ibr => run_trial::<Ibr, F::Ds<Ibr>>(spec, config),
         SmrKind::He => run_trial::<HazardEras, F::Ds<HazardEras>>(spec, config),
+        SmrKind::EpochPop => run_trial::<EpochPop, F::Ds<EpochPop>>(spec, config),
+        SmrKind::HpPop => run_trial::<HpPop, F::Ds<HpPop>>(spec, config),
         SmrKind::Leaky => run_trial::<Leaky, F::Ds<Leaky>>(spec, config),
     }
 }
@@ -219,6 +242,8 @@ pub fn build_prefilled<F: DsFamily>(
         SmrKind::Hp => mk::<HazardPointers, F::Ds<HazardPointers>>(spec, config),
         SmrKind::Ibr => mk::<Ibr, F::Ds<Ibr>>(spec, config),
         SmrKind::He => mk::<HazardEras, F::Ds<HazardEras>>(spec, config),
+        SmrKind::EpochPop => mk::<EpochPop, F::Ds<EpochPop>>(spec, config),
+        SmrKind::HpPop => mk::<HpPop, F::Ds<HpPop>>(spec, config),
         SmrKind::Leaky => mk::<Leaky, F::Ds<Leaky>>(spec, config),
     }
 }

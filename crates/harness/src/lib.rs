@@ -33,4 +33,4 @@ pub use driver::{
 };
 pub use experiments::ExperimentScale;
 pub use families::{build_prefilled, run_with, DsFamily, PrefilledTrial, SmrKind};
-pub use workload::{Op, OpGenerator, StopCondition, WorkloadMix, WorkloadSpec};
+pub use workload::{KeyDist, Op, OpGenerator, StopCondition, WorkloadMix, WorkloadSpec};

@@ -45,6 +45,18 @@ pub struct HazardPointers {
 }
 
 impl HazardPointers {
+    /// One pass over every active thread's hazard slots.
+    fn collect_hazards(&self, out: &mut Vec<usize>) {
+        for tid in self.registry.active_tids() {
+            for h in self.hazards[tid].slots.iter() {
+                let addr = h.load(Ordering::Acquire);
+                if addr != 0 {
+                    out.push(addr);
+                }
+            }
+        }
+    }
+
     fn scan_and_reclaim(&self, ctx: &mut HpCtx) {
         ctx.stats.reclaim_scans += 1;
         ctx.scan.note_scan();
@@ -54,14 +66,19 @@ impl HazardPointers {
         // DESIGN.md, "Memory-ordering argument for single-fence scans".
         fence(Ordering::SeqCst);
         ctx.protected.clear();
-        for tid in self.registry.active_tids() {
-            for h in self.hazards[tid].slots.iter() {
-                let addr = h.load(Ordering::Acquire);
-                if addr != 0 {
-                    ctx.protected.push(addr);
-                }
-            }
-        }
+        // Two collection passes close the `protect_copy` scan race (ROADMAP
+        // item; argued in DESIGN.md, "Validate-after-copy for moved
+        // hazards"): a hazard moved from slot `src` to slot `dst` mid-scan
+        // can be missed by one pass (read `dst` before the copy, read `src`
+        // after its overwrite), but the copy into `dst` is sequenced before
+        // the overwrite of `src`, so a pass that starts after observing the
+        // overwrite — pass 2 starts after pass 1 read it — sees `dst`
+        // populated. Records protected in a stable slot are trivially seen
+        // by both passes. This covers exactly ONE relocation of a
+        // continuously-held record per scan, which is what the
+        // `Smr::protect_copy` relocation contract licenses callers to do.
+        self.collect_hazards(&mut ctx.protected);
+        self.collect_hazards(&mut ctx.protected);
         ctx.protected.sort_unstable();
         ctx.protected.dedup();
         let before = ctx.limbo.len();
@@ -167,8 +184,17 @@ impl Smr for HazardPointers {
         _src_slot: usize,
         ptr: Shared<T>,
     ) {
-        // The record is already covered by an existing hazard, so announcing
-        // it in another slot cannot race with its reclamation.
+        // The record is covered by the caller's existing hazard in
+        // `src_slot` (or is otherwise immune, e.g. a sentinel), so announcing
+        // it in another slot cannot race with its reclamation — *provided* a
+        // concurrent scan cannot read `dst_slot` before this store and
+        // `src_slot` after the caller's next overwrite of it, missing both.
+        // The slots are single-writer, so re-reading `src_slot` here
+        // (writer-side "validate-after-copy") is vacuous — it can only
+        // change under the owner's own later stores; the race is closed on
+        // the scanner side instead, which collects every slot twice (see
+        // `scan_and_reclaim` and DESIGN.md, "Validate-after-copy for moved
+        // hazards").
         self.hazards[ctx.tid].slots[dst_slot].store(ptr.untagged_usize(), Ordering::SeqCst);
     }
 
@@ -321,6 +347,90 @@ mod tests {
             assert!(smr.limbo_len(&ctx) <= bound);
         }
         smr.unregister(&mut ctx);
+    }
+
+    /// Regression test for the `protect_copy` scan race (ROADMAP item): one
+    /// thread continuously holds a record while *moving* its hazard from
+    /// slot 1 to slot 0 and reusing slot 1 — the one relocation per held
+    /// record the `Smr::protect_copy` contract licenses, and exactly the
+    /// Harris list's `left`-promotion pattern — while another thread retires
+    /// the record and scans concurrently. With a single collection pass a
+    /// scan can read slot 0 before the copy and slot 1 after its overwrite
+    /// and free the record mid-move; the double-collect scan must never free
+    /// a record that is continuously covered. The dereferences below turn a
+    /// premature free into a checkable wrong value (or an ASAN fault).
+    #[test]
+    fn moved_hazard_survives_concurrent_scans() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let smr = Arc::new(HazardPointers::new(
+            SmrConfig::for_tests().with_max_threads(4),
+        ));
+        const ROUNDS: usize = 150;
+
+        for round in 0..ROUNDS {
+            let shared = Arc::new(Atomic::<Node>::null());
+            let mut owner = smr.register(0);
+            let node = smr.alloc(
+                &mut owner,
+                Node {
+                    header: NodeHeader::new(),
+                    key: round as u64,
+                },
+            );
+            shared.store(node, Ordering::Release);
+
+            let moving = Arc::new(AtomicBool::new(false));
+            let done_moving = Arc::new(AtomicBool::new(false));
+            let reader = {
+                let smr = Arc::clone(&smr);
+                let shared = Arc::clone(&shared);
+                let moving = Arc::clone(&moving);
+                let done_moving = Arc::clone(&done_moving);
+                std::thread::spawn(move || {
+                    let mut ctx = smr.register(1);
+                    // Announce in slot 1 (the *higher* index: a scan reads
+                    // slot 0 first, which is the racy direction for a
+                    // 1→0 move), validated against the source.
+                    let p = smr.protect(&mut ctx, 1, &shared);
+                    moving.store(true, Ordering::SeqCst);
+                    // The single relocation: copy 1 → 0, then reuse slot 1
+                    // for unrelated announcements, exactly once per held
+                    // record. The record stays continuously protected.
+                    smr.protect_copy(&mut ctx, 0, 1, p);
+                    smr.hazards[1].slots[1].store(0x1000, Ordering::SeqCst);
+                    for i in 0..32u64 {
+                        assert_eq!(
+                            unsafe { p.deref().key },
+                            round as u64,
+                            "record freed while continuously protected (scan race)"
+                        );
+                        // Churn the reused source slot like a traversal would.
+                        smr.hazards[1].slots[1].store(0x1000 + i as usize * 16, Ordering::SeqCst);
+                        std::thread::yield_now();
+                    }
+                    done_moving.store(true, Ordering::SeqCst);
+                    smr.clear_protections(&mut ctx);
+                    smr.unregister(&mut ctx);
+                })
+            };
+
+            while !moving.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+            // Retire the record and scan repeatedly while the reader holds
+            // the moved hazard.
+            let old = shared.swap(Shared::null(), Ordering::AcqRel);
+            unsafe { smr.retire(&mut owner, old) };
+            while !done_moving.load(Ordering::SeqCst) {
+                smr.flush(&mut owner);
+            }
+            reader.join().unwrap();
+            smr.flush(&mut owner);
+            assert_eq!(smr.limbo_len(&owner), 0, "record reclaimed after release");
+            smr.unregister(&mut owner);
+        }
     }
 
     #[test]

@@ -45,21 +45,31 @@ pub struct HazardEras {
 }
 
 impl HazardEras {
-    fn scan_and_reclaim(&self, ctx: &mut HeCtx) {
-        ctx.stats.reclaim_scans += 1;
-        ctx.scan.note_scan();
-        // Single-fence scan (see DESIGN.md): one SeqCst fence, then Acquire
-        // loads of every announced era.
-        fence(Ordering::SeqCst);
-        ctx.eras.clear();
+    /// One pass over every active thread's era slots.
+    fn collect_eras(&self, out: &mut Vec<u64>) {
         for tid in self.registry.active_tids() {
             for s in self.slots[tid].slots.iter() {
                 let e = s.load(Ordering::Acquire);
                 if e != NONE {
-                    ctx.eras.push(e);
+                    out.push(e);
                 }
             }
         }
+    }
+
+    fn scan_and_reclaim(&self, ctx: &mut HeCtx) {
+        ctx.stats.reclaim_scans += 1;
+        ctx.scan.note_scan();
+        // Single-fence scan (see DESIGN.md): one SeqCst fence, then Acquire
+        // loads of every announced era. Two collection passes close the
+        // `protect_copy` scan race for eras moved between slots, the same
+        // argument (and the same one-relocation-per-held-record contract)
+        // as the hazard-pointer scan (DESIGN.md, "Validate-after-copy for
+        // moved hazards").
+        fence(Ordering::SeqCst);
+        ctx.eras.clear();
+        self.collect_eras(&mut ctx.eras);
+        self.collect_eras(&mut ctx.eras);
         // Sort-then-sweep: the sorted era set lets the bag test each record
         // with two binary searches instead of a walk over every slot
         // (O((R + T·K) log) rather than O(R × T·K)).

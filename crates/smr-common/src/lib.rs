@@ -34,6 +34,11 @@
 //! * [`Retired`] / [`LimboBag`] — type-erased deferred destruction and the
 //!   per-thread limbo bags of Algorithm 1.
 //! * [`Registry`] — the fixed-capacity thread-slot registry.
+//! * [`PingChannel`] — the cooperative per-thread ping/ack handshake shared
+//!   by NBR's neutralization (`nbr` crate) and the Publish-on-Ping
+//!   reclaimers (`smr-pop` crate).
+//! * [`EraClock`] / [`OrphanPool`] — the global era counter and the
+//!   deregistration orphan pool shared by the epoch/era-based reclaimers.
 //! * [`CachePadded`], [`Backoff`], [`SeqLock`] — performance primitives.
 
 #![warn(missing_docs)]
@@ -44,11 +49,13 @@ pub mod backoff;
 pub mod header;
 pub mod limbo;
 pub mod pad;
+pub mod ping;
 pub mod policy;
 pub mod registry;
 pub mod retired;
 pub mod smr;
 pub mod stats;
+pub mod util;
 pub mod vlock;
 
 pub use atomic::{Atomic, Shared};
@@ -56,9 +63,11 @@ pub use backoff::Backoff;
 pub use header::{NodeHeader, SmrNode};
 pub use limbo::LimboBag;
 pub use pad::CachePadded;
+pub use ping::{PingChannel, PingOutcome};
 pub use policy::{ScanPolicy, ScanState};
 pub use registry::{Registry, ThreadSlot};
 pub use retired::Retired;
 pub use smr::{Smr, SmrConfig};
 pub use stats::{SmrStats, ThreadStats};
+pub use util::{EraClock, OrphanPool};
 pub use vlock::SeqLock;

@@ -285,6 +285,16 @@ pub trait Smr: Send + Sync + Sized + 'static {
     /// an existing announcement covers it), era-based reclaimers copy the
     /// announced era. Used by traversals that need to pin more than two nodes
     /// (e.g. `left` in the Harris list) without re-validating.
+    ///
+    /// **Relocation contract:** while a record is continuously held, it may
+    /// be moved between slots (copied, then its source slot reused) **at
+    /// most once**. The scanner-side defence against the copy/scan race (the
+    /// double-collect pass in HP/HE — DESIGN.md, "Validate-after-copy for
+    /// moved hazards") is provably sufficient for a single relocation but
+    /// not for a record bounced between slots repeatedly while one scan
+    /// runs; a structure that needs more relocations must re-validate via
+    /// [`Smr::protect`] instead. Every workspace structure satisfies this
+    /// (the Harris list promotes each node into the `left` slot once).
     #[inline]
     fn protect_copy<T: SmrNode>(
         &self,

@@ -18,10 +18,15 @@ pub struct ThreadStats {
     pub retires: u64,
     /// Records actually freed.
     pub frees: u64,
-    /// Neutralization signals sent by this thread (NBR/NBR+ reclaimers).
+    /// Neutralization signals sent by this thread (NBR/NBR+ reclaimers) or
+    /// reclamation pings sent (Publish-on-Ping reclaimers).
     pub signals_sent: u64,
     /// Neutralizations taken: read phases restarted because of a signal.
     pub neutralizations: u64,
+    /// Pings answered by publishing private reservations (Publish-on-Ping
+    /// reclaimers): each is one promotion of thread-private state to the
+    /// shared slots.
+    pub pings_published: u64,
     /// Reclamation scans attempted (HiWatermark events, epoch scans, …).
     pub reclaim_scans: u64,
     /// Reclamation scans that freed nothing (e.g. blocked by a straggler).
@@ -59,6 +64,7 @@ impl AddAssign for ThreadStats {
         self.frees += rhs.frees;
         self.signals_sent += rhs.signals_sent;
         self.neutralizations += rhs.neutralizations;
+        self.pings_published += rhs.pings_published;
         self.reclaim_scans += rhs.reclaim_scans;
         self.reclaim_skips += rhs.reclaim_skips;
         self.heartbeat_scans += rhs.heartbeat_scans;

@@ -1,0 +1,545 @@
+//! HP-POP — hazard-pointer-style reclamation with Publish-on-Ping
+//! reservations.
+//!
+//! Classic hazard pointers pay, on **every pointer hop**, a `SeqCst`
+//! announcement store plus a `SeqCst` validating re-load of the source — the
+//! per-access overhead the paper's list experiments identify as HP's
+//! dominant cost (2–3.4× slower than NBR+ on the lists). HP-POP (after the
+//! Publish-on-Ping reclaimers of PPoPP 2025) moves the per-hop reservation
+//! into **thread-private** memory:
+//!
+//! * [`Smr::protect`] is an `Acquire` load of the source plus a plain store
+//!   into a private slot array in the thread context. No shared store, no
+//!   fence, no validation loop.
+//! * A reclaimer **pings** every registered thread over the shared
+//!   [`PingChannel`] before it frees anything. Each pinged thread, at its
+//!   next hook site (the per-hop `checkpoint`, or an operation boundary),
+//!   copies all `K` private slots into its shared *published* slots and
+//!   acknowledges. The reclaimer then scans the published slots (plus its
+//!   own private ones) and frees the unreserved prefix it retired before
+//!   the ping — the same sorted-address sweep
+//!   ([`LimboBag::reclaim_prefix_unreserved`]) HP and NBR use.
+//! * A silent thread times out the handshake after
+//!   `SmrConfig::ack_spin_limit` iterations and the round is conceded,
+//!   exactly like a timed-out neutralization round.
+//!
+//! Why no validation is needed: a record can only be freed after a ping
+//! that every thread acknowledged, each thread's private slot write is
+//! sequenced before any acknowledgement it issues later, and a pointer
+//! loaded *after* the acknowledgement was read from a record that is
+//! reachable — whose outgoing pointer the pre-ping unlink already updated.
+//! The full argument, including why this closes the baseline
+//! `protect_copy` scan race by construction, is in DESIGN.md
+//! ("Publish-on-Ping on the cooperative channel").
+//!
+//! Garbage stays bounded as with HP: at most `HiWatermark` records per bag
+//! plus `K` published (possibly stale — staleness only pins *more*)
+//! reservations per thread. A stalled reader pins at most its `K` published
+//! slots, not an epoch's worth of garbage.
+
+use smr_common::{
+    Atomic, CachePadded, LimboBag, OrphanPool, PingChannel, PingOutcome, Registry, Retired,
+    ScanPolicy, ScanState, Shared, Smr, SmrConfig, SmrNode, ThreadStats,
+};
+use std::sync::atomic::{fence, AtomicUsize, Ordering};
+
+struct PublishedSlots {
+    /// The owner's hazard reservations as of its last acknowledged ping.
+    /// Written by the owner (publish-on-ping), read by reclaimers after a
+    /// completed handshake. A zero entry is empty.
+    slots: Box<[AtomicUsize]>,
+}
+
+/// Per-thread context for [`HpPop`].
+pub struct HpPopCtx {
+    tid: usize,
+    /// The private hazard slot array: plain unshared memory written on every
+    /// protect; it reaches other threads only by being copied into the
+    /// published slots when a ping arrives.
+    private: Box<[usize]>,
+    limbo: LimboBag,
+    scan: ScanState,
+    /// Reusable scratch for the per-scan reservation snapshot.
+    protected: Vec<usize>,
+    /// Paces retire-path handshakes when the bag sits above the watermark
+    /// (e.g. every scan times out against a silent thread): at least
+    /// `empty_freq` retires must separate two retire-triggered scans.
+    retires_since_scan: usize,
+    stats: ThreadStats,
+}
+
+/// The HP-POP reclaimer.
+pub struct HpPop {
+    config: SmrConfig,
+    policy: ScanPolicy,
+    registry: Registry,
+    ping: PingChannel,
+    published: Vec<CachePadded<PublishedSlots>>,
+    orphans: OrphanPool,
+}
+
+impl HpPop {
+    /// Copies the private slot array into `tid`'s published slots, skipping
+    /// stores whose value is unchanged (a stable traversal re-publishes the
+    /// same hazards; skipping the store avoids bouncing the line). `Release`
+    /// suffices: reclaimers only trust the slots after observing the
+    /// `SeqCst` acknowledgement sequenced after these stores.
+    fn publish_from(&self, tid: usize, private: &[usize]) {
+        for (shared, &value) in self.published[tid].slots.iter().zip(private) {
+            if shared.load(Ordering::Relaxed) != value {
+                shared.store(value, Ordering::Release);
+            }
+        }
+    }
+
+    /// Services an incoming ping, if any: promote the private reservations
+    /// to the published slots, then acknowledge.
+    #[inline]
+    fn poll_ping(&self, ctx: &mut HpPopCtx) {
+        if let Some(seq) = self.ping.poll(ctx.tid) {
+            self.publish_from(ctx.tid, &ctx.private);
+            self.ping.ack(ctx.tid, seq);
+            ctx.stats.pings_published += 1;
+        }
+    }
+
+    /// Ping every registered thread, wait for the handshake, and free every
+    /// record retired before the ping that no published (or own private)
+    /// reservation covers.
+    fn reclaim_with_pings(&self, ctx: &mut HpPopCtx) {
+        let tail = ctx.limbo.len();
+        if tail == 0 {
+            return;
+        }
+        ctx.stats.reclaim_scans += 1;
+        ctx.scan.note_scan();
+        ctx.retires_since_scan = 0;
+        let (seq, sent) = self.ping.ping_all(ctx.tid, &self.registry);
+        ctx.stats.signals_sent += sent;
+        let tid = ctx.tid;
+        let outcome = {
+            let private = &ctx.private;
+            self.ping.await_acks(
+                tid,
+                seq,
+                &self.registry,
+                self.config.ack_spin_limit,
+                |_| false,
+                // Service our own channel while we wait, so two threads that
+                // ping each other concurrently both complete instead of both
+                // burning their spin budget.
+                || {
+                    if let Some(own) = self.ping.poll(tid) {
+                        self.publish_from(tid, private);
+                        self.ping.ack(tid, own);
+                    }
+                },
+            )
+        };
+        match outcome {
+            PingOutcome::TimedOut => {
+                ctx.stats.reclaim_skips += 1;
+            }
+            PingOutcome::AllAcked => {
+                // Single-fence scan over the published slots (DESIGN.md).
+                fence(Ordering::SeqCst);
+                ctx.protected.clear();
+                for t in self.registry.active_tids() {
+                    if t == tid {
+                        continue;
+                    }
+                    for s in self.published[t].slots.iter() {
+                        let addr = s.load(Ordering::Acquire);
+                        if addr != 0 {
+                            ctx.protected.push(addr);
+                        }
+                    }
+                }
+                // Our own reservations need no publish: the private slots
+                // are directly visible to us, and nobody else is scanning
+                // our bag.
+                for &addr in ctx.private.iter() {
+                    if addr != 0 {
+                        ctx.protected.push(addr);
+                    }
+                }
+                ctx.protected.sort_unstable();
+                ctx.protected.dedup();
+                let before = ctx.limbo.len();
+                // SAFETY: only the prefix retired (= unlinked) before the
+                // ping is swept. Any thread that could still dereference one
+                // of those records loaded its pointer before acknowledging
+                // the ping (pointers loaded after the ack come from
+                // reachable records, whose outgoing pointers the unlink
+                // already updated), so the pointer sat in its private slots
+                // at publish time and appears in `protected`.
+                let freed = unsafe {
+                    ctx.limbo
+                        .reclaim_prefix_unreserved(tail, &ctx.protected, &mut ctx.stats)
+                };
+                if freed == 0 && before > 0 {
+                    ctx.stats.reclaim_skips += 1;
+                }
+            }
+        }
+    }
+}
+
+impl Smr for HpPop {
+    type ThreadCtx = HpPopCtx;
+
+    const NAME: &'static str = "HP-POP";
+    const USES_PROTECTION: bool = true;
+    // Like HP: a pointer read out of an *unlinked* record may reference a
+    // record that was retired and freed under an earlier ping this thread
+    // already acknowledged — the unlink cannot have updated the stale
+    // record's outgoing pointer. Traversals must not pass through unlinked
+    // records (Table 1's applicability distinction).
+    const CAN_TRAVERSE_UNLINKED: bool = false;
+
+    fn new(config: SmrConfig) -> Self {
+        config.validate();
+        let published = (0..config.max_threads)
+            .map(|_| {
+                CachePadded::new(PublishedSlots {
+                    slots: (0..config.hazards_per_thread)
+                        .map(|_| AtomicUsize::new(0))
+                        .collect(),
+                })
+            })
+            .collect();
+        Self {
+            registry: Registry::new(config.max_threads),
+            policy: ScanPolicy::from_config(&config),
+            ping: PingChannel::new(config.max_threads, config.signal_cost_ns),
+            published,
+            orphans: OrphanPool::new(),
+            config,
+        }
+    }
+
+    fn config(&self) -> &SmrConfig {
+        &self.config
+    }
+
+    fn register(&self, tid: usize) -> HpPopCtx {
+        assert!(self.registry.register_tid(tid), "slot {tid} already taken");
+        for s in self.published[tid].slots.iter() {
+            s.store(0, Ordering::SeqCst);
+        }
+        self.ping.reset_slot(tid);
+        HpPopCtx {
+            tid,
+            private: vec![0usize; self.config.hazards_per_thread].into_boxed_slice(),
+            limbo: LimboBag::with_capacity(self.config.hi_watermark + 1),
+            scan: ScanState::new(),
+            protected: Vec::with_capacity(self.config.hazards_per_thread * self.config.max_threads),
+            retires_since_scan: 0,
+            stats: ThreadStats::default(),
+        }
+    }
+
+    fn unregister(&self, ctx: &mut HpPopCtx) {
+        ctx.private.fill(0);
+        self.publish_from(ctx.tid, &ctx.private);
+        // Last chance to free what is already safe; the rest is orphaned.
+        self.reclaim_with_pings(ctx);
+        self.orphans.adopt(ctx.limbo.drain());
+        self.registry.deregister(ctx.tid);
+    }
+
+    /// The Publish-on-Ping fast path: an `Acquire` load plus a plain store
+    /// to private memory. No announcement store, no fence, no validation —
+    /// publication happens only when a reclaimer pings (serviced by the
+    /// per-hop [`Smr::checkpoint`] every structure already executes).
+    #[inline]
+    fn protect<T: SmrNode>(&self, ctx: &mut HpPopCtx, slot: usize, src: &Atomic<T>) -> Shared<T> {
+        debug_assert!(slot < ctx.private.len(), "hazard slot index out of range");
+        let p = src.load(Ordering::Acquire);
+        ctx.private[slot] = p.untagged_usize();
+        p
+    }
+
+    /// A plain private copy. Unlike the baseline HP `protect_copy`, there is
+    /// no window in which a concurrent scan can observe the destination
+    /// empty and the source already overwritten: publication is an atomic
+    /// snapshot of all `K` private slots taken at ping time.
+    #[inline]
+    fn protect_copy<T: SmrNode>(
+        &self,
+        ctx: &mut HpPopCtx,
+        dst_slot: usize,
+        _src_slot: usize,
+        ptr: Shared<T>,
+    ) {
+        ctx.private[dst_slot] = ptr.untagged_usize();
+    }
+
+    #[inline]
+    fn clear_protections(&self, ctx: &mut HpPopCtx) {
+        ctx.private.fill(0);
+        // The published slots are left stale: they can only pin more
+        // (at most K records per thread, the same slack as HP's bound) and
+        // are overwritten wholesale at the next publish.
+    }
+
+    /// Per-hop cooperative ping-delivery point (no restart is ever needed).
+    #[inline]
+    fn checkpoint(&self, ctx: &mut HpPopCtx) -> bool {
+        self.poll_ping(ctx);
+        false
+    }
+
+    #[inline]
+    fn begin_op(&self, ctx: &mut HpPopCtx) {
+        self.poll_ping(ctx);
+    }
+
+    #[inline]
+    fn end_op(&self, ctx: &mut HpPopCtx) {
+        ctx.private.fill(0);
+        self.poll_ping(ctx);
+        if ctx.scan.tick_op(&self.policy, ctx.limbo.len()) {
+            ctx.stats.heartbeat_scans += 1;
+            self.reclaim_with_pings(ctx);
+        }
+    }
+
+    unsafe fn retire<T: SmrNode>(&self, ctx: &mut HpPopCtx, ptr: Shared<T>) {
+        debug_assert!(!ptr.is_null());
+        ctx.limbo.push(Retired::new(ptr.as_raw(), 0));
+        ctx.stats.retires += 1;
+        ctx.stats.observe_limbo(ctx.limbo.len());
+        ctx.retires_since_scan += 1;
+        if self.policy.scan_on_retire(ctx.limbo.len())
+            && ctx.retires_since_scan >= self.config.empty_freq
+        {
+            self.reclaim_with_pings(ctx);
+        }
+    }
+
+    fn flush(&self, ctx: &mut HpPopCtx) {
+        self.reclaim_with_pings(ctx);
+    }
+
+    fn thread_stats(&self, ctx: &HpPopCtx) -> ThreadStats {
+        ctx.stats
+    }
+
+    fn thread_stats_mut<'a>(&self, ctx: &'a mut HpPopCtx) -> &'a mut ThreadStats {
+        &mut ctx.stats
+    }
+
+    fn limbo_len(&self, ctx: &HpPopCtx) -> usize {
+        ctx.limbo.len()
+    }
+}
+
+impl Drop for HpPop {
+    fn drop(&mut self) {
+        // SAFETY: all threads have deregistered by contract.
+        unsafe { self.orphans.drain_and_free() };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smr_common::NodeHeader;
+
+    struct Node {
+        header: NodeHeader,
+        key: u64,
+    }
+    smr_common::impl_smr_node!(Node);
+
+    #[test]
+    fn protect_is_private_until_pinged() {
+        let smr = HpPop::new(SmrConfig::for_tests());
+        let mut ctx = smr.register(0);
+        let shared = Atomic::<Node>::null();
+        let node = smr.alloc(
+            &mut ctx,
+            Node {
+                header: NodeHeader::new(),
+                key: 7,
+            },
+        );
+        shared.store(node, Ordering::Release);
+        let p = smr.protect(&mut ctx, 0, &shared);
+        assert!(p.ptr_eq(node));
+        assert_eq!(
+            smr.published[0].slots[0].load(Ordering::SeqCst),
+            0,
+            "no ping yet: the reservation must stay private"
+        );
+        // A ping promotes it.
+        let (seq, _) = smr.ping.ping_all(1, &smr.registry);
+        let _ = seq;
+        assert!(!smr.checkpoint(&mut ctx), "POP never restarts");
+        assert_eq!(
+            smr.published[0].slots[0].load(Ordering::SeqCst),
+            node.untagged_usize()
+        );
+        assert_eq!(smr.thread_stats(&ctx).pings_published, 1);
+
+        let old = shared.swap(Shared::null(), Ordering::AcqRel);
+        unsafe { smr.retire(&mut ctx, old) };
+        smr.clear_protections(&mut ctx);
+        smr.flush(&mut ctx);
+        smr.unregister(&mut ctx);
+    }
+
+    #[test]
+    fn privately_protected_record_survives_own_scan() {
+        // The scanning thread's own private slots count as reservations even
+        // though they were never published.
+        let smr = HpPop::new(SmrConfig::for_tests());
+        let mut ctx = smr.register(0);
+        let shared = Atomic::<Node>::null();
+        let node = smr.alloc(
+            &mut ctx,
+            Node {
+                header: NodeHeader::new(),
+                key: 42,
+            },
+        );
+        shared.store(node, Ordering::Release);
+        let p = smr.protect(&mut ctx, 1, &shared);
+        let old = shared.swap(Shared::null(), Ordering::AcqRel);
+        unsafe { smr.retire(&mut ctx, old) };
+        for i in 0..(smr.config().hi_watermark * 2) {
+            let f = smr.alloc(
+                &mut ctx,
+                Node {
+                    header: NodeHeader::new(),
+                    key: i as u64,
+                },
+            );
+            unsafe { smr.retire(&mut ctx, f) };
+        }
+        assert!(smr.thread_stats(&ctx).frees > 0, "filler must be freed");
+        assert_eq!(unsafe { p.deref().key }, 42, "still privately protected");
+        assert!(smr.limbo_len(&ctx) >= 1);
+        smr.clear_protections(&mut ctx);
+        smr.flush(&mut ctx);
+        assert_eq!(smr.limbo_len(&ctx), 0);
+        smr.unregister(&mut ctx);
+    }
+
+    #[test]
+    fn published_reservation_of_stalled_reader_is_honoured() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let smr = Arc::new(HpPop::new(SmrConfig::for_tests()));
+        let shared = Arc::new(Atomic::<Node>::null());
+        let mut owner = smr.register(0);
+        let node = smr.alloc(
+            &mut owner,
+            Node {
+                header: NodeHeader::new(),
+                key: 9,
+            },
+        );
+        shared.store(node, Ordering::Release);
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let holding = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let smr = Arc::clone(&smr);
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            let holding = Arc::clone(&holding);
+            std::thread::spawn(move || {
+                let mut ctx = smr.register(1);
+                smr.begin_op(&mut ctx);
+                let p = smr.protect(&mut ctx, 0, &shared);
+                assert!(!p.is_null());
+                holding.store(true, Ordering::SeqCst);
+                while !stop.load(Ordering::SeqCst) {
+                    // Keep servicing pings while "stalled" on the record.
+                    let _ = smr.checkpoint(&mut ctx);
+                    assert_eq!(unsafe { p.deref().key }, 9);
+                    std::thread::yield_now();
+                }
+                smr.end_op(&mut ctx);
+                smr.unregister(&mut ctx);
+            })
+        };
+        while !holding.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+
+        // Unlink and retire the record, then force scans with filler.
+        let old = shared.swap(Shared::null(), Ordering::AcqRel);
+        unsafe { smr.retire(&mut owner, old) };
+        for i in 0..(smr.config().hi_watermark * 2) {
+            let f = smr.alloc(
+                &mut owner,
+                Node {
+                    header: NodeHeader::new(),
+                    key: i as u64,
+                },
+            );
+            unsafe { smr.retire(&mut owner, f) };
+        }
+        assert!(
+            smr.thread_stats(&owner).frees > 0,
+            "unprotected filler must be freed across handshakes"
+        );
+        assert!(
+            smr.limbo_len(&owner) >= 1,
+            "the published reservation must keep the record in limbo"
+        );
+
+        stop.store(true, Ordering::SeqCst);
+        reader.join().unwrap();
+        smr.flush(&mut owner);
+        assert_eq!(smr.limbo_len(&owner), 0);
+        smr.unregister(&mut owner);
+    }
+
+    #[test]
+    fn garbage_is_bounded_by_watermark_plus_published_slots() {
+        let smr = HpPop::new(SmrConfig::for_tests());
+        let cfg = smr.config().clone();
+        let mut ctx = smr.register(0);
+        let bound = cfg.hi_watermark + cfg.hazards_per_thread * cfg.max_threads;
+        for i in 0..(cfg.hi_watermark * 8) {
+            let p = smr.alloc(
+                &mut ctx,
+                Node {
+                    header: NodeHeader::new(),
+                    key: i as u64,
+                },
+            );
+            unsafe { smr.retire(&mut ctx, p) };
+            assert!(smr.limbo_len(&ctx) <= bound);
+        }
+        smr.unregister(&mut ctx);
+    }
+
+    #[test]
+    fn silent_thread_forces_round_concession() {
+        let mut cfg = SmrConfig::for_tests().with_max_threads(4);
+        cfg.ack_spin_limit = 32;
+        let smr = HpPop::new(cfg);
+        let mut worker = smr.register(0);
+        let _silent = smr.register(1); // registered, never runs an operation
+        for i in 0..(smr.config().hi_watermark + 4) {
+            let p = smr.alloc(
+                &mut worker,
+                Node {
+                    header: NodeHeader::new(),
+                    key: i as u64,
+                },
+            );
+            unsafe { smr.retire(&mut worker, p) };
+        }
+        let s = smr.thread_stats(&worker);
+        assert_eq!(s.frees, 0, "no handshake can complete");
+        assert!(s.reclaim_skips > 0, "rounds must be conceded, not unsafe");
+        smr.unregister(&mut worker);
+    }
+}

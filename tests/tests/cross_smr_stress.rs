@@ -1,11 +1,12 @@
 //! Cross-crate stress tests: every data structure × representative reclaimers,
 //! exercising the public API exactly as a downstream user would.
 
-use conc_ds::{AbTree, DgtTree, HarrisList, HmList, LazyList};
+use conc_ds::{AbTree, DgtTree, HarrisList, HmHashMap, HmList, LazyList};
 use integration_tests::{contended_stress, disjoint_stress, model_check};
 use nbr::{Nbr, NbrPlus};
 use smr_baselines::{Debra, HazardPointers, Ibr};
 use smr_common::SmrConfig;
+use smr_pop::{EpochPop, HpPop};
 use std::sync::Arc;
 
 fn cfg() -> SmrConfig {
@@ -116,4 +117,39 @@ fn contended_ab_tree_nbr() {
 #[test]
 fn contended_hm_list_hp() {
     contended_stress(Arc::new(HmList::<HazardPointers>::new(cfg())), 4, 4_000, 32);
+}
+
+// ---------------------------------------------------------------------------
+// Publish-on-Ping reclaimers: the handshake (ping → publish → ack → sweep)
+// runs constantly under contention, so these are the POP races' best canary.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn contended_harris_list_epoch_pop() {
+    contended_stress(Arc::new(HarrisList::<EpochPop>::new(cfg())), 4, 4_000, 32);
+}
+
+#[test]
+fn contended_harris_list_hp_pop() {
+    contended_stress(Arc::new(HarrisList::<HpPop>::new(cfg())), 4, 4_000, 32);
+}
+
+#[test]
+fn contended_dgt_tree_hp_pop() {
+    contended_stress(Arc::new(DgtTree::<HpPop>::new(cfg())), 4, 4_000, 64);
+}
+
+#[test]
+fn disjoint_lazy_list_epoch_pop() {
+    disjoint_stress(Arc::new(LazyList::<EpochPop>::new(cfg())), 4, 2_500, 400);
+}
+
+#[test]
+fn disjoint_hm_hashmap_hp_pop() {
+    disjoint_stress(Arc::new(HmHashMap::<HpPop>::new(cfg())), 4, 2_500, 400);
+}
+
+#[test]
+fn contended_hm_hashmap_nbr_plus() {
+    contended_stress(Arc::new(HmHashMap::<NbrPlus>::new(cfg())), 4, 4_000, 32);
 }

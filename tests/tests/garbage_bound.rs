@@ -103,6 +103,51 @@ fn ibr_bounds_garbage_with_stalled_thread() {
 }
 
 #[test]
+fn hp_pop_bounds_garbage_with_stalled_thread() {
+    // HP-POP's private-until-pinged reservations still yield HP's bound: the
+    // stalled reader publishes at most `hazards_per_thread` addresses on each
+    // ping (its read phase holds no protections in the E2 scenario), so the
+    // handshake completes and the sweep frees everything unreserved. The
+    // bound() slack already covers K published slots per thread.
+    let config = cfg();
+    let r = run_with::<DgtTreeFamily>(SmrKind::HpPop, &stalled_spec(4_096, 60_000), config.clone());
+    assert!(
+        r.outstanding_garbage() <= bound(&config, 3),
+        "HP-POP outstanding garbage {} exceeds the bound {}",
+        r.outstanding_garbage(),
+        bound(&config, 3)
+    );
+    assert!(
+        r.smr_totals.frees > 0,
+        "HP-POP must have reclaimed during the run"
+    );
+    assert!(
+        r.smr_totals.pings_published > 0,
+        "reclamation must have gone through publish-on-ping handshakes"
+    );
+}
+
+#[test]
+fn epoch_pop_does_not_bound_garbage_with_stalled_thread() {
+    // EpochPOP keeps the epoch family's delayed-thread vulnerability: the
+    // stalled reader answers every ping by publishing its (old) begin-op era,
+    // which pins everything retired since — private-until-pinged reservations
+    // change where the announcement lives, not what it pins.
+    let config = cfg();
+    let r = run_with::<DgtTreeFamily>(
+        SmrKind::EpochPop,
+        &stalled_spec(4_096, 60_000),
+        config.clone(),
+    );
+    assert!(
+        r.outstanding_garbage() > bound(&config, 3),
+        "EpochPOP should accumulate garbage ({}) beyond the bounded-scheme bound ({}) when a thread stalls",
+        r.outstanding_garbage(),
+        bound(&config, 3)
+    );
+}
+
+#[test]
 fn debra_does_not_bound_garbage_with_stalled_thread() {
     let config = cfg();
     let r = run_with::<DgtTreeFamily>(SmrKind::Debra, &stalled_spec(4_096, 60_000), config.clone());
@@ -130,6 +175,8 @@ fn without_stalled_thread_everyone_reclaims() {
         SmrKind::Hp,
         SmrKind::Ibr,
         SmrKind::Rcu,
+        SmrKind::EpochPop,
+        SmrKind::HpPop,
     ] {
         let spec = WorkloadSpec::new(
             WorkloadMix::UPDATE_HEAVY,
@@ -154,7 +201,7 @@ fn adaptive_trigger_preserves_bounds_for_bounded_schemes() {
     // heartbeat (a scan every 64 ops) under the stalled-thread workload and
     // assert the same bounds as the fixed-watermark tests above.
     let config = cfg().with_scan_heartbeat_ops(64);
-    for kind in [SmrKind::NbrPlus, SmrKind::Nbr, SmrKind::Hp] {
+    for kind in [SmrKind::NbrPlus, SmrKind::Nbr, SmrKind::Hp, SmrKind::HpPop] {
         let r = run_with::<DgtTreeFamily>(kind, &stalled_spec(4_096, 60_000), config.clone());
         assert!(
             r.outstanding_garbage() <= bound(&config, 3),

@@ -7,8 +7,10 @@ use smr_common::SmrConfig;
 use smr_harness::families::HarrisListFamily;
 use smr_harness::{run_with, SmrKind, StopCondition, WorkloadMix, WorkloadSpec};
 
-/// Every reclaiming scheme. Leaky is excluded by construction (it never
-/// frees).
+/// Every reclaiming scheme — including the Publish-on-Ping family, whose
+/// heartbeat scans run a full ping/publish/ack handshake (the workers keep
+/// answering pings at their per-hop checkpoints, so short trials still free
+/// memory). Leaky is excluded by construction (it never frees).
 fn reclaiming_schemes() -> Vec<SmrKind> {
     SmrKind::all()
         .iter()

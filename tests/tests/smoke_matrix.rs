@@ -5,12 +5,16 @@
 //! Every pair runs a short single-threaded randomized differential test
 //! against a `BTreeSet` with a tiny-watermark config, which forces the
 //! reclamation paths to execute constantly even at this small scale.
+//!
+//! 11 reclaimers (incl. the Publish-on-Ping family) × 6 structures
+//! (incl. the HM-list hash map) = 66 cases.
 
-use conc_ds::{AbTree, DgtTree, HarrisList, HmList, LazyList};
+use conc_ds::{AbTree, DgtTree, HarrisList, HmHashMap, HmList, LazyList};
 use integration_tests::model_check;
 use nbr::{Nbr, NbrPlus};
 use smr_baselines::{Debra, HazardEras, HazardPointers, Ibr, Leaky, Qsbr, Rcu};
 use smr_common::SmrConfig;
+use smr_pop::{EpochPop, HpPop};
 
 fn cfg() -> SmrConfig {
     SmrConfig::for_tests()
@@ -34,54 +38,77 @@ smoke! {
     smoke_nbr_lazy_list: LazyList<Nbr>;
     smoke_nbr_harris_list: HarrisList<Nbr>;
     smoke_nbr_hm_list: HmList<Nbr>;
+    smoke_nbr_hm_hashmap: HmHashMap<Nbr>;
     smoke_nbr_dgt_tree: DgtTree<Nbr>;
     smoke_nbr_ab_tree: AbTree<Nbr>;
 
     smoke_nbr_plus_lazy_list: LazyList<NbrPlus>;
     smoke_nbr_plus_harris_list: HarrisList<NbrPlus>;
     smoke_nbr_plus_hm_list: HmList<NbrPlus>;
+    smoke_nbr_plus_hm_hashmap: HmHashMap<NbrPlus>;
     smoke_nbr_plus_dgt_tree: DgtTree<NbrPlus>;
     smoke_nbr_plus_ab_tree: AbTree<NbrPlus>;
 
     smoke_debra_lazy_list: LazyList<Debra>;
     smoke_debra_harris_list: HarrisList<Debra>;
     smoke_debra_hm_list: HmList<Debra>;
+    smoke_debra_hm_hashmap: HmHashMap<Debra>;
     smoke_debra_dgt_tree: DgtTree<Debra>;
     smoke_debra_ab_tree: AbTree<Debra>;
 
     smoke_qsbr_lazy_list: LazyList<Qsbr>;
     smoke_qsbr_harris_list: HarrisList<Qsbr>;
     smoke_qsbr_hm_list: HmList<Qsbr>;
+    smoke_qsbr_hm_hashmap: HmHashMap<Qsbr>;
     smoke_qsbr_dgt_tree: DgtTree<Qsbr>;
     smoke_qsbr_ab_tree: AbTree<Qsbr>;
 
     smoke_rcu_lazy_list: LazyList<Rcu>;
     smoke_rcu_harris_list: HarrisList<Rcu>;
     smoke_rcu_hm_list: HmList<Rcu>;
+    smoke_rcu_hm_hashmap: HmHashMap<Rcu>;
     smoke_rcu_dgt_tree: DgtTree<Rcu>;
     smoke_rcu_ab_tree: AbTree<Rcu>;
 
     smoke_hp_lazy_list: LazyList<HazardPointers>;
     smoke_hp_harris_list: HarrisList<HazardPointers>;
     smoke_hp_hm_list: HmList<HazardPointers>;
+    smoke_hp_hm_hashmap: HmHashMap<HazardPointers>;
     smoke_hp_dgt_tree: DgtTree<HazardPointers>;
     smoke_hp_ab_tree: AbTree<HazardPointers>;
 
     smoke_ibr_lazy_list: LazyList<Ibr>;
     smoke_ibr_harris_list: HarrisList<Ibr>;
     smoke_ibr_hm_list: HmList<Ibr>;
+    smoke_ibr_hm_hashmap: HmHashMap<Ibr>;
     smoke_ibr_dgt_tree: DgtTree<Ibr>;
     smoke_ibr_ab_tree: AbTree<Ibr>;
 
     smoke_he_lazy_list: LazyList<HazardEras>;
     smoke_he_harris_list: HarrisList<HazardEras>;
     smoke_he_hm_list: HmList<HazardEras>;
+    smoke_he_hm_hashmap: HmHashMap<HazardEras>;
     smoke_he_dgt_tree: DgtTree<HazardEras>;
     smoke_he_ab_tree: AbTree<HazardEras>;
+
+    smoke_epoch_pop_lazy_list: LazyList<EpochPop>;
+    smoke_epoch_pop_harris_list: HarrisList<EpochPop>;
+    smoke_epoch_pop_hm_list: HmList<EpochPop>;
+    smoke_epoch_pop_hm_hashmap: HmHashMap<EpochPop>;
+    smoke_epoch_pop_dgt_tree: DgtTree<EpochPop>;
+    smoke_epoch_pop_ab_tree: AbTree<EpochPop>;
+
+    smoke_hp_pop_lazy_list: LazyList<HpPop>;
+    smoke_hp_pop_harris_list: HarrisList<HpPop>;
+    smoke_hp_pop_hm_list: HmList<HpPop>;
+    smoke_hp_pop_hm_hashmap: HmHashMap<HpPop>;
+    smoke_hp_pop_dgt_tree: DgtTree<HpPop>;
+    smoke_hp_pop_ab_tree: AbTree<HpPop>;
 
     smoke_leaky_lazy_list: LazyList<Leaky>;
     smoke_leaky_harris_list: HarrisList<Leaky>;
     smoke_leaky_hm_list: HmList<Leaky>;
+    smoke_leaky_hm_hashmap: HmHashMap<Leaky>;
     smoke_leaky_dgt_tree: DgtTree<Leaky>;
     smoke_leaky_ab_tree: AbTree<Leaky>;
 }
