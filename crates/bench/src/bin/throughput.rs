@@ -8,20 +8,28 @@
 //!
 //! ```text
 //! cargo run -p nbr-bench --release --bin throughput -- \
-//!     [--out BENCH_3.json] [--baseline old.json] [--trials 3] \
+//!     [--out BENCH_4.json] [--baseline old.json] [--trials 3] \
 //!     [--millis 300] [--threads N] [--tiny] [--label note] \
-//!     [--zipf theta]
+//!     [--zipf theta] [--no-recycle]
 //! ```
 //!
-//! `--zipf <theta>` switches the key distribution from uniform to a YCSB
-//! Zipfian with the given `θ ∈ (0, 1)`; zipfian cells carry a `|zipf<θ>`
-//! suffix in their key so they never collide with uniform baselines.
+//! `--zipf <theta>` switches the *whole* matrix from uniform keys to a YCSB
+//! Zipfian with the given `θ ∈ (0, 1)`. Without the flag, the uniform matrix
+//! is followed by a skewed-key block — every scheme × structure at the
+//! smallest key range under `Zipf(0.99)` — so each baseline also records the
+//! hot-spot contention profile. Zipfian cells carry a `|zipf<θ>` suffix in
+//! their key so they never collide with uniform cells.
+//!
+//! `--no-recycle` bypasses the node-block recycling pool (A/B against the
+//! magazine/depot allocator of `smr-common::recycle`); each cell reports its
+//! pool hit/miss counters either way.
 //!
 //! Each cell is emitted on its own line with a stable `key`
 //! (`scheme|structure|mix|r<range>|t<threads>`), which is what the baseline
 //! parser keys on — keep the format line-oriented.
 
 use smr_common::SmrConfig;
+use smr_harness::alloc_track::{self, CountingAlloc};
 use smr_harness::families::{HarrisListFamily, HmListRestartFamily};
 use smr_harness::{
     run_with, KeyDist, SmrKind, StopCondition, TrialResult, WorkloadMix, WorkloadSpec,
@@ -29,6 +37,13 @@ use smr_harness::{
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Duration;
+
+/// Counting global allocator: lets every cell report the *residual*
+/// global-allocator traffic next to its pool hit/miss counters, so the
+/// recycling claim ("malloc is off the hot path") is visible in the JSON
+/// rather than asserted.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 struct Args {
     out: String,
@@ -39,6 +54,10 @@ struct Args {
     key_ranges: Vec<u64>,
     label: String,
     key_dist: KeyDist,
+    /// Extra skewed-key block (Zipf 0.99 at the smallest key range) appended
+    /// to a uniform matrix; disabled when `--zipf` overrides the whole run.
+    zipf_block: bool,
+    recycle: bool,
 }
 
 fn default_threads() -> usize {
@@ -50,7 +69,7 @@ fn default_threads() -> usize {
 
 fn parse_args() -> Args {
     let mut args = Args {
-        out: "BENCH_3.json".to_string(),
+        out: "BENCH_4.json".to_string(),
         baseline: None,
         trials: 3,
         millis: 300,
@@ -58,6 +77,8 @@ fn parse_args() -> Args {
         key_ranges: vec![200, 2_048],
         label: String::new(),
         key_dist: KeyDist::Uniform,
+        zipf_block: true,
+        recycle: true,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -79,7 +100,9 @@ fn parse_args() -> Args {
                     "--zipf theta must lie in (0, 1), got {theta}"
                 );
                 args.key_dist = KeyDist::Zipf(theta);
+                args.zipf_block = false;
             }
+            "--no-recycle" => args.recycle = false,
             "--tiny" => {
                 // CI smoke scale: one short trial, one key range.
                 args.trials = 1;
@@ -94,6 +117,9 @@ fn parse_args() -> Args {
 
 /// One measured cell of the matrix.
 struct Cell {
+    /// Global-allocator calls observed process-wide while this cell's best
+    /// pass ran (prefill + trial; the recycling residue plus harness noise).
+    global_allocs: u64,
     key: String,
     scheme: &'static str,
     ds: &'static str,
@@ -101,6 +127,20 @@ struct Cell {
     peak_limbo: u64,
     retires: u64,
     frees: u64,
+    pool_hits: u64,
+    pool_misses: u64,
+}
+
+impl Cell {
+    /// Fraction of pool-eligible allocations served from recycled blocks.
+    fn hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
 }
 
 fn cell_key(r: &TrialResult, dist: KeyDist) -> String {
@@ -164,18 +204,24 @@ fn extract_num(line: &str, tag: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-fn run_once<F: smr_harness::DsFamily>(kind: SmrKind, key_range: u64, args: &Args) -> TrialResult {
+fn run_once<F: smr_harness::DsFamily>(
+    kind: SmrKind,
+    key_range: u64,
+    dist: KeyDist,
+    args: &Args,
+) -> TrialResult {
     let spec = WorkloadSpec::new(
         WorkloadMix::READ_HEAVY,
         key_range,
         args.threads,
         StopCondition::Duration(Duration::from_millis(args.millis)),
     )
-    .with_key_dist(args.key_dist);
+    .with_key_dist(dist);
     let config = SmrConfig::default()
         .with_max_threads(args.threads + 4)
         .with_watermarks(1024, 256)
-        .with_signal_cost_ns(2_000);
+        .with_signal_cost_ns(2_000)
+        .with_recycle(args.recycle);
     run_with::<F>(kind, &spec, config)
 }
 
@@ -195,50 +241,69 @@ fn main() {
     // converges per cell instead of condemning whichever cell the burst hit.
     type Runner = Box<dyn Fn(&Args) -> TrialResult>;
     let schemes = SmrKind::all();
-    let mut runners: Vec<Runner> = Vec::new();
-    for &key_range in &args.key_ranges {
+    let mut runners: Vec<(KeyDist, Runner)> = Vec::new();
+    let row_set = |runners: &mut Vec<(KeyDist, Runner)>, key_range: u64, dist: KeyDist| {
         for &kind in schemes {
-            runners.push(Box::new(move |a| {
-                run_once::<HarrisListFamily>(kind, key_range, a)
-            }));
-            runners.push(Box::new(move |a| {
-                run_once::<HmListRestartFamily>(kind, key_range, a)
-            }));
+            runners.push((
+                dist,
+                Box::new(move |a: &Args| run_once::<HarrisListFamily>(kind, key_range, dist, a)),
+            ));
+            runners.push((
+                dist,
+                Box::new(move |a: &Args| run_once::<HmListRestartFamily>(kind, key_range, dist, a)),
+            ));
         }
+    };
+    for &key_range in &args.key_ranges {
+        row_set(&mut runners, key_range, args.key_dist);
+    }
+    if args.zipf_block {
+        // Skewed-key block: the YCSB hot-spot distribution at the smallest
+        // (most contended) key range, one row per scheme × structure.
+        row_set(&mut runners, args.key_ranges[0], KeyDist::Zipf(0.99));
     }
 
-    let mut best: Vec<Option<TrialResult>> = runners.iter().map(|_| None).collect();
+    let mut best: Vec<Option<(TrialResult, u64)>> = runners.iter().map(|_| None).collect();
     for pass in 0..args.trials.max(1) {
         eprintln!("pass {}/{}", pass + 1, args.trials.max(1));
-        for (slot, runner) in best.iter_mut().zip(&runners) {
+        for (slot, (_, runner)) in best.iter_mut().zip(&runners) {
+            let allocs_before = alloc_track::total_allocs();
             let r = runner(&args);
-            if slot.as_ref().map(|b| r.mops > b.mops).unwrap_or(true) {
-                *slot = Some(r);
+            let allocs = alloc_track::total_allocs() - allocs_before;
+            if slot.as_ref().map(|b| r.mops > b.0.mops).unwrap_or(true) {
+                *slot = Some((r, allocs));
             }
         }
     }
 
     let cells: Vec<Cell> = best
         .into_iter()
-        .map(|r| {
-            let r = r.expect("at least one pass ran");
-            eprintln!(
-                "  {:<28} {:>8.3} Mops/s  peak_limbo={} retired={} freed={}",
-                cell_key(&r, args.key_dist),
-                r.mops,
-                r.smr_totals.peak_limbo,
-                r.smr_totals.retires,
-                r.smr_totals.frees
-            );
-            Cell {
-                key: cell_key(&r, args.key_dist),
+        .zip(&runners)
+        .map(|(r, (dist, _))| {
+            let (r, global_allocs) = r.expect("at least one pass ran");
+            let cell = Cell {
+                global_allocs,
+                key: cell_key(&r, *dist),
                 scheme: r.smr,
                 ds: r.ds,
                 mops: r.mops,
                 peak_limbo: r.smr_totals.peak_limbo,
                 retires: r.smr_totals.retires,
                 frees: r.smr_totals.frees,
-            }
+                pool_hits: r.smr_totals.pool_hits,
+                pool_misses: r.smr_totals.pool_misses,
+            };
+            eprintln!(
+                "  {:<36} {:>8.3} Mops/s  peak_limbo={} retired={} freed={} pool-hit={:.0}% global-allocs={}",
+                cell.key,
+                cell.mops,
+                cell.peak_limbo,
+                cell.retires,
+                cell.frees,
+                cell.hit_rate() * 100.0,
+                cell.global_allocs
+            );
+            cell
         })
         .collect();
 
@@ -248,6 +313,8 @@ fn main() {
     let _ = writeln!(out, "  \"label\": \"{}\",", escape_json(&args.label));
     let _ = writeln!(out, "  \"mix\": \"5i-5d\",");
     let _ = writeln!(out, "  \"key_dist\": \"{}\",", args.key_dist.label());
+    let _ = writeln!(out, "  \"zipf_block\": {},", args.zipf_block);
+    let _ = writeln!(out, "  \"recycle\": {},", args.recycle);
     let _ = writeln!(out, "  \"threads\": {},", args.threads);
     let _ = writeln!(out, "  \"trials\": {},", args.trials);
     let _ = writeln!(out, "  \"trial_millis\": {},", args.millis);
@@ -255,8 +322,8 @@ fn main() {
     let n = cells.len();
     for (i, c) in cells.iter().enumerate() {
         let mut line = format!(
-            "    {{\"key\":\"{}\",\"scheme\":\"{}\",\"ds\":\"{}\",\"mops\":{:.4},\"peak_limbo\":{},\"retires\":{},\"frees\":{}",
-            c.key, c.scheme, c.ds, c.mops, c.peak_limbo, c.retires, c.frees
+            "    {{\"key\":\"{}\",\"scheme\":\"{}\",\"ds\":\"{}\",\"mops\":{:.4},\"peak_limbo\":{},\"retires\":{},\"frees\":{},\"pool_hits\":{},\"pool_misses\":{},\"global_allocs\":{}",
+            c.key, c.scheme, c.ds, c.mops, c.peak_limbo, c.retires, c.frees, c.pool_hits, c.pool_misses, c.global_allocs
         );
         if let Some(base) = &baseline {
             if let Some(&(bm, bp)) = base.get(&c.key) {
@@ -277,6 +344,20 @@ fn main() {
 
     std::fs::write(&args.out, &out).unwrap_or_else(|e| panic!("write {}: {e}", args.out));
     eprintln!("wrote {}", args.out);
+
+    let (hits, misses) = cells.iter().fold((0u64, 0u64), |(h, m), c| {
+        (h + c.pool_hits, m + c.pool_misses)
+    });
+    if hits + misses > 0 {
+        eprintln!(
+            "recycling pool: {:.1}% hit rate ({} recycled / {} global-alloc fallbacks)",
+            hits as f64 / (hits + misses) as f64 * 100.0,
+            hits,
+            misses
+        );
+    } else {
+        eprintln!("recycling pool: bypassed (--no-recycle)");
+    }
 
     if let Some(base) = &baseline {
         let matched = cells.iter().filter(|c| base.contains_key(&c.key)).count();

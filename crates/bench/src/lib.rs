@@ -62,7 +62,10 @@ pub mod helpers {
     }
 
     /// The reclaimer subset used by the throughput benches (keeps
-    /// `cargo bench` time reasonable while covering every family).
+    /// `cargo bench` time reasonable while covering every family, including
+    /// the Publish-on-Ping schemes — ROADMAP follow-up from PR 3: they run
+    /// in the paper-figure benches via the shared `PrefilledTrial` path, not
+    /// just in `throughput`/`stress`/tests).
     pub fn bench_smr_set() -> &'static [SmrKind] {
         &[
             SmrKind::NbrPlus,
@@ -70,6 +73,8 @@ pub mod helpers {
             SmrKind::Debra,
             SmrKind::Ibr,
             SmrKind::Hp,
+            SmrKind::EpochPop,
+            SmrKind::HpPop,
             SmrKind::Leaky,
         ]
     }

@@ -9,8 +9,10 @@
 
 use crate::neutralize::{HandshakeOutcome, NeutralizationCore};
 use smr_common::{
-    LimboBag, Retired, ScanPolicy, ScanState, Shared, Smr, SmrConfig, SmrNode, ThreadStats,
+    BlockPool, LimboBag, Magazine, Retired, ScanPolicy, ScanState, Shared, Smr, SmrConfig, SmrNode,
+    ThreadStats,
 };
+use std::sync::Arc;
 
 /// Per-thread context for [`Nbr`].
 pub struct NbrCtx {
@@ -19,6 +21,7 @@ pub struct NbrCtx {
     scan: ScanState,
     /// Reusable scratch for the per-scan reservation snapshot.
     reserved: Vec<usize>,
+    mag: Magazine,
     stats: ThreadStats,
 }
 
@@ -33,6 +36,7 @@ impl NbrCtx {
 pub struct Nbr {
     core: NeutralizationCore,
     policy: ScanPolicy,
+    pool: Arc<BlockPool>,
 }
 
 impl Nbr {
@@ -69,8 +73,12 @@ impl Nbr {
                 // pointers) or is confined to its reservations, which we
                 // exclude below. This is exactly Lemma 1/8 of the paper.
                 unsafe {
-                    ctx.limbo
-                        .reclaim_prefix_unreserved(tail, &ctx.reserved, &mut ctx.stats)
+                    ctx.limbo.reclaim_prefix_unreserved(
+                        tail,
+                        &ctx.reserved,
+                        &mut ctx.stats,
+                        &mut ctx.mag,
+                    )
                 }
             }
         }
@@ -85,9 +93,11 @@ impl Smr for Nbr {
 
     fn new(config: SmrConfig) -> Self {
         let policy = ScanPolicy::from_config(&config);
+        let pool = BlockPool::from_config(&config);
         Self {
             core: NeutralizationCore::new(config),
             policy,
+            pool,
         }
     }
 
@@ -104,6 +114,7 @@ impl Smr for Nbr {
             reserved: Vec::with_capacity(
                 self.core.config().max_reservations * self.core.config().max_threads,
             ),
+            mag: Magazine::from_config(&self.pool, self.core.config()),
             stats: ThreadStats::default(),
         }
     }
@@ -114,7 +125,13 @@ impl Smr for Nbr {
         self.reclaim_with_signals(ctx);
         let leftovers = ctx.limbo.drain();
         self.core.adopt_orphans(leftovers);
+        ctx.mag.flush();
         self.core.deregister(ctx.tid);
+    }
+
+    #[inline]
+    fn magazine_mut<'a>(&self, ctx: &'a mut NbrCtx) -> Option<&'a mut Magazine> {
+        Some(&mut ctx.mag)
     }
 
     #[inline]
@@ -164,7 +181,7 @@ impl Smr for Nbr {
     }
 
     fn thread_stats(&self, ctx: &NbrCtx) -> ThreadStats {
-        ctx.stats
+        ctx.mag.fold_stats(ctx.stats)
     }
 
     fn thread_stats_mut<'a>(&self, ctx: &'a mut NbrCtx) -> &'a mut ThreadStats {

@@ -22,8 +22,10 @@
 
 use crate::neutralize::{HandshakeOutcome, NeutralizationCore};
 use smr_common::{
-    LimboBag, Retired, ScanPolicy, ScanState, Shared, Smr, SmrConfig, SmrNode, ThreadStats,
+    BlockPool, LimboBag, Magazine, Retired, ScanPolicy, ScanState, Shared, Smr, SmrConfig, SmrNode,
+    ThreadStats,
 };
+use std::sync::Arc;
 
 /// How many retire calls at the LoWatermark are amortized over one scan of the
 /// announcement timestamps (Section 5.1: "we amortize the overhead of scanning
@@ -37,6 +39,7 @@ pub struct NbrPlusCtx {
     scan: ScanState,
     /// Reusable scratch for the per-scan reservation snapshot.
     reserved: Vec<usize>,
+    mag: Magazine,
     stats: ThreadStats,
     /// True until the thread (re-)enters the LoWatermark region
     /// (`firstLoWmEntryFlag` of Algorithm 2).
@@ -60,6 +63,7 @@ impl NbrPlusCtx {
 pub struct NbrPlus {
     core: NeutralizationCore,
     policy: ScanPolicy,
+    pool: Arc<BlockPool>,
 }
 
 impl NbrPlus {
@@ -84,7 +88,7 @@ impl NbrPlus {
         // are therefore safe (Lemmas 8/9 of the paper).
         unsafe {
             ctx.limbo
-                .reclaim_prefix_unreserved(up_to, &ctx.reserved, &mut ctx.stats)
+                .reclaim_prefix_unreserved(up_to, &ctx.reserved, &mut ctx.stats, &mut ctx.mag)
         }
     }
 
@@ -122,7 +126,8 @@ impl NbrPlus {
     fn try_reclaim_at_lo_watermark(&self, ctx: &mut NbrPlusCtx) -> usize {
         if ctx.first_lo_wm_entry {
             ctx.bookmark = ctx.limbo.len();
-            ctx.scan_snapshot = self.core.snapshot_announcements();
+            self.core
+                .snapshot_announcements_into(&mut ctx.scan_snapshot);
             ctx.first_lo_wm_entry = false;
             ctx.lo_wm_scan_tick = 0;
             return 0;
@@ -151,9 +156,11 @@ impl Smr for NbrPlus {
 
     fn new(config: SmrConfig) -> Self {
         let policy = ScanPolicy::from_config(&config);
+        let pool = BlockPool::from_config(&config);
         Self {
             core: NeutralizationCore::new(config),
             policy,
+            pool,
         }
     }
 
@@ -170,6 +177,7 @@ impl Smr for NbrPlus {
             reserved: Vec::with_capacity(
                 self.core.config().max_reservations * self.core.config().max_threads,
             ),
+            mag: Magazine::from_config(&self.pool, self.core.config()),
             stats: ThreadStats::default(),
             first_lo_wm_entry: true,
             bookmark: 0,
@@ -182,7 +190,13 @@ impl Smr for NbrPlus {
         self.reclaim_at_hi_watermark(ctx);
         let leftovers = ctx.limbo.drain();
         self.core.adopt_orphans(leftovers);
+        ctx.mag.flush();
         self.core.deregister(ctx.tid);
+    }
+
+    #[inline]
+    fn magazine_mut<'a>(&self, ctx: &'a mut NbrPlusCtx) -> Option<&'a mut Magazine> {
+        Some(&mut ctx.mag)
     }
 
     #[inline]
@@ -235,7 +249,7 @@ impl Smr for NbrPlus {
     }
 
     fn thread_stats(&self, ctx: &NbrPlusCtx) -> ThreadStats {
-        ctx.stats
+        ctx.mag.fold_stats(ctx.stats)
     }
 
     fn thread_stats_mut<'a>(&self, ctx: &'a mut NbrPlusCtx) -> &'a mut ThreadStats {

@@ -401,7 +401,17 @@ impl NeutralizationCore {
     /// line 15). Index = tid; inactive slots report their last value, which is
     /// harmless (they cannot regress).
     pub fn snapshot_announcements(&self) -> Vec<u64> {
-        self.slots.iter().map(|s| s.announce_ts()).collect()
+        let mut out = Vec::new();
+        self.snapshot_announcements_into(&mut out);
+        out
+    }
+
+    /// [`NeutralizationCore::snapshot_announcements`] into a reusable buffer
+    /// (the LoWatermark path re-enters per retire burst; a fresh vector per
+    /// snapshot would put malloc back on the reclamation path).
+    pub fn snapshot_announcements_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(self.slots.iter().map(|s| s.announce_ts()));
     }
 
     /// True if, relative to `snapshot`, some *other* thread has completed an

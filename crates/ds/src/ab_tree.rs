@@ -25,7 +25,7 @@
 //! `[parent, leaf]` before their Φ_write (2 reservations).
 
 use crate::{check_key, ConcurrentSet};
-use smr_common::{Atomic, NodeHeader, SeqLock, Shared, Smr, SmrConfig};
+use smr_common::{recycle, Atomic, NodeHeader, SeqLock, Shared, Smr, SmrConfig};
 use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -180,7 +180,7 @@ impl<S: Smr> AbTree<S> {
 
     /// Creates an empty tree around an existing reclaimer instance.
     pub fn with_smr(smr: S) -> Self {
-        let root = Shared::from_raw(Box::into_raw(Box::new(AbNode::new_leaf(&[]))));
+        let root = Shared::from_raw(recycle::alloc_node_raw(AbNode::new_leaf(&[])));
         Self {
             smr,
             root: Atomic::new(root),
@@ -650,7 +650,7 @@ impl<S: Smr> Drop for AbTree<S> {
                     stack.push(node_ref.children[i].load(Ordering::Relaxed));
                 }
             }
-            unsafe { drop(Box::from_raw(node.as_raw())) };
+            unsafe { recycle::free_node_raw(node.as_raw()) };
         }
     }
 }

@@ -24,7 +24,7 @@
 //! reservations, as stated in Section 4.4).
 
 use crate::{check_key, ConcurrentSet, KEY_MAX, KEY_MIN};
-use smr_common::{Atomic, NodeHeader, SeqLock, Shared, Smr, SmrConfig};
+use smr_common::{recycle, Atomic, NodeHeader, SeqLock, Shared, Smr, SmrConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// A node of the external BST. Leaves have both children null.
@@ -107,8 +107,8 @@ impl<S: Smr> DgtTree<S> {
 
     /// Creates an empty tree around an existing reclaimer instance.
     pub fn with_smr(smr: S) -> Self {
-        let min_leaf = Shared::from_raw(Box::into_raw(Box::new(Node::leaf(KEY_MIN))));
-        let max_leaf = Shared::from_raw(Box::into_raw(Box::new(Node::leaf(KEY_MAX))));
+        let min_leaf = Shared::from_raw(recycle::alloc_node_raw(Node::leaf(KEY_MIN)));
+        let max_leaf = Shared::from_raw(recycle::alloc_node_raw(Node::leaf(KEY_MAX)));
         let root = Box::new(Node::internal(KEY_MAX, min_leaf, max_leaf));
         Self { smr, root }
     }
@@ -327,7 +327,7 @@ impl<S: Smr> Drop for DgtTree<S> {
             let node_ref = unsafe { node.deref() };
             stack.push(node_ref.left.load(Ordering::Relaxed));
             stack.push(node_ref.right.load(Ordering::Relaxed));
-            unsafe { drop(Box::from_raw(node.as_raw())) };
+            unsafe { recycle::free_node_raw(node.as_raw()) };
         }
     }
 }

@@ -16,7 +16,7 @@
 //! to retire them cannot race with their reclamation.
 
 use crate::{check_key, ConcurrentSet, KEY_MAX, KEY_MIN};
-use smr_common::{Atomic, NodeHeader, Shared, Smr, SmrConfig};
+use smr_common::{recycle, Atomic, NodeHeader, Shared, Smr, SmrConfig};
 use std::sync::atomic::Ordering;
 
 /// Mark bit: set on `node.next` when `node` is logically deleted.
@@ -71,7 +71,7 @@ impl<S: Smr> HarrisList<S> {
 
     /// Creates an empty list around an existing reclaimer instance.
     pub fn with_smr(smr: S) -> Self {
-        let tail = Shared::from_raw(Box::into_raw(Box::new(Node::new(KEY_MAX))));
+        let tail = Shared::from_raw(recycle::alloc_node_raw(Node::new(KEY_MAX)));
         let head = Box::new(Node {
             header: NodeHeader::new(),
             key: KEY_MIN,
@@ -345,7 +345,7 @@ impl<S: Smr> Drop for HarrisList<S> {
                 .next
                 .load(Ordering::Relaxed)
                 .with_tag(0);
-            unsafe { drop(Box::from_raw(curr.as_raw())) };
+            unsafe { recycle::free_node_raw(curr.as_raw()) };
             curr = next;
         }
     }

@@ -26,7 +26,7 @@
 //! benches only use it with DEBRA and the leaky reclaimer.
 
 use crate::{check_key, ConcurrentSet, KEY_MAX, KEY_MIN};
-use smr_common::{Atomic, NodeHeader, Shared, Smr, SmrConfig};
+use smr_common::{recycle, Atomic, NodeHeader, Shared, Smr, SmrConfig};
 use std::sync::atomic::Ordering;
 
 const MARK: usize = 1;
@@ -79,7 +79,7 @@ pub(crate) struct HmCore {
 
 impl HmCore {
     pub(crate) fn new(policy: RestartPolicy) -> Self {
-        let tail = Shared::from_raw(Box::into_raw(Box::new(Node::new(KEY_MAX))));
+        let tail = Shared::from_raw(recycle::alloc_node_raw(Node::new(KEY_MAX)));
         let head = Box::new(Node {
             header: NodeHeader::new(),
             key: KEY_MIN,
@@ -294,7 +294,7 @@ impl Drop for HmCore {
                 .next
                 .load(Ordering::Relaxed)
                 .with_tag(0);
-            unsafe { drop(Box::from_raw(curr.as_raw())) };
+            unsafe { recycle::free_node_raw(curr.as_raw()) };
             curr = next;
         }
     }

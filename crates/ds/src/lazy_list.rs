@@ -19,7 +19,7 @@
 //! field), which is what produces HP's large slowdown in Figure 3b.
 
 use crate::{check_key, ConcurrentSet, KEY_MAX, KEY_MIN};
-use smr_common::{Atomic, NodeHeader, SeqLock, Shared, Smr, SmrConfig};
+use smr_common::{recycle, Atomic, NodeHeader, SeqLock, Shared, Smr, SmrConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// A node of the lazy list.
@@ -63,7 +63,7 @@ impl<S: Smr> LazyList<S> {
 
     /// Creates an empty list around an existing reclaimer instance.
     pub fn with_smr(smr: S) -> Self {
-        let tail = Box::into_raw(Box::new(Node::new(KEY_MAX)));
+        let tail = recycle::alloc_node_raw(Node::new(KEY_MAX));
         let head = Box::new(Node {
             header: NodeHeader::new(),
             key: KEY_MIN,
@@ -269,7 +269,7 @@ impl<S: Smr> Drop for LazyList<S> {
         let mut curr = self.head.next.load(Ordering::Relaxed);
         while !curr.is_null() {
             let next = unsafe { curr.deref() }.next.load(Ordering::Relaxed);
-            unsafe { drop(Box::from_raw(curr.as_raw())) };
+            unsafe { recycle::free_node_raw(curr.as_raw()) };
             curr = next;
         }
     }

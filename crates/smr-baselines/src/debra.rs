@@ -19,10 +19,11 @@
 
 use crate::util::{EraClock, OrphanPool};
 use smr_common::{
-    CachePadded, LimboBag, Registry, Retired, ScanPolicy, ScanState, Shared, Smr, SmrConfig,
-    SmrNode, ThreadStats,
+    BlockPool, CachePadded, LimboBag, Magazine, Registry, Retired, ScanPolicy, ScanState, Shared,
+    Smr, SmrConfig, SmrNode, ThreadStats,
 };
 use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::Arc;
 
 const ACTIVE_BIT: u64 = 1;
 const QUIESCENT: u64 = u64::MAX;
@@ -45,6 +46,7 @@ pub struct DebraCtx {
     local_epoch: u64,
     ops_since_advance: usize,
     scan: ScanState,
+    mag: Magazine,
     stats: ThreadStats,
 }
 
@@ -55,6 +57,7 @@ pub struct Debra {
     registry: Registry,
     epoch: EraClock,
     slots: Vec<CachePadded<EpochSlot>>,
+    pool: Arc<BlockPool>,
     orphans: OrphanPool,
 }
 
@@ -111,7 +114,7 @@ impl Debra {
                 // SAFETY: the global epoch advanced at least twice since every
                 // record in this bag was retired; every operation that could
                 // have held a reference has completed (classic EBR argument).
-                unsafe { ctx.bags[i].reclaim_all(&mut ctx.stats) };
+                unsafe { ctx.bags[i].reclaim_all(&mut ctx.stats, &mut ctx.mag) };
             }
         }
         // Point the "current" bag at the slot for the new epoch; it is either
@@ -146,6 +149,7 @@ impl Smr for Debra {
             policy: ScanPolicy::from_config(&config),
             epoch: EraClock::new(),
             slots,
+            pool: BlockPool::from_config(&config),
             orphans: OrphanPool::new(),
             config,
         }
@@ -166,6 +170,7 @@ impl Smr for Debra {
             local_epoch: now,
             ops_since_advance: 0,
             scan: ScanState::new(),
+            mag: Magazine::from_config(&self.pool, &self.config),
             stats: ThreadStats::default(),
         }
     }
@@ -177,7 +182,13 @@ impl Smr for Debra {
             leftovers.extend(bag.drain());
         }
         self.orphans.adopt(leftovers);
+        ctx.mag.flush();
         self.registry.deregister(ctx.tid);
+    }
+
+    #[inline]
+    fn magazine_mut<'a>(&self, ctx: &'a mut DebraCtx) -> Option<&'a mut Magazine> {
+        Some(&mut ctx.mag)
     }
 
     #[inline]
@@ -231,7 +242,7 @@ impl Smr for Debra {
     }
 
     fn thread_stats(&self, ctx: &DebraCtx) -> ThreadStats {
-        ctx.stats
+        ctx.mag.fold_stats(ctx.stats)
     }
 
     fn thread_stats_mut<'a>(&self, ctx: &'a mut DebraCtx) -> &'a mut ThreadStats {

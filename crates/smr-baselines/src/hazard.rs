@@ -15,10 +15,11 @@
 
 use crate::util::OrphanPool;
 use smr_common::{
-    Atomic, CachePadded, LimboBag, Registry, Retired, ScanPolicy, ScanState, Shared, Smr,
-    SmrConfig, SmrNode, ThreadStats,
+    Atomic, BlockPool, CachePadded, LimboBag, Magazine, Registry, Retired, ScanPolicy, ScanState,
+    Shared, Smr, SmrConfig, SmrNode, ThreadStats,
 };
 use std::sync::atomic::{fence, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 struct HazardSlots {
     slots: Box<[AtomicUsize]>,
@@ -32,6 +33,7 @@ pub struct HpCtx {
     /// Reusable scratch for the per-scan hazard snapshot (no allocation on
     /// the reclamation path).
     protected: Vec<usize>,
+    mag: Magazine,
     stats: ThreadStats,
 }
 
@@ -41,6 +43,7 @@ pub struct HazardPointers {
     policy: ScanPolicy,
     registry: Registry,
     hazards: Vec<CachePadded<HazardSlots>>,
+    pool: Arc<BlockPool>,
     orphans: OrphanPool,
 }
 
@@ -88,8 +91,12 @@ impl HazardPointers {
         // are safe (Michael's original argument; single-fence variant argued
         // in DESIGN.md).
         let freed = unsafe {
-            ctx.limbo
-                .reclaim_prefix_unreserved(usize::MAX, &ctx.protected, &mut ctx.stats)
+            ctx.limbo.reclaim_prefix_unreserved(
+                usize::MAX,
+                &ctx.protected,
+                &mut ctx.stats,
+                &mut ctx.mag,
+            )
         };
         if freed == 0 && before > 0 {
             ctx.stats.reclaim_skips += 1;
@@ -130,6 +137,7 @@ impl Smr for HazardPointers {
             registry: Registry::new(config.max_threads),
             policy: ScanPolicy::from_config(&config),
             hazards,
+            pool: BlockPool::from_config(&config),
             orphans: OrphanPool::new(),
             config,
         }
@@ -147,6 +155,7 @@ impl Smr for HazardPointers {
             limbo: LimboBag::with_capacity(self.config.hi_watermark + 1),
             scan: ScanState::new(),
             protected: Vec::with_capacity(self.config.hazards_per_thread * self.config.max_threads),
+            mag: Magazine::from_config(&self.pool, &self.config),
             stats: ThreadStats::default(),
         }
     }
@@ -156,7 +165,13 @@ impl Smr for HazardPointers {
         // Last chance to free what is already safe; the rest is orphaned.
         self.scan_and_reclaim(ctx);
         self.orphans.adopt(ctx.limbo.drain());
+        ctx.mag.flush();
         self.registry.deregister(ctx.tid);
+    }
+
+    #[inline]
+    fn magazine_mut<'a>(&self, ctx: &'a mut HpCtx) -> Option<&'a mut Magazine> {
+        Some(&mut ctx.mag)
     }
 
     #[inline]
@@ -227,7 +242,7 @@ impl Smr for HazardPointers {
     }
 
     fn thread_stats(&self, ctx: &HpCtx) -> ThreadStats {
-        ctx.stats
+        ctx.mag.fold_stats(ctx.stats)
     }
 
     fn thread_stats_mut<'a>(&self, ctx: &'a mut HpCtx) -> &'a mut ThreadStats {

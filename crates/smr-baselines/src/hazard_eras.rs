@@ -10,10 +10,11 @@
 
 use crate::util::{EraClock, OrphanPool};
 use smr_common::{
-    Atomic, CachePadded, LimboBag, Registry, Retired, ScanPolicy, ScanState, Shared, Smr,
-    SmrConfig, SmrNode, ThreadStats,
+    Atomic, BlockPool, CachePadded, LimboBag, Magazine, Registry, Retired, ScanPolicy, ScanState,
+    Shared, Smr, SmrConfig, SmrNode, ThreadStats,
 };
 use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Slot value meaning "no era announced".
 const NONE: u64 = 0;
@@ -31,6 +32,7 @@ pub struct HeCtx {
     eras: Vec<u64>,
     allocs_since_advance: usize,
     retires_since_scan: usize,
+    mag: Magazine,
     stats: ThreadStats,
 }
 
@@ -41,6 +43,7 @@ pub struct HazardEras {
     registry: Registry,
     era: EraClock,
     slots: Vec<CachePadded<EraSlots>>,
+    pool: Arc<BlockPool>,
     orphans: OrphanPool,
 }
 
@@ -80,7 +83,10 @@ impl HazardEras {
         // era within the record's lifetime; if no announced era intersects
         // [birth, retire], no thread can still dereference it (Hazard Eras
         // safety argument; single-fence variant argued in DESIGN.md).
-        let freed = unsafe { ctx.limbo.reclaim_outside_eras(&ctx.eras, &mut ctx.stats) };
+        let freed = unsafe {
+            ctx.limbo
+                .reclaim_outside_eras(&ctx.eras, &mut ctx.stats, &mut ctx.mag)
+        };
         if freed == 0 && before > 0 {
             ctx.stats.reclaim_skips += 1;
         }
@@ -121,6 +127,7 @@ impl Smr for HazardEras {
             policy: ScanPolicy::from_config(&config),
             era: EraClock::new(),
             slots,
+            pool: BlockPool::from_config(&config),
             orphans: OrphanPool::new(),
             config,
         }
@@ -140,6 +147,7 @@ impl Smr for HazardEras {
             eras: Vec::with_capacity(self.config.hazards_per_thread * self.config.max_threads),
             allocs_since_advance: 0,
             retires_since_scan: 0,
+            mag: Magazine::from_config(&self.pool, &self.config),
             stats: ThreadStats::default(),
         }
     }
@@ -148,7 +156,13 @@ impl Smr for HazardEras {
         self.clear_slots(ctx.tid);
         self.scan_and_reclaim(ctx);
         self.orphans.adopt(ctx.limbo.drain());
+        ctx.mag.flush();
         self.registry.deregister(ctx.tid);
+    }
+
+    #[inline]
+    fn magazine_mut<'a>(&self, ctx: &'a mut HeCtx) -> Option<&'a mut Magazine> {
+        Some(&mut ctx.mag)
     }
 
     #[inline]
@@ -186,9 +200,22 @@ impl Smr for HazardEras {
         // The era announced in `src_slot` covers the record's lifetime; copying
         // that era (not the current one, which may postdate the record's
         // retirement) keeps it protected under `dst_slot`.
+        //
+        // Era slots are single-writer, so reading our own slots Relaxed is
+        // exact; and when `dst_slot` *already* holds the source era — the
+        // common case on list traversals, where every slot converges to the
+        // current era within a few hops and then stays there until the next
+        // era advance — the copy is idempotent: the value was published by an
+        // earlier `SeqCst` store of this thread and every scan already sees
+        // it, so the store (and its full fence on x86) can be skipped. This
+        // removes the per-hop `SeqCst` pair the Harris list's `left`-promotion
+        // paid on every unmarked hop (the BENCH_3 HE harris-list outlier; see
+        // DESIGN.md, "Skipping idempotent era republishes").
         let slots = &self.slots[ctx.tid].slots;
-        let era = slots[src_slot].load(Ordering::SeqCst);
-        slots[dst_slot].store(era, Ordering::SeqCst);
+        let era = slots[src_slot].load(Ordering::Relaxed);
+        if slots[dst_slot].load(Ordering::Relaxed) != era {
+            slots[dst_slot].store(era, Ordering::SeqCst);
+        }
     }
 
     #[inline]
@@ -214,7 +241,7 @@ impl Smr for HazardEras {
             ctx.stats.epoch_advances += 1;
         }
         ctx.stats.allocs += 1;
-        Shared::from_raw(Box::into_raw(Box::new(value)))
+        Shared::from_raw(ctx.mag.alloc_node(value))
     }
 
     unsafe fn retire<T: SmrNode>(&self, ctx: &mut HeCtx, ptr: Shared<T>) {
@@ -238,7 +265,7 @@ impl Smr for HazardEras {
     }
 
     fn thread_stats(&self, ctx: &HeCtx) -> ThreadStats {
-        ctx.stats
+        ctx.mag.fold_stats(ctx.stats)
     }
 
     fn thread_stats_mut<'a>(&self, ctx: &'a mut HeCtx) -> &'a mut ThreadStats {

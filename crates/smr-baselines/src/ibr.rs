@@ -12,10 +12,11 @@
 
 use crate::util::{EraClock, OrphanPool};
 use smr_common::{
-    Atomic, CachePadded, LimboBag, Registry, Retired, ScanPolicy, ScanState, Shared, Smr,
-    SmrConfig, SmrNode, ThreadStats,
+    Atomic, BlockPool, CachePadded, LimboBag, Magazine, Registry, Retired, ScanPolicy, ScanState,
+    Shared, Smr, SmrConfig, SmrNode, ThreadStats,
 };
 use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Announcement meaning "not inside an operation".
 const IDLE: u64 = u64::MAX;
@@ -35,6 +36,7 @@ pub struct IbrCtx {
     uppers: Vec<u64>,
     allocs_since_advance: usize,
     retires_since_scan: usize,
+    mag: Magazine,
     stats: ThreadStats,
 }
 
@@ -45,6 +47,7 @@ pub struct Ibr {
     registry: Registry,
     era: EraClock,
     slots: Vec<CachePadded<IntervalSlot>>,
+    pool: Arc<BlockPool>,
     orphans: OrphanPool,
 }
 
@@ -84,8 +87,12 @@ impl Ibr {
         // al.'s reachability argument; single-fence variant argued in
         // DESIGN.md).
         let freed = unsafe {
-            ctx.limbo
-                .reclaim_disjoint_intervals(&ctx.lowers, &ctx.uppers, &mut ctx.stats)
+            ctx.limbo.reclaim_disjoint_intervals(
+                &ctx.lowers,
+                &ctx.uppers,
+                &mut ctx.stats,
+                &mut ctx.mag,
+            )
         };
         if freed == 0 && before > 0 {
             ctx.stats.reclaim_skips += 1;
@@ -121,6 +128,7 @@ impl Smr for Ibr {
             policy: ScanPolicy::from_config(&config),
             era: EraClock::new(),
             slots,
+            pool: BlockPool::from_config(&config),
             orphans: OrphanPool::new(),
             config,
         }
@@ -142,6 +150,7 @@ impl Smr for Ibr {
             uppers: Vec::with_capacity(self.config.max_threads),
             allocs_since_advance: 0,
             retires_since_scan: 0,
+            mag: Magazine::from_config(&self.pool, &self.config),
             stats: ThreadStats::default(),
         }
     }
@@ -151,7 +160,13 @@ impl Smr for Ibr {
         self.slots[ctx.tid].upper.store(IDLE, Ordering::SeqCst);
         self.scan_and_reclaim(ctx);
         self.orphans.adopt(ctx.limbo.drain());
+        ctx.mag.flush();
         self.registry.deregister(ctx.tid);
+    }
+
+    #[inline]
+    fn magazine_mut<'a>(&self, ctx: &'a mut IbrCtx) -> Option<&'a mut Magazine> {
+        Some(&mut ctx.mag)
     }
 
     #[inline]
@@ -211,7 +226,7 @@ impl Smr for Ibr {
             ctx.stats.epoch_advances += 1;
         }
         ctx.stats.allocs += 1;
-        Shared::from_raw(Box::into_raw(Box::new(value)))
+        Shared::from_raw(ctx.mag.alloc_node(value))
     }
 
     unsafe fn retire<T: SmrNode>(&self, ctx: &mut IbrCtx, ptr: Shared<T>) {
@@ -235,7 +250,7 @@ impl Smr for Ibr {
     }
 
     fn thread_stats(&self, ctx: &IbrCtx) -> ThreadStats {
-        ctx.stats
+        ctx.mag.fold_stats(ctx.stats)
     }
 
     fn thread_stats_mut<'a>(&self, ctx: &'a mut IbrCtx) -> &'a mut ThreadStats {

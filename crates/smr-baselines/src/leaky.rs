@@ -9,12 +9,16 @@
 //! nothing on the hot path.
 
 use crate::util::OrphanPool;
-use smr_common::{LimboBag, Retired, Shared, Smr, SmrConfig, SmrNode, ThreadStats};
+use smr_common::{
+    BlockPool, LimboBag, Magazine, Retired, Shared, Smr, SmrConfig, SmrNode, ThreadStats,
+};
+use std::sync::Arc;
 
 /// Per-thread context for [`Leaky`].
 pub struct LeakyCtx {
     tid: usize,
     limbo: LimboBag,
+    mag: Magazine,
     stats: ThreadStats,
 }
 
@@ -22,6 +26,7 @@ pub struct LeakyCtx {
 pub struct Leaky {
     config: SmrConfig,
     registry: smr_common::Registry,
+    pool: Arc<BlockPool>,
     orphans: OrphanPool,
 }
 
@@ -34,6 +39,7 @@ impl Smr for Leaky {
         config.validate();
         Self {
             registry: smr_common::Registry::new(config.max_threads),
+            pool: BlockPool::from_config(&config),
             orphans: OrphanPool::new(),
             config,
         }
@@ -48,13 +54,20 @@ impl Smr for Leaky {
         LeakyCtx {
             tid,
             limbo: LimboBag::new(),
+            mag: Magazine::from_config(&self.pool, &self.config),
             stats: ThreadStats::default(),
         }
     }
 
     fn unregister(&self, ctx: &mut LeakyCtx) {
         self.orphans.adopt(ctx.limbo.drain());
+        ctx.mag.flush();
         self.registry.deregister(ctx.tid);
+    }
+
+    #[inline]
+    fn magazine_mut<'a>(&self, ctx: &'a mut LeakyCtx) -> Option<&'a mut Magazine> {
+        Some(&mut ctx.mag)
     }
 
     unsafe fn retire<T: SmrNode>(&self, ctx: &mut LeakyCtx, ptr: Shared<T>) {
@@ -65,7 +78,7 @@ impl Smr for Leaky {
     }
 
     fn thread_stats(&self, ctx: &LeakyCtx) -> ThreadStats {
-        ctx.stats
+        ctx.mag.fold_stats(ctx.stats)
     }
 
     fn thread_stats_mut<'a>(&self, ctx: &'a mut LeakyCtx) -> &'a mut ThreadStats {

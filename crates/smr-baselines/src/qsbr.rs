@@ -14,10 +14,11 @@
 
 use crate::util::{EraClock, OrphanPool};
 use smr_common::{
-    CachePadded, LimboBag, Registry, Retired, ScanPolicy, ScanState, Shared, Smr, SmrConfig,
-    SmrNode, ThreadStats,
+    BlockPool, CachePadded, LimboBag, Magazine, Registry, Retired, ScanPolicy, ScanState, Shared,
+    Smr, SmrConfig, SmrNode, ThreadStats,
 };
 use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::Arc;
 
 const BAGS: usize = 3;
 /// Sentinel meaning "offline": the thread is not running operations at all and
@@ -37,6 +38,7 @@ pub struct QsbrCtx {
     local_epoch: u64,
     retires_since_check: usize,
     scan: ScanState,
+    mag: Magazine,
     stats: ThreadStats,
 }
 
@@ -47,6 +49,7 @@ pub struct Qsbr {
     registry: Registry,
     epoch: EraClock,
     slots: Vec<CachePadded<QsbrSlot>>,
+    pool: Arc<BlockPool>,
     orphans: OrphanPool,
 }
 
@@ -83,7 +86,7 @@ impl Qsbr {
                 // SAFETY: two epoch advances require every online thread to
                 // have been quiescent twice since these records were retired;
                 // any operation that could have referenced them has ended.
-                unsafe { ctx.bags[i].reclaim_all(&mut ctx.stats) };
+                unsafe { ctx.bags[i].reclaim_all(&mut ctx.stats, &mut ctx.mag) };
             }
         }
         let idx = (observed as usize) % BAGS;
@@ -112,6 +115,7 @@ impl Smr for Qsbr {
             policy: ScanPolicy::from_config(&config),
             epoch: EraClock::new(),
             slots,
+            pool: BlockPool::from_config(&config),
             orphans: OrphanPool::new(),
             config,
         }
@@ -133,6 +137,7 @@ impl Smr for Qsbr {
             local_epoch: now,
             retires_since_check: 0,
             scan: ScanState::new(),
+            mag: Magazine::from_config(&self.pool, &self.config),
             stats: ThreadStats::default(),
         }
     }
@@ -146,7 +151,13 @@ impl Smr for Qsbr {
             leftovers.extend(bag.drain());
         }
         self.orphans.adopt(leftovers);
+        ctx.mag.flush();
         self.registry.deregister(ctx.tid);
+    }
+
+    #[inline]
+    fn magazine_mut<'a>(&self, ctx: &'a mut QsbrCtx) -> Option<&'a mut Magazine> {
+        Some(&mut ctx.mag)
     }
 
     #[inline]
@@ -210,7 +221,7 @@ impl Smr for Qsbr {
     }
 
     fn thread_stats(&self, ctx: &QsbrCtx) -> ThreadStats {
-        ctx.stats
+        ctx.mag.fold_stats(ctx.stats)
     }
 
     fn thread_stats_mut<'a>(&self, ctx: &'a mut QsbrCtx) -> &'a mut ThreadStats {

@@ -17,10 +17,11 @@
 
 use crate::util::{EraClock, OrphanPool};
 use smr_common::{
-    CachePadded, LimboBag, Registry, Retired, ScanPolicy, ScanState, Shared, Smr, SmrConfig,
-    SmrNode, ThreadStats,
+    BlockPool, CachePadded, LimboBag, Magazine, Registry, Retired, ScanPolicy, ScanState, Shared,
+    Smr, SmrConfig, SmrNode, ThreadStats,
 };
 use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Announcement value meaning "not inside an operation".
 const IDLE: u64 = u64::MAX;
@@ -36,6 +37,7 @@ pub struct RcuCtx {
     scan: ScanState,
     retires_since_scan: usize,
     retires_since_advance: usize,
+    mag: Magazine,
     stats: ThreadStats,
 }
 
@@ -46,6 +48,7 @@ pub struct Rcu {
     registry: Registry,
     era: EraClock,
     slots: Vec<CachePadded<RcuSlot>>,
+    pool: Arc<BlockPool>,
     orphans: OrphanPool,
 }
 
@@ -75,7 +78,7 @@ impl Rcu {
         // the unlink and therefore cannot have found the record by traversal.
         let freed = unsafe {
             ctx.limbo
-                .reclaim_if(|r| r.retire_era() < min, &mut ctx.stats)
+                .reclaim_if(|r| r.retire_era() < min, &mut ctx.stats, &mut ctx.mag)
         };
         if freed == 0 && before > 0 {
             ctx.stats.reclaim_skips += 1;
@@ -102,6 +105,7 @@ impl Smr for Rcu {
             policy: ScanPolicy::from_config(&config),
             era: EraClock::new(),
             slots,
+            pool: BlockPool::from_config(&config),
             orphans: OrphanPool::new(),
             config,
         }
@@ -120,6 +124,7 @@ impl Smr for Rcu {
             scan: ScanState::new(),
             retires_since_scan: 0,
             retires_since_advance: 0,
+            mag: Magazine::from_config(&self.pool, &self.config),
             stats: ThreadStats::default(),
         }
     }
@@ -127,7 +132,13 @@ impl Smr for Rcu {
     fn unregister(&self, ctx: &mut RcuCtx) {
         self.slots[ctx.tid].announced.store(IDLE, Ordering::SeqCst);
         self.orphans.adopt(ctx.limbo.drain());
+        ctx.mag.flush();
         self.registry.deregister(ctx.tid);
+    }
+
+    #[inline]
+    fn magazine_mut<'a>(&self, ctx: &'a mut RcuCtx) -> Option<&'a mut Magazine> {
+        Some(&mut ctx.mag)
     }
 
     #[inline]
@@ -180,7 +191,7 @@ impl Smr for Rcu {
     }
 
     fn thread_stats(&self, ctx: &RcuCtx) -> ThreadStats {
-        ctx.stats
+        ctx.mag.fold_stats(ctx.stats)
     }
 
     fn thread_stats_mut<'a>(&self, ctx: &'a mut RcuCtx) -> &'a mut ThreadStats {

@@ -33,6 +33,9 @@
 //!   interval-based reclaimers need.
 //! * [`Retired`] / [`LimboBag`] — type-erased deferred destruction and the
 //!   per-thread limbo bags of Algorithm 1.
+//! * [`BlockPool`] / [`Magazine`] — the node-block recycling layer
+//!   (thread-local magazines over a shared depot) that takes malloc/free off
+//!   the reclamation hot path (`recycle` module).
 //! * [`Registry`] — the fixed-capacity thread-slot registry.
 //! * [`PingChannel`] — the cooperative per-thread ping/ack handshake shared
 //!   by NBR's neutralization (`nbr` crate) and the Publish-on-Ping
@@ -51,6 +54,7 @@ pub mod limbo;
 pub mod pad;
 pub mod ping;
 pub mod policy;
+pub mod recycle;
 pub mod registry;
 pub mod retired;
 pub mod smr;
@@ -65,6 +69,7 @@ pub use limbo::LimboBag;
 pub use pad::CachePadded;
 pub use ping::{PingChannel, PingOutcome};
 pub use policy::{ScanPolicy, ScanState};
+pub use recycle::{BlockPool, Magazine};
 pub use registry::{Registry, ThreadSlot};
 pub use retired::Retired;
 pub use smr::{Smr, SmrConfig};

@@ -25,6 +25,7 @@
 //! O((records + threads) · log threads), and the address-based schemes (HP,
 //! NBR) keep their binary search without any per-record indirection.
 
+use crate::recycle::Magazine;
 use crate::retired::Retired;
 use crate::stats::ThreadStats;
 
@@ -40,6 +41,12 @@ pub struct LimboBag {
     /// segment is filled exactly to its capacity before a new one is started,
     /// so pushes never reallocate an existing segment.
     segments: Vec<Vec<Retired>>,
+    /// One empty segment buffer salvaged from the last sweep, reused by the
+    /// next push that needs a segment — a sweep that empties the bag would
+    /// otherwise free every buffer and the next retire burst would pay a
+    /// fresh allocation per segment, putting malloc back on the very path
+    /// the recycling pool takes it off.
+    spare: Vec<Retired>,
     /// Total records across all segments.
     len: usize,
 }
@@ -55,7 +62,11 @@ impl LimboBag {
     pub fn with_capacity(capacity: usize) -> Self {
         let mut segments = Vec::with_capacity(capacity.div_ceil(SEGMENT_CAPACITY).max(1));
         segments.push(Vec::with_capacity(capacity.clamp(1, SEGMENT_CAPACITY)));
-        Self { segments, len: 0 }
+        Self {
+            segments,
+            spare: Vec::new(),
+            len: 0,
+        }
     }
 
     /// Appends a retired record (Algorithm 1, line 19).
@@ -64,7 +75,11 @@ impl LimboBag {
         match self.segments.last_mut() {
             Some(seg) if seg.len() < seg.capacity() => seg.push(retired),
             _ => {
-                let mut seg = Vec::with_capacity(SEGMENT_CAPACITY);
+                let mut seg = if self.spare.capacity() > 0 {
+                    core::mem::take(&mut self.spare)
+                } else {
+                    Vec::with_capacity(SEGMENT_CAPACITY)
+                };
                 seg.push(retired);
                 self.segments.push(seg);
             }
@@ -103,6 +118,7 @@ impl LimboBag {
         &mut self,
         up_to: usize,
         mut decide: impl FnMut(&Retired) -> bool,
+        mag: &mut Magazine,
     ) -> usize {
         let limit = up_to.min(self.len);
         if limit == 0 {
@@ -116,11 +132,22 @@ impl LimboBag {
                 break;
             }
             let seg_limit = (limit - start).min(seg_len);
-            freed += compact_segment(seg, seg_limit, &mut decide);
+            freed += compact_segment(seg, seg_limit, &mut decide, mag);
             start += seg_len;
         }
         self.len -= freed;
-        self.segments.retain(|s| !s.is_empty());
+        let spare = &mut self.spare;
+        self.segments.retain_mut(|s| {
+            if s.is_empty() {
+                // Salvage the largest emptied buffer for the next burst.
+                if spare.capacity() < s.capacity() {
+                    *spare = core::mem::take(s);
+                }
+                false
+            } else {
+                true
+            }
+        });
         freed
     }
 
@@ -140,8 +167,9 @@ impl LimboBag {
         up_to: usize,
         decide: impl FnMut(&Retired) -> bool,
         stats: &mut ThreadStats,
+        mag: &mut Magazine,
     ) -> usize {
-        let freed = self.sweep_prefix(up_to, decide);
+        let freed = self.sweep_prefix(up_to, decide, mag);
         stats.frees += freed as u64;
         freed
     }
@@ -154,8 +182,9 @@ impl LimboBag {
         &mut self,
         decide: impl FnMut(&Retired) -> bool,
         stats: &mut ThreadStats,
+        mag: &mut Magazine,
     ) -> usize {
-        self.reclaim_prefix_if(usize::MAX, decide, stats)
+        self.reclaim_prefix_if(usize::MAX, decide, stats, mag)
     }
 
     /// Frees every record in the prefix `[0, up_to)` whose address is absent
@@ -172,9 +201,14 @@ impl LimboBag {
         up_to: usize,
         reserved: &[usize],
         stats: &mut ThreadStats,
+        mag: &mut Magazine,
     ) -> usize {
         debug_assert!(reserved.windows(2).all(|w| w[0] <= w[1]));
-        let freed = self.sweep_prefix(up_to, |r| reserved.binary_search(&r.address()).is_err());
+        let freed = self.sweep_prefix(
+            up_to,
+            |r| reserved.binary_search(&r.address()).is_err(),
+            mag,
+        );
         stats.frees += freed as u64;
         freed
     }
@@ -189,13 +223,22 @@ impl LimboBag {
     /// `eras` must contain every era announced by a registered thread at the
     /// scan's linearization point (the callers' single `SeqCst` fence); same
     /// overall contract as [`LimboBag::reclaim_prefix_if`].
-    pub unsafe fn reclaim_outside_eras(&mut self, eras: &[u64], stats: &mut ThreadStats) -> usize {
+    pub unsafe fn reclaim_outside_eras(
+        &mut self,
+        eras: &[u64],
+        stats: &mut ThreadStats,
+        mag: &mut Magazine,
+    ) -> usize {
         debug_assert!(eras.windows(2).all(|w| w[0] <= w[1]));
-        let freed = self.sweep_prefix(usize::MAX, |r| {
-            let below = eras.partition_point(|&e| e < r.birth_era());
-            let covered = eras.partition_point(|&e| e <= r.retire_era());
-            below == covered
-        });
+        let freed = self.sweep_prefix(
+            usize::MAX,
+            |r| {
+                let below = eras.partition_point(|&e| e < r.birth_era());
+                let covered = eras.partition_point(|&e| e <= r.retire_era());
+                below == covered
+            },
+            mag,
+        );
         stats.frees += freed as u64;
         freed
     }
@@ -220,15 +263,20 @@ impl LimboBag {
         lowers: &[u64],
         uppers: &[u64],
         stats: &mut ThreadStats,
+        mag: &mut Magazine,
     ) -> usize {
         debug_assert_eq!(lowers.len(), uppers.len());
         debug_assert!(lowers.windows(2).all(|w| w[0] <= w[1]));
         debug_assert!(uppers.windows(2).all(|w| w[0] <= w[1]));
-        let freed = self.sweep_prefix(usize::MAX, |r| {
-            let starts_at_or_before = lowers.partition_point(|&lo| lo <= r.retire_era());
-            let ends_before = uppers.partition_point(|&up| up < r.birth_era());
-            starts_at_or_before == ends_before
-        });
+        let freed = self.sweep_prefix(
+            usize::MAX,
+            |r| {
+                let starts_at_or_before = lowers.partition_point(|&lo| lo <= r.retire_era());
+                let ends_before = uppers.partition_point(|&up| up < r.birth_era());
+                starts_at_or_before == ends_before
+            },
+            mag,
+        );
         stats.frees += freed as u64;
         freed
     }
@@ -239,8 +287,8 @@ impl LimboBag {
     ///
     /// # Safety
     /// No thread may still hold a reference to any record in the bag.
-    pub unsafe fn reclaim_all(&mut self, stats: &mut ThreadStats) -> usize {
-        self.reclaim_if(|_| true, stats)
+    pub unsafe fn reclaim_all(&mut self, stats: &mut ThreadStats, mag: &mut Magazine) -> usize {
+        self.reclaim_if(|_| true, stats, mag)
     }
 
     /// Removes and returns all records without freeing them (ownership moves
@@ -267,6 +315,7 @@ unsafe fn compact_segment(
     seg: &mut Vec<Retired>,
     limit: usize,
     decide: &mut impl FnMut(&Retired) -> bool,
+    mag: &mut Magazine,
 ) -> usize {
     let len = seg.len();
     debug_assert!(limit <= len);
@@ -276,7 +325,7 @@ unsafe fn compact_segment(
     for read in 0..len {
         let rec = ptr.add(read);
         if read < limit && decide(&*rec) {
-            core::ptr::read(rec).reclaim();
+            core::ptr::read(rec).reclaim_into(mag);
         } else {
             if write != read {
                 core::ptr::copy_nonoverlapping(rec, ptr.add(write), 1);
@@ -301,6 +350,7 @@ impl core::fmt::Debug for LimboBag {
 mod tests {
     use super::*;
     use crate::header::NodeHeader;
+    use crate::recycle::alloc_node_raw;
 
     struct N {
         header: NodeHeader,
@@ -310,10 +360,10 @@ mod tests {
     crate::impl_smr_node!(N);
 
     fn retire_one(k: u64, era: u64) -> Retired {
-        let raw = Box::into_raw(Box::new(N {
+        let raw = alloc_node_raw(N {
             header: NodeHeader::new(),
             k,
-        }));
+        });
         unsafe { Retired::new(raw, era) }
     }
 
@@ -324,7 +374,7 @@ mod tests {
         };
         use crate::header::SmrNode;
         node.header_mut().set_birth_era(birth);
-        let raw = Box::into_raw(Box::new(node));
+        let raw = alloc_node_raw(node);
         unsafe { Retired::new(raw, retire) }
     }
 
@@ -337,7 +387,8 @@ mod tests {
         }
         assert_eq!(bag.len(), 4);
         let mut stats = ThreadStats::default();
-        unsafe { bag.reclaim_all(&mut stats) };
+        let mut mag = Magazine::disabled();
+        unsafe { bag.reclaim_all(&mut stats, &mut mag) };
         assert_eq!(stats.frees, 4);
         assert!(bag.is_empty());
     }
@@ -353,15 +404,17 @@ mod tests {
         }
         let reserved = addrs[1];
         let mut stats = ThreadStats::default();
+        let mut mag = Magazine::disabled();
         // Bookmark at 4: only records 0..4 are candidates; record 1 is reserved.
-        let freed = unsafe { bag.reclaim_prefix_if(4, |r| r.address() != reserved, &mut stats) };
+        let freed =
+            unsafe { bag.reclaim_prefix_if(4, |r| r.address() != reserved, &mut stats, &mut mag) };
         assert_eq!(freed, 3);
         assert_eq!(bag.len(), 3); // reserved survivor + 2 past the bookmark
         assert_eq!(stats.frees, 3);
         // Survivors keep their order: reserved record first, then the suffix.
         let remaining: Vec<usize> = bag.iter().map(|r| r.address()).collect();
         assert_eq!(remaining, vec![addrs[1], addrs[4], addrs[5]]);
-        unsafe { bag.reclaim_all(&mut stats) };
+        unsafe { bag.reclaim_all(&mut stats, &mut mag) };
     }
 
     #[test]
@@ -371,10 +424,11 @@ mod tests {
             bag.push(retire_one(i, i));
         }
         let mut stats = ThreadStats::default();
-        let freed = unsafe { bag.reclaim_if(|r| r.retire_era() % 2 == 0, &mut stats) };
+        let mut mag = Magazine::disabled();
+        let freed = unsafe { bag.reclaim_if(|r| r.retire_era() % 2 == 0, &mut stats, &mut mag) };
         assert_eq!(freed, 5);
         assert_eq!(bag.len(), 5);
-        unsafe { bag.reclaim_all(&mut stats) };
+        unsafe { bag.reclaim_all(&mut stats, &mut mag) };
         assert_eq!(stats.frees, 10);
     }
 
@@ -410,10 +464,12 @@ mod tests {
         let seen: Vec<usize> = bag.iter().map(|r| r.address()).collect();
         assert_eq!(seen, addrs, "retire order must survive segmentation");
         let mut stats = ThreadStats::default();
+        let mut mag = Magazine::disabled();
         // Free every third record across segment boundaries; survivors stay
         // ordered.
         let victims: Vec<usize> = addrs.iter().copied().step_by(3).collect();
-        let freed = unsafe { bag.reclaim_if(|r| victims.contains(&r.address()), &mut stats) };
+        let freed =
+            unsafe { bag.reclaim_if(|r| victims.contains(&r.address()), &mut stats, &mut mag) };
         assert_eq!(freed, victims.len());
         let survivors: Vec<usize> = bag.iter().map(|r| r.address()).collect();
         let expect: Vec<usize> = addrs
@@ -424,7 +480,7 @@ mod tests {
             .map(|(_, a)| a)
             .collect();
         assert_eq!(survivors, expect);
-        unsafe { bag.reclaim_all(&mut stats) };
+        unsafe { bag.reclaim_all(&mut stats, &mut mag) };
         assert_eq!(stats.frees as usize, n);
     }
 
@@ -440,13 +496,14 @@ mod tests {
         let mut reserved = vec![addrs[2], addrs[5], addrs[7]];
         reserved.sort_unstable();
         let mut stats = ThreadStats::default();
+        let mut mag = Magazine::disabled();
         // Prefix of 6: records 0..6 except the reserved 2 and 5 are freed;
         // 6, 7 lie past the bookmark.
-        let freed = unsafe { bag.reclaim_prefix_unreserved(6, &reserved, &mut stats) };
+        let freed = unsafe { bag.reclaim_prefix_unreserved(6, &reserved, &mut stats, &mut mag) };
         assert_eq!(freed, 4);
         let survivors: Vec<usize> = bag.iter().map(|r| r.address()).collect();
         assert_eq!(survivors, vec![addrs[2], addrs[5], addrs[6], addrs[7]]);
-        unsafe { bag.reclaim_all(&mut stats) };
+        unsafe { bag.reclaim_all(&mut stats, &mut mag) };
     }
 
     #[test]
@@ -458,15 +515,16 @@ mod tests {
         }
         let eras = vec![4, 9]; // sorted announced eras
         let mut stats = ThreadStats::default();
+        let mut mag = Magazine::disabled();
         // Era 4 pins [2,4] and [3,8]; era 9 pins [9,10]. [0,1] and [5,5] free.
-        let freed = unsafe { bag.reclaim_outside_eras(&eras, &mut stats) };
+        let freed = unsafe { bag.reclaim_outside_eras(&eras, &mut stats, &mut mag) };
         assert_eq!(freed, 2);
         let remaining: Vec<(u64, u64)> = bag
             .iter()
             .map(|r| (r.birth_era(), r.retire_era()))
             .collect();
         assert_eq!(remaining, vec![(2, 4), (3, 8), (9, 10)]);
-        unsafe { bag.reclaim_all(&mut stats) };
+        unsafe { bag.reclaim_all(&mut stats, &mut mag) };
     }
 
     #[test]
@@ -480,15 +538,17 @@ mod tests {
         let lowers = vec![3, 9];
         let uppers = vec![5, 13];
         let mut stats = ThreadStats::default();
+        let mut mag = Magazine::disabled();
         // [3,5] overlaps [2,4] and [3,8]; [9,13] overlaps [12,14].
         // [0,1] and [6,7] are disjoint from both and must be freed.
-        let freed = unsafe { bag.reclaim_disjoint_intervals(&lowers, &uppers, &mut stats) };
+        let freed =
+            unsafe { bag.reclaim_disjoint_intervals(&lowers, &uppers, &mut stats, &mut mag) };
         assert_eq!(freed, 2);
         let remaining: Vec<(u64, u64)> = bag
             .iter()
             .map(|r| (r.birth_era(), r.retire_era()))
             .collect();
         assert_eq!(remaining, vec![(2, 4), (3, 8), (12, 14)]);
-        unsafe { bag.reclaim_all(&mut stats) };
+        unsafe { bag.reclaim_all(&mut stats, &mut mag) };
     }
 }

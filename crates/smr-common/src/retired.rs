@@ -1,24 +1,32 @@
 //! Type-erased retired records.
 //!
 //! When a data structure unlinks a node it calls [`Smr::retire`](crate::Smr::retire);
-//! the reclaimer wraps the node in a [`Retired`] — a type-erased deferred
-//! destructor plus the metadata reclaimers need (the record's address for
-//! hazard/reservation comparison, and its birth/retire eras for interval-based
-//! schemes) — and stashes it in a per-thread [`LimboBag`](crate::LimboBag)
-//! until it is proven *safe* (Section 3 of the paper: unlinked and referenced
-//! by no thread).
+//! the reclaimer wraps the node in a [`Retired`] — a type-erased
+//! destroy-and-recycle function plus the metadata reclaimers need (the
+//! record's address for hazard/reservation comparison, its birth/retire eras
+//! for interval-based schemes) — and
+//! stashes it in a per-thread [`LimboBag`](crate::LimboBag) until it is
+//! proven *safe* (Section 3 of the paper: unlinked and referenced by no
+//! thread).
 
 use crate::header::SmrNode;
+use crate::recycle::{node_layout, Magazine};
 
 /// A retired (unlinked, not yet reclaimed) record awaiting safe destruction.
 ///
 /// Dropping a `Retired` does **not** free the record (that would make it far
 /// too easy to cause a use-after-free by accident); records are only freed by
-/// the explicit, `unsafe` [`Retired::reclaim`]. A `Retired` that is never
-/// reclaimed is a memory leak, which is safe.
+/// the explicit, `unsafe` [`Retired::reclaim`] / [`Retired::reclaim_into`].
+/// A `Retired` that is never reclaimed is a memory leak, which is safe.
 pub struct Retired {
     ptr: *mut u8,
-    drop_fn: unsafe fn(*mut u8),
+    /// Type-erased destructor-and-free: runs `drop_in_place`, then returns
+    /// the block to the given magazine (or the global allocator when `None`).
+    /// The node-heap-ABI layout is *not* stored per record — it is a pure
+    /// function of the erased type, so the monomorphized [`destroy_erased`]
+    /// recomputes it for free and `Retired` stays at 32 bytes (limbo bags
+    /// hold up to a HiWatermark of these, and the sweep copies survivors).
+    destroy_fn: unsafe fn(*mut u8, Option<&mut Magazine>),
     birth_era: u64,
     retire_era: u64,
 }
@@ -27,23 +35,29 @@ pub struct Retired {
 // underlying node type is required to be `Send` by `SmrNode`.
 unsafe impl Send for Retired {}
 
-unsafe fn drop_boxed<T>(ptr: *mut u8) {
-    drop(Box::from_raw(ptr.cast::<T>()));
+unsafe fn destroy_erased<T: SmrNode>(ptr: *mut u8, mag: Option<&mut Magazine>) {
+    core::ptr::drop_in_place(ptr.cast::<T>());
+    match mag {
+        Some(mag) => mag.release(ptr, node_layout::<T>()),
+        None => std::alloc::dealloc(ptr, node_layout::<T>()),
+    }
 }
 
 impl Retired {
     /// Wraps an unlinked node for deferred destruction.
     ///
     /// # Safety
-    /// `ptr` must point to a valid, heap-allocated (`Box`) node of type `T`
-    /// that has been unlinked from the data structure and will not be retired
-    /// again (single-retire rule, Lemma 10 of the paper).
+    /// `ptr` must point to a valid node of type `T` allocated with the
+    /// node-heap ABI ([`Smr::alloc`](crate::Smr::alloc) or
+    /// [`recycle::alloc_node_raw`](crate::recycle::alloc_node_raw)) that has
+    /// been unlinked from the data structure and will not be retired again
+    /// (single-retire rule, Lemma 10 of the paper).
     pub unsafe fn new<T: SmrNode>(ptr: *mut T, retire_era: u64) -> Self {
         debug_assert!(!ptr.is_null());
         let birth_era = (*ptr).header().birth_era();
         Self {
             ptr: ptr.cast(),
-            drop_fn: drop_boxed::<T>,
+            destroy_fn: destroy_erased::<T>,
             birth_era,
             retire_era,
         }
@@ -68,7 +82,7 @@ impl Retired {
         self.retire_era
     }
 
-    /// Destroys the record, returning its memory to the allocator.
+    /// Destroys the record, returning its memory to the global allocator.
     ///
     /// # Safety
     /// The caller must have established that the record is *safe*: it is
@@ -76,7 +90,18 @@ impl Retired {
     /// precisely what each SMR algorithm's scan establishes).
     #[inline]
     pub unsafe fn reclaim(self) {
-        (self.drop_fn)(self.ptr);
+        (self.destroy_fn)(self.ptr, None);
+    }
+
+    /// Destroys the record and hands its block to `mag` for recycling (which
+    /// falls back to the global allocator when recycling is disabled or the
+    /// block's layout is not pooled).
+    ///
+    /// # Safety
+    /// Same contract as [`Retired::reclaim`].
+    #[inline]
+    pub unsafe fn reclaim_into(self, mag: &mut Magazine) {
+        (self.destroy_fn)(self.ptr, Some(mag));
     }
 }
 
@@ -94,6 +119,7 @@ impl core::fmt::Debug for Retired {
 mod tests {
     use super::*;
     use crate::header::NodeHeader;
+    use crate::recycle::{alloc_node_raw, free_node_raw};
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
@@ -119,7 +145,7 @@ mod tests {
             _payload: Arc::clone(&payload),
         };
         node.header_mut().set_birth_era(3);
-        let raw = Box::into_raw(Box::new(node));
+        let raw = alloc_node_raw(node);
         let retired = unsafe { Retired::new(raw, 9) };
         assert_eq!(retired.address(), raw as usize);
         assert_eq!(retired.birth_era(), 3);
@@ -137,12 +163,38 @@ mod tests {
             header: NodeHeader::new(),
             _payload: Arc::new(()),
         };
-        let raw = Box::into_raw(Box::new(node));
+        let raw = alloc_node_raw(node);
         let retired = unsafe { Retired::new(raw, 0) };
         let _ = retired;
         assert_eq!(DROPS.load(Ordering::SeqCst), 0, "drop must not reclaim");
         // Clean up manually so the test itself does not leak.
-        unsafe { drop(Box::from_raw(raw)) };
+        unsafe { free_node_raw(raw) };
         assert_eq!(DROPS.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn reclaim_into_recycles_the_block() {
+        use crate::recycle::BlockPool;
+        use crate::smr::SmrConfig;
+        DROPS.store(0, Ordering::SeqCst);
+        let config = SmrConfig::for_tests();
+        let pool = BlockPool::from_config(&config);
+        let mut mag = Magazine::from_config(&pool, &config);
+        let raw = alloc_node_raw(Probe {
+            header: NodeHeader::new(),
+            _payload: Arc::new(()),
+        });
+        let addr = raw as usize;
+        let retired = unsafe { Retired::new(raw, 0) };
+        unsafe { retired.reclaim_into(&mut mag) };
+        assert_eq!(DROPS.load(Ordering::SeqCst), 1, "dtor runs before pooling");
+        assert_eq!(mag.recycled(), 1);
+        // The very next allocation of the same class reuses the block.
+        let p = mag.alloc_node(Probe {
+            header: NodeHeader::new(),
+            _payload: Arc::new(()),
+        });
+        assert_eq!(p as usize, addr);
+        unsafe { free_node_raw(p) };
     }
 }

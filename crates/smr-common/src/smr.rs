@@ -18,6 +18,7 @@
 
 use crate::atomic::{Atomic, Shared};
 use crate::header::SmrNode;
+use crate::recycle::{self, Magazine};
 use crate::stats::ThreadStats;
 use std::sync::atomic::Ordering;
 
@@ -59,6 +60,16 @@ pub struct SmrConfig {
     /// HiWatermark (see [`ScanPolicy`](crate::ScanPolicy)). 0 disables the
     /// heartbeat (restoring the paper's fixed-watermark behaviour).
     pub scan_heartbeat_ops: usize,
+    /// Recycle reclaimed node blocks through the thread-local magazines +
+    /// shared depot of [`recycle`](crate::recycle) instead of returning them
+    /// to the global allocator (`--no-recycle` in the bench bins turns this
+    /// off for A/B comparisons).
+    pub recycle: bool,
+    /// Maximum free blocks a thread's magazine holds per size class before
+    /// spilling half to the shared depot (which itself holds up to
+    /// `magazine_cap × max_threads + 2 × hi_watermark` blocks per class —
+    /// steady-state circulation plus one full reclamation burst).
+    pub magazine_cap: usize,
 }
 
 impl Default for SmrConfig {
@@ -74,6 +85,8 @@ impl Default for SmrConfig {
             ack_spin_limit: 4096,
             signal_cost_ns: 0,
             scan_heartbeat_ops: 1024,
+            recycle: true,
+            magazine_cap: 128,
         }
     }
 }
@@ -93,6 +106,8 @@ impl SmrConfig {
             ack_spin_limit: 1 << 14,
             signal_cost_ns: 0,
             scan_heartbeat_ops: 64,
+            recycle: true,
+            magazine_cap: 8,
         }
     }
 
@@ -129,6 +144,20 @@ impl SmrConfig {
         self
     }
 
+    /// Builder-style setter for [`SmrConfig::recycle`] (false bypasses the
+    /// block pool entirely, restoring plain global-allocator behaviour).
+    pub fn with_recycle(mut self, recycle: bool) -> Self {
+        self.recycle = recycle;
+        self
+    }
+
+    /// Builder-style setter for [`SmrConfig::magazine_cap`].
+    pub fn with_magazine_cap(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "magazine capacity must be positive");
+        self.magazine_cap = cap;
+        self
+    }
+
     /// Builder-style setter for the EBR/IBR frequencies.
     pub fn with_epoch_freqs(mut self, epoch_freq: usize, empty_freq: usize) -> Self {
         self.epoch_freq = epoch_freq.max(1);
@@ -139,6 +168,7 @@ impl SmrConfig {
     /// Validates internal consistency (used by constructors).
     pub fn validate(&self) {
         assert!(self.max_threads > 0);
+        assert!(self.magazine_cap > 0, "magazine capacity must be positive");
         assert!(self.lo_watermark <= self.hi_watermark);
         assert!(
             self.max_reservations * self.max_threads
@@ -319,24 +349,45 @@ pub trait Smr: Send + Sync + Sized + 'static {
         0
     }
 
+    /// The thread's node-block recycling [`Magazine`], if this reclaimer
+    /// carries one in its context (all workspace reclaimers do). `None`
+    /// routes every allocation and free through the global allocator.
+    #[inline]
+    fn magazine_mut<'a>(&self, _ctx: &'a mut Self::ThreadCtx) -> Option<&'a mut Magazine> {
+        None
+    }
+
     /// Allocates a node, stamping its birth era for interval-based schemes.
+    ///
+    /// When recycling is enabled the block is popped from the thread's
+    /// magazine if possible; the fresh birth-era stamp written here before
+    /// publication is what keeps address reuse ABA-safe for the
+    /// interval-based schemes (see `recycle`, "Recycling is downstream of
+    /// safety").
     fn alloc<T: SmrNode>(&self, ctx: &mut Self::ThreadCtx, mut value: T) -> Shared<T> {
         value.header_mut().set_birth_era(self.global_era());
-        let shared = Shared::from_raw(Box::into_raw(Box::new(value)));
+        let raw = match self.magazine_mut(ctx) {
+            Some(mag) => mag.alloc_node(value),
+            None => recycle::alloc_node_raw(value),
+        };
         self.thread_stats_mut(ctx).allocs += 1;
-        shared
+        Shared::from_raw(raw)
     }
 
     /// Frees a node that was allocated with [`Smr::alloc`] but never published
     /// (e.g. an insert that lost its CAS). Immediate destruction is safe
-    /// because no other thread ever saw the pointer.
+    /// because no other thread ever saw the pointer, and the block can be
+    /// recycled immediately for the same reason.
     ///
     /// # Safety
     /// `ptr` must come from [`Smr::alloc`] on this reclaimer and must never
     /// have been made reachable from the data structure.
     unsafe fn dealloc_unpublished<T: SmrNode>(&self, ctx: &mut Self::ThreadCtx, ptr: Shared<T>) {
         debug_assert!(!ptr.is_null());
-        drop(Box::from_raw(ptr.as_raw()));
+        match self.magazine_mut(ctx) {
+            Some(mag) => mag.free_node(ptr.as_raw()),
+            None => recycle::free_node_raw(ptr.as_raw()),
+        }
         self.thread_stats_mut(ctx).allocs = self.thread_stats_mut(ctx).allocs.saturating_sub(1);
     }
 
@@ -344,8 +395,9 @@ pub trait Smr: Send + Sync + Sized + 'static {
     ///
     /// # Safety
     /// `ptr` must be unlinked (unreachable from every root), must have been
-    /// allocated via [`Smr::alloc`] (or `Box`), and must be retired exactly
-    /// once across all threads.
+    /// allocated via [`Smr::alloc`] (or
+    /// [`recycle::alloc_node_raw`](crate::recycle::alloc_node_raw) — the
+    /// node-heap ABI), and must be retired exactly once across all threads.
     unsafe fn retire<T: SmrNode>(&self, ctx: &mut Self::ThreadCtx, ptr: Shared<T>);
 
     /// Attempts to reclaim whatever is provably safe right now (used at

@@ -42,6 +42,14 @@ pub struct ThreadStats {
     pub peak_limbo: u64,
     /// Epoch/era advances performed by this thread.
     pub epoch_advances: u64,
+    /// Allocations served from a recycled block (magazine or depot) instead
+    /// of the global allocator.
+    pub pool_hits: u64,
+    /// Pool-eligible allocations that fell through to the global allocator
+    /// (cold pool / burst larger than the cached blocks).
+    pub pool_misses: u64,
+    /// Reclaimed blocks accepted back into the pool for reuse.
+    pub pool_recycled: u64,
 }
 
 impl ThreadStats {
@@ -72,6 +80,9 @@ impl AddAssign for ThreadStats {
         self.protect_failures += rhs.protect_failures;
         self.peak_limbo = self.peak_limbo.max(rhs.peak_limbo);
         self.epoch_advances += rhs.epoch_advances;
+        self.pool_hits += rhs.pool_hits;
+        self.pool_misses += rhs.pool_misses;
+        self.pool_recycled += rhs.pool_recycled;
     }
 }
 

@@ -124,9 +124,9 @@ mod tests {
         assert!(pool.is_empty());
         let raws: Vec<_> = (0..3)
             .map(|_| {
-                Box::into_raw(Box::new(N {
+                crate::recycle::alloc_node_raw(N {
                     header: NodeHeader::new(),
-                }))
+                })
             })
             .collect();
         let retired = raws

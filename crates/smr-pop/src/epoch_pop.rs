@@ -37,10 +37,11 @@
 //! damage to `K` records per thread).
 
 use smr_common::{
-    CachePadded, EraClock, LimboBag, OrphanPool, PingChannel, PingOutcome, Registry, Retired,
-    ScanPolicy, ScanState, Shared, Smr, SmrConfig, SmrNode, ThreadStats,
+    BlockPool, CachePadded, EraClock, LimboBag, Magazine, OrphanPool, PingChannel, PingOutcome,
+    Registry, Retired, ScanPolicy, ScanState, Shared, Smr, SmrConfig, SmrNode, ThreadStats,
 };
 use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Published-slot value meaning "not inside an operation".
 const IDLE: u64 = u64::MAX;
@@ -69,6 +70,7 @@ pub struct EpochPopCtx {
     /// ping handshake per retire would be a scan storm; at least
     /// `empty_freq` retires must separate two retire-triggered scans.
     retires_since_scan: usize,
+    mag: Magazine,
     stats: ThreadStats,
 }
 
@@ -80,6 +82,7 @@ pub struct EpochPop {
     era: EraClock,
     ping: PingChannel,
     slots: Vec<CachePadded<EpochSlot>>,
+    pool: Arc<BlockPool>,
     orphans: OrphanPool,
 }
 
@@ -167,8 +170,12 @@ impl EpochPop {
                 // unlink of the swept prefix, and cannot reach the records
                 // regardless of era (see DESIGN.md).
                 let freed = unsafe {
-                    ctx.limbo
-                        .reclaim_prefix_if(tail, |r| r.retire_era() < min, &mut ctx.stats)
+                    ctx.limbo.reclaim_prefix_if(
+                        tail,
+                        |r| r.retire_era() < min,
+                        &mut ctx.stats,
+                        &mut ctx.mag,
+                    )
                 };
                 if freed == 0 && before > 0 {
                     ctx.stats.reclaim_skips += 1;
@@ -198,6 +205,7 @@ impl Smr for EpochPop {
             era: EraClock::new(),
             ping: PingChannel::new(config.max_threads, config.signal_cost_ns),
             slots,
+            pool: BlockPool::from_config(&config),
             orphans: OrphanPool::new(),
             config,
         }
@@ -218,6 +226,7 @@ impl Smr for EpochPop {
             scan: ScanState::new(),
             retires_since_advance: 0,
             retires_since_scan: 0,
+            mag: Magazine::from_config(&self.pool, &self.config),
             stats: ThreadStats::default(),
         }
     }
@@ -229,7 +238,13 @@ impl Smr for EpochPop {
         // orphaned and destroyed when the reclaimer drops.
         self.reclaim_with_pings(ctx);
         self.orphans.adopt(ctx.limbo.drain());
+        ctx.mag.flush();
         self.registry.deregister(ctx.tid);
+    }
+
+    #[inline]
+    fn magazine_mut<'a>(&self, ctx: &'a mut EpochPopCtx) -> Option<&'a mut Magazine> {
+        Some(&mut ctx.mag)
     }
 
     #[inline]
@@ -290,7 +305,7 @@ impl Smr for EpochPop {
     }
 
     fn thread_stats(&self, ctx: &EpochPopCtx) -> ThreadStats {
-        ctx.stats
+        ctx.mag.fold_stats(ctx.stats)
     }
 
     fn thread_stats_mut<'a>(&self, ctx: &'a mut EpochPopCtx) -> &'a mut ThreadStats {

@@ -38,10 +38,11 @@
 //! slots, not an epoch's worth of garbage.
 
 use smr_common::{
-    Atomic, CachePadded, LimboBag, OrphanPool, PingChannel, PingOutcome, Registry, Retired,
-    ScanPolicy, ScanState, Shared, Smr, SmrConfig, SmrNode, ThreadStats,
+    Atomic, BlockPool, CachePadded, LimboBag, Magazine, OrphanPool, PingChannel, PingOutcome,
+    Registry, Retired, ScanPolicy, ScanState, Shared, Smr, SmrConfig, SmrNode, ThreadStats,
 };
 use std::sync::atomic::{fence, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 struct PublishedSlots {
     /// The owner's hazard reservations as of its last acknowledged ping.
@@ -65,6 +66,7 @@ pub struct HpPopCtx {
     /// (e.g. every scan times out against a silent thread): at least
     /// `empty_freq` retires must separate two retire-triggered scans.
     retires_since_scan: usize,
+    mag: Magazine,
     stats: ThreadStats,
 }
 
@@ -75,6 +77,7 @@ pub struct HpPop {
     registry: Registry,
     ping: PingChannel,
     published: Vec<CachePadded<PublishedSlots>>,
+    pool: Arc<BlockPool>,
     orphans: OrphanPool,
 }
 
@@ -174,8 +177,12 @@ impl HpPop {
                 // already updated), so the pointer sat in its private slots
                 // at publish time and appears in `protected`.
                 let freed = unsafe {
-                    ctx.limbo
-                        .reclaim_prefix_unreserved(tail, &ctx.protected, &mut ctx.stats)
+                    ctx.limbo.reclaim_prefix_unreserved(
+                        tail,
+                        &ctx.protected,
+                        &mut ctx.stats,
+                        &mut ctx.mag,
+                    )
                 };
                 if freed == 0 && before > 0 {
                     ctx.stats.reclaim_skips += 1;
@@ -213,6 +220,7 @@ impl Smr for HpPop {
             policy: ScanPolicy::from_config(&config),
             ping: PingChannel::new(config.max_threads, config.signal_cost_ns),
             published,
+            pool: BlockPool::from_config(&config),
             orphans: OrphanPool::new(),
             config,
         }
@@ -235,6 +243,7 @@ impl Smr for HpPop {
             scan: ScanState::new(),
             protected: Vec::with_capacity(self.config.hazards_per_thread * self.config.max_threads),
             retires_since_scan: 0,
+            mag: Magazine::from_config(&self.pool, &self.config),
             stats: ThreadStats::default(),
         }
     }
@@ -245,7 +254,13 @@ impl Smr for HpPop {
         // Last chance to free what is already safe; the rest is orphaned.
         self.reclaim_with_pings(ctx);
         self.orphans.adopt(ctx.limbo.drain());
+        ctx.mag.flush();
         self.registry.deregister(ctx.tid);
+    }
+
+    #[inline]
+    fn magazine_mut<'a>(&self, ctx: &'a mut HpPopCtx) -> Option<&'a mut Magazine> {
+        Some(&mut ctx.mag)
     }
 
     /// The Publish-on-Ping fast path: an `Acquire` load plus a plain store
@@ -323,7 +338,7 @@ impl Smr for HpPop {
     }
 
     fn thread_stats(&self, ctx: &HpPopCtx) -> ThreadStats {
-        ctx.stats
+        ctx.mag.fold_stats(ctx.stats)
     }
 
     fn thread_stats_mut<'a>(&self, ctx: &'a mut HpPopCtx) -> &'a mut ThreadStats {

@@ -1,0 +1,177 @@
+//! Recycling safety: address reuse is the ABA case the birth-era header
+//! exists for.
+//!
+//! A block enters the pool only after the owning scheme's scan proved the
+//! old record unreserved, so no thread holds a *protected* pointer to the
+//! address when it is re-issued. What recycling must preserve is the
+//! interval-based schemes' story about the *new* incarnation: the reused
+//! block's `NodeHeader` birth era must be re-stamped with the current global
+//! era by `Smr::alloc` before publication. These tests force an address to
+//! be recycled under HE and IBR and assert (a) the re-stamp happened and
+//! (b) a reader protecting the new incarnation pins it across scans exactly
+//! like a fresh allocation.
+
+use smr_baselines::{HazardEras, Ibr};
+use smr_common::{Atomic, NodeHeader, Shared, Smr, SmrConfig, SmrNode};
+use smr_harness::families::HarrisListFamily;
+use smr_harness::{run_with, SmrKind, StopCondition, WorkloadMix, WorkloadSpec};
+use std::sync::atomic::Ordering;
+
+struct Node {
+    header: NodeHeader,
+    key: u64,
+}
+smr_common::impl_smr_node!(Node);
+
+fn node(key: u64) -> Node {
+    Node {
+        header: NodeHeader::new(),
+        key,
+    }
+}
+
+/// Allocate → retire → flush until `Smr::alloc` hands an address back out
+/// again, then return that (recycled) allocation.
+fn force_reuse<S: Smr>(smr: &S, ctx: &mut S::ThreadCtx, mk: impl Fn(u64) -> Node) -> Shared<Node> {
+    let first = smr.alloc(ctx, mk(1));
+    let addr = first.untagged_usize();
+    // SAFETY: never published; retire-as-unlinked is the single-owner case.
+    unsafe { smr.retire(ctx, first) };
+    smr.flush(ctx);
+    for round in 0..1_000u64 {
+        let p = smr.alloc(ctx, mk(100 + round));
+        if p.untagged_usize() == addr {
+            return p;
+        }
+        unsafe { smr.retire(ctx, p) };
+        smr.flush(ctx);
+    }
+    panic!("block was never recycled — is the pool enabled?");
+}
+
+#[test]
+fn hazard_eras_restamps_birth_era_on_reuse() {
+    let smr = HazardEras::new(SmrConfig::for_tests().with_epoch_freqs(1, 4));
+    let mut ctx = smr.register(0);
+    // Churn so the era has advanced well past the first allocation's birth.
+    for i in 0..64 {
+        let p = smr.alloc(&mut ctx, node(i));
+        unsafe { smr.retire(&mut ctx, p) };
+    }
+    smr.flush(&mut ctx);
+    let era_before = smr.global_era();
+    let reused = force_reuse(&smr, &mut ctx, node);
+    let stamped = unsafe { reused.deref().header().birth_era() };
+    assert!(
+        stamped >= era_before,
+        "recycled block must carry a fresh birth era (got {stamped}, era was {era_before}) — \
+         a stale era would misdate the new incarnation's lifetime"
+    );
+    unsafe { smr.retire(&mut ctx, reused) };
+    smr.unregister(&mut ctx);
+}
+
+#[test]
+fn ibr_restamps_birth_era_on_reuse() {
+    let smr = Ibr::new(SmrConfig::for_tests().with_epoch_freqs(1, 4));
+    let mut ctx = smr.register(0);
+    for i in 0..64 {
+        smr.begin_op(&mut ctx);
+        let p = smr.alloc(&mut ctx, node(i));
+        unsafe { smr.retire(&mut ctx, p) };
+        smr.end_op(&mut ctx);
+    }
+    smr.flush(&mut ctx);
+    let era_before = smr.global_era();
+    let reused = force_reuse(&smr, &mut ctx, node);
+    let stamped = unsafe { reused.deref().header().birth_era() };
+    assert!(stamped >= era_before, "got {stamped}, era was {era_before}");
+    unsafe { smr.retire(&mut ctx, reused) };
+    smr.unregister(&mut ctx);
+}
+
+/// The end-to-end regression: a *recycled* record protected by a reader must
+/// survive the owner's scans exactly like a fresh one — the re-stamped birth
+/// era puts the reader's announced era inside the record's lifetime.
+#[test]
+fn hazard_eras_does_not_free_protected_recycled_record_early() {
+    let smr = HazardEras::new(SmrConfig::for_tests().with_epoch_freqs(1, 4));
+    let mut owner = smr.register(0);
+    let mut reader = smr.register(1);
+
+    let reused = force_reuse(&smr, &mut owner, node);
+    let reused_addr = reused.untagged_usize();
+    let reused_key = unsafe { reused.deref().key };
+    let shared = Atomic::<Node>::null();
+    shared.store(reused, Ordering::Release);
+
+    // Reader announces an era covering the recycled record's (new) lifetime.
+    let p = smr.protect(&mut reader, 0, &shared);
+    assert_eq!(p.untagged_usize(), reused_addr);
+    assert_eq!(unsafe { p.deref().key }, reused_key);
+
+    // Owner unlinks + retires the recycled record and churns hard.
+    let old = shared.swap(Shared::null(), Ordering::AcqRel);
+    unsafe { smr.retire(&mut owner, old) };
+    for i in 0..200 {
+        let f = smr.alloc(&mut owner, node(i));
+        unsafe { smr.retire(&mut owner, f) };
+    }
+    smr.flush(&mut owner);
+
+    // Still protected: the recycled record must not have been freed (a free
+    // would recycle the block and the key would be overwritten by the churn
+    // allocations above — or ASAN would flag the read).
+    assert_eq!(unsafe { p.deref().key }, reused_key);
+    assert!(
+        smr.limbo_len(&owner) >= 1,
+        "protected record must stay in limbo"
+    );
+
+    smr.clear_protections(&mut reader);
+    smr.flush(&mut owner);
+    assert_eq!(smr.limbo_len(&owner), 0, "released record must be freed");
+
+    smr.unregister(&mut reader);
+    smr.unregister(&mut owner);
+}
+
+/// `--no-recycle` reproduces the pre-pool behaviour: a full driver trial runs
+/// green with the pool bypassed and reports zero pool traffic, while the same
+/// trial with recycling reports the pool doing the work.
+#[test]
+fn no_recycle_bypasses_the_pool_end_to_end() {
+    let spec = WorkloadSpec::new(
+        WorkloadMix::UPDATE_HEAVY,
+        128,
+        2,
+        StopCondition::TotalOps(20_000),
+    )
+    .with_prefill(64);
+    let base = SmrConfig::default()
+        .with_max_threads(8)
+        .with_watermarks(128, 32);
+
+    for &kind in &[SmrKind::NbrPlus, SmrKind::Debra, SmrKind::He] {
+        let off = run_with::<HarrisListFamily>(kind, &spec, base.clone().with_recycle(false));
+        assert_eq!(
+            off.smr_totals.pool_hits, 0,
+            "{kind:?}: bypass must not pool"
+        );
+        assert_eq!(off.smr_totals.pool_recycled, 0);
+        assert!(
+            off.smr_totals.frees > 0,
+            "{kind:?}: bypass must still reclaim"
+        );
+
+        let on = run_with::<HarrisListFamily>(kind, &spec, base.clone());
+        assert!(
+            on.smr_totals.pool_recycled > 0,
+            "{kind:?}: recycling run must return blocks to the pool"
+        );
+        assert!(
+            on.smr_totals.pool_hits > 0,
+            "{kind:?}: recycling run must serve allocations from the pool"
+        );
+    }
+}

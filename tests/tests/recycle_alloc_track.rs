@@ -1,0 +1,96 @@
+//! Recycling end-to-end: the node-block pool must take the global allocator
+//! off the steady-state hot path.
+//!
+//! This binary installs the counting global allocator and runs the same
+//! single-threaded 50i-50d churn twice over a Harris list — once with the
+//! recycling pool, once with `--no-recycle` semantics — and asserts that with
+//! recycling the number of *global-allocator* calls during the measured
+//! window collapses to the warm-up residue (limbo segment buffers, one-off
+//! scratch growth), while the bypass run pays roughly one allocation per
+//! successful insert.
+//!
+//! Kept alone in its own test binary: the allocator counters are
+//! process-global, so a concurrently running test would pollute the deltas.
+
+use conc_ds::{ConcurrentSet, HarrisList};
+use nbr::NbrPlus;
+use smr_common::{Smr, SmrConfig};
+use smr_harness::alloc_track::{self, CountingAlloc};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const WARM_OPS: u64 = 4_000;
+const MEASURED_OPS: u64 = 20_000;
+const KEY_RANGE: u64 = 128;
+
+/// Alternating insert/remove churn over a rolling key window: every pair of
+/// operations allocates one node and retires one node at steady state.
+fn churn(list: &HarrisList<NbrPlus>, ctx: &mut <NbrPlus as Smr>::ThreadCtx, ops: u64) {
+    for i in 0..ops {
+        let key = 1 + (i / 2) % KEY_RANGE;
+        if i % 2 == 0 {
+            list.insert(ctx, key);
+        } else {
+            list.remove(ctx, key);
+        }
+    }
+}
+
+/// Runs the workload and returns (global allocations during the measured
+/// window, merged thread stats).
+fn measure(recycle: bool) -> (u64, smr_common::ThreadStats) {
+    let config = SmrConfig::for_tests()
+        .with_max_threads(4)
+        .with_recycle(recycle);
+    let list = HarrisList::<NbrPlus>::new(config);
+    let mut ctx = list.smr().register(0);
+    churn(&list, &mut ctx, WARM_OPS);
+    let before = alloc_track::total_allocs();
+    churn(&list, &mut ctx, MEASURED_OPS);
+    let during = alloc_track::total_allocs() - before;
+    let stats = list.smr().thread_stats(&ctx);
+    list.smr().unregister(&mut ctx);
+    (during, stats)
+}
+
+#[test]
+fn steady_state_bounds_global_allocator_calls() {
+    assert!(alloc_track::is_installed());
+
+    let (allocs_pooled, stats_pooled) = measure(true);
+    let (allocs_bypassed, stats_bypassed) = measure(false);
+
+    // Sanity of the workload: the bypass run pays the allocator roughly once
+    // per successful insert (~MEASURED_OPS / 2).
+    assert!(
+        allocs_bypassed as f64 > MEASURED_OPS as f64 / 4.0,
+        "bypass run must hit the global allocator per insert, saw {allocs_bypassed}"
+    );
+    assert_eq!(stats_bypassed.pool_hits, 0, "--no-recycle must not pool");
+    assert_eq!(
+        stats_bypassed.pool_recycled, 0,
+        "--no-recycle must not pool"
+    );
+
+    // The recycling run must be bounded by the warm-up residue: once the
+    // pool is primed, nodes cycle magazine → structure → limbo → magazine
+    // without touching the global allocator.
+    assert!(
+        allocs_pooled < MEASURED_OPS / 20,
+        "recycling must bound global allocations to the residue, saw {allocs_pooled} in {MEASURED_OPS} ops"
+    );
+    assert!(
+        allocs_pooled * 8 < allocs_bypassed,
+        "recycling ({allocs_pooled}) must beat the bypass ({allocs_bypassed}) by far"
+    );
+
+    // And the pool counters must explain where the allocations went.
+    assert!(
+        stats_pooled.pool_hits > stats_pooled.pool_misses,
+        "steady state must be dominated by pool hits: {} hits vs {} misses",
+        stats_pooled.pool_hits,
+        stats_pooled.pool_misses
+    );
+    assert!(stats_pooled.pool_recycled > 0);
+}
