@@ -10,9 +10,14 @@ use smr_harness::report;
 
 fn main() {
     let mut scale = ExperimentScale::quick();
-    // Use the largest host thread count so piggybacking has someone to
-    // piggyback on.
-    scale.thread_counts = vec![*scale.thread_counts.last().unwrap_or(&2)];
+    // Oversubscribe to at least 4 worker threads regardless of the host's
+    // core count: at CI's 2-core scale NBR and NBR+ send nearly the same
+    // number of signals (a ~1.01x "reduction" that says nothing), because a
+    // reclaiming thread has only one peer to neutralize either way. With 4+
+    // threads every NBR reclamation pings n−1 peers while NBR+ piggybacks
+    // most rounds on relaxed grace periods, so the signal-count gap the
+    // ablation exists to show is measurable per push.
+    scale.thread_counts = vec![scale.thread_counts.last().copied().unwrap_or(2).max(4)];
     let results = ablation_signal_counts(&scale);
     println!(
         "{}",

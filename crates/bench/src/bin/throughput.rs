@@ -1,14 +1,16 @@
 //! `throughput` — the machine-readable perf-trajectory harness.
 //!
 //! Runs the read-mostly list matrix (scheme × structure × key range at the CI
-//! thread count) and writes one JSON document per invocation. The output is
+//! thread count) plus an update-heavy (50i-50d) Harris-list block — the cells
+//! where marked chains form and the batch unlink fires — and writes one JSON
+//! document per invocation. The output is
 //! committed as `BENCH_<pr>.json` at the repo root so every perf-oriented PR
 //! leaves a comparable record; pass `--baseline <prior.json>` to embed the
 //! prior run's numbers and per-cell speedups in the new document.
 //!
 //! ```text
 //! cargo run -p nbr-bench --release --bin throughput -- \
-//!     [--out BENCH_4.json] [--baseline old.json] [--trials 3] \
+//!     [--out BENCH_5.json] [--baseline old.json] [--trials 3] \
 //!     [--millis 300] [--threads N] [--tiny] [--label note] \
 //!     [--zipf theta] [--no-recycle]
 //! ```
@@ -69,7 +71,7 @@ fn default_threads() -> usize {
 
 fn parse_args() -> Args {
     let mut args = Args {
-        out: "BENCH_4.json".to_string(),
+        out: "BENCH_5.json".to_string(),
         baseline: None,
         trials: 3,
         millis: 300,
@@ -206,12 +208,13 @@ fn extract_num(line: &str, tag: &str) -> Option<f64> {
 
 fn run_once<F: smr_harness::DsFamily>(
     kind: SmrKind,
+    mix: WorkloadMix,
     key_range: u64,
     dist: KeyDist,
     args: &Args,
 ) -> TrialResult {
     let spec = WorkloadSpec::new(
-        WorkloadMix::READ_HEAVY,
+        mix,
         key_range,
         args.threads,
         StopCondition::Duration(Duration::from_millis(args.millis)),
@@ -246,11 +249,21 @@ fn main() {
         for &kind in schemes {
             runners.push((
                 dist,
-                Box::new(move |a: &Args| run_once::<HarrisListFamily>(kind, key_range, dist, a)),
+                Box::new(move |a: &Args| {
+                    run_once::<HarrisListFamily>(kind, WorkloadMix::READ_HEAVY, key_range, dist, a)
+                }),
             ));
             runners.push((
                 dist,
-                Box::new(move |a: &Args| run_once::<HmListRestartFamily>(kind, key_range, dist, a)),
+                Box::new(move |a: &Args| {
+                    run_once::<HmListRestartFamily>(
+                        kind,
+                        WorkloadMix::READ_HEAVY,
+                        key_range,
+                        dist,
+                        a,
+                    )
+                }),
             ));
         }
     };
@@ -261,6 +274,30 @@ fn main() {
         // Skewed-key block: the YCSB hot-spot distribution at the smallest
         // (most contended) key range, one row per scheme × structure.
         row_set(&mut runners, args.key_ranges[0], KeyDist::Zipf(0.99));
+    }
+    // Update-heavy (50i-50d) Harris-list block at the smallest key range:
+    // constant deletions are what grow marked chains, so these are the cells
+    // where the interval reclaimers' batch unlink (vs. the pre-PR-5
+    // one-node-at-a-time fallback) actually fires and the win is recorded in
+    // the trajectory. Cells carry the `50i-50d` mix in their key, so they
+    // never collide with the read-mostly matrix.
+    {
+        let key_range = args.key_ranges[0];
+        let dist = args.key_dist;
+        for &kind in schemes {
+            runners.push((
+                dist,
+                Box::new(move |a: &Args| {
+                    run_once::<HarrisListFamily>(
+                        kind,
+                        WorkloadMix::UPDATE_HEAVY,
+                        key_range,
+                        dist,
+                        a,
+                    )
+                }),
+            ));
+        }
     }
 
     let mut best: Vec<Option<(TrialResult, u64)>> = runners.iter().map(|_| None).collect();
@@ -311,7 +348,7 @@ fn main() {
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"harness\": \"throughput\",");
     let _ = writeln!(out, "  \"label\": \"{}\",", escape_json(&args.label));
-    let _ = writeln!(out, "  \"mix\": \"5i-5d\",");
+    let _ = writeln!(out, "  \"mix\": \"per-cell\",");
     let _ = writeln!(out, "  \"key_dist\": \"{}\",", args.key_dist.label());
     let _ = writeln!(out, "  \"zipf_block\": {},", args.zipf_block);
     let _ = writeln!(out, "  \"recycle\": {},", args.recycle);

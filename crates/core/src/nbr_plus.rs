@@ -50,6 +50,10 @@ pub struct NbrPlusCtx {
     scan_snapshot: Vec<u64>,
     /// Retires since the last announcement scan (amortization counter).
     lo_wm_scan_tick: u64,
+    /// True once the op-exit heartbeat has deferred its broadcast to an
+    /// in-flight peer RGP; bounds the deferral to one heartbeat window
+    /// (cleared by `clean_up`, i.e. whenever a reclamation lands).
+    heartbeat_deferred: bool,
 }
 
 impl NbrPlusCtx {
@@ -76,6 +80,7 @@ impl NbrPlus {
     fn clean_up(ctx: &mut NbrPlusCtx) {
         ctx.first_lo_wm_entry = true;
         ctx.lo_wm_scan_tick = 0;
+        ctx.heartbeat_deferred = false;
     }
 
     /// Free every unreserved record in the prefix `[0, up_to)` of the bag.
@@ -121,8 +126,32 @@ impl NbrPlus {
         }
     }
 
+    /// The piggyback core (ungated): if some *other* thread completed an RGP
+    /// since this thread's LoWatermark snapshot, free the bookmark prefix —
+    /// every record in it was retired before the snapshot, so the observed
+    /// RGP proves it unreachable (Lemma 9), no signals needed.
+    fn piggyback_if_rgp_elapsed(&self, ctx: &mut NbrPlusCtx) -> usize {
+        if ctx.first_lo_wm_entry {
+            return 0;
+        }
+        if self.core.rgp_elapsed_since(ctx.tid, &ctx.scan_snapshot) {
+            let bookmark = ctx.bookmark;
+            let freed = self.reclaim_freeable(ctx, bookmark);
+            ctx.stats.rgp_reclaims += 1;
+            // A piggyback is a reclamation event: restart the heartbeat
+            // window so the next op exit does not immediately re-fire and
+            // broadcast over the bag remainder.
+            ctx.scan.note_scan();
+            Self::clean_up(ctx);
+            freed
+        } else {
+            0
+        }
+    }
+
     /// LoWatermark path: bookmark, snapshot, and opportunistically reclaim if
-    /// some other thread completed an RGP since the snapshot.
+    /// some other thread completed an RGP since the snapshot (the
+    /// announcement scan is amortized over [`LO_WM_SCAN_PERIOD`] retires).
     fn try_reclaim_at_lo_watermark(&self, ctx: &mut NbrPlusCtx) -> usize {
         if ctx.first_lo_wm_entry {
             ctx.bookmark = ctx.limbo.len();
@@ -136,15 +165,7 @@ impl NbrPlus {
         if ctx.lo_wm_scan_tick % LO_WM_SCAN_PERIOD != 0 {
             return 0;
         }
-        if self.core.rgp_elapsed_since(ctx.tid, &ctx.scan_snapshot) {
-            let bookmark = ctx.bookmark;
-            let freed = self.reclaim_freeable(ctx, bookmark);
-            ctx.stats.rgp_reclaims += 1;
-            Self::clean_up(ctx);
-            freed
-        } else {
-            0
-        }
+        self.piggyback_if_rgp_elapsed(ctx)
     }
 }
 
@@ -183,6 +204,7 @@ impl Smr for NbrPlus {
             bookmark: 0,
             scan_snapshot: Vec::new(),
             lo_wm_scan_tick: 0,
+            heartbeat_deferred: false,
         }
     }
 
@@ -222,12 +244,45 @@ impl Smr for NbrPlus {
     #[inline]
     fn end_op(&self, ctx: &mut NbrPlusCtx) {
         self.core.quiesce(ctx.tid);
-        // Operation-exit heartbeat. Below the LoWatermark there is no
-        // bookmark to piggyback on, so the heartbeat induces its own RGP —
-        // amortized over `scan_heartbeat_ops` operations.
+        // Operation-exit heartbeat. Piggyback-aware: the heartbeat interval
+        // (1024 ops ≈ half a HiWatermark of retires on an update-heavy mix)
+        // is shorter than the natural Lo→Hi bag cycle, so a heartbeat that
+        // always broadcast would keep every bag below the HiWatermark and
+        // starve Algorithm 2's piggyback path outright — the group pays one
+        // full O(n²) round of signals per heartbeat interval and
+        // `rgp_reclaims` flatlines at zero (exactly what the `ablation_nbr`
+        // bench showed at CI scale). Riding a peer's completed RGP when one
+        // landed since our bookmark serves the heartbeat's purpose (return
+        // memory in short trials) without any signals; the broadcast is the
+        // fallback, and the retire-path HiWatermark scan remains the
+        // bounded-garbage backstop.
         if ctx.scan.tick_op(&self.policy, ctx.limbo.len()) {
             ctx.stats.heartbeat_scans += 1;
-            self.reclaim_at_hi_watermark(ctx);
+            if self.piggyback_if_rgp_elapsed(ctx) > 0 {
+                // Rode a peer's completed RGP — no signals.
+            } else if !ctx.heartbeat_deferred
+                && !ctx.first_lo_wm_entry
+                && self.policy.can_defer_broadcast(ctx.limbo.len())
+                && self.core.rgp_in_flight_since(ctx.tid, &ctx.scan_snapshot)
+            {
+                // A peer's grace period is mid-handshake (typically: we just
+                // acked its ping, its other peers have not yet). Broadcasting
+                // now would stack signals onto it *and* throw away our
+                // bookmark; ride the RGP when it lands instead (the gated
+                // LoWatermark check on the retire path, or the next
+                // heartbeat). Deferral is bounded to ONE heartbeat window —
+                // `rgp_in_flight_since` can stay true indefinitely on a
+                // stale odd-snapshot signal (the peer completed the RGP we
+                // cannot credit and went quiet), and a thread that stops
+                // retiring would otherwise hold its garbage forever.
+                // Restarting the window here also keeps the heartbeat from
+                // re-firing (and re-scanning the registry) on every
+                // subsequent op exit.
+                ctx.heartbeat_deferred = true;
+                ctx.scan.note_scan();
+            } else {
+                self.reclaim_at_hi_watermark(ctx);
+            }
         }
     }
 
@@ -238,7 +293,32 @@ impl Smr for NbrPlus {
         ctx.stats.observe_limbo(ctx.limbo.len());
         let len = ctx.limbo.len();
         if self.policy.scan_on_retire(len) {
-            self.reclaim_at_hi_watermark(ctx);
+            // Broadcast-stacking defence. When every thread retires at the
+            // same rate (a timed trial starts all bags empty on one
+            // barrier), the whole group crosses HiWatermark within a few
+            // retires of the leader — and the leader's handshake cannot
+            // complete until the followers ack at their next read-phase
+            // checkpoint, so each follower arrives here while the leader's
+            // RGP is still *in flight* and would stack `n−1` redundant
+            // signals onto the same grace period. Instead: ride a completed
+            // peer RGP if one landed since our bookmark (free the bookmark
+            // prefix, no signals — Algorithm 2's whole point), and if a
+            // peer's RGP has *begun* but not yet completed, defer our own
+            // broadcast for a bounded bag overshoot (`hi + lo`) — our ack
+            // at the next checkpoint is part of what completes it.
+            if self.piggyback_if_rgp_elapsed(ctx) > 0
+                && !self.policy.scan_on_retire(ctx.limbo.len())
+            {
+                // Rode a peer's completed RGP back below the mark.
+            } else if !ctx.first_lo_wm_entry
+                && self.policy.can_defer_broadcast(ctx.limbo.len())
+                && self.core.rgp_in_flight_since(ctx.tid, &ctx.scan_snapshot)
+            {
+                // A peer's grace period is mid-handshake; keep running so it
+                // can complete, then piggyback on it.
+            } else {
+                self.reclaim_at_hi_watermark(ctx);
+            }
         } else if self.policy.opportunistic_on_retire(len) {
             self.try_reclaim_at_lo_watermark(ctx);
         }
@@ -312,6 +392,66 @@ mod tests {
         );
         assert_eq!(after % 2, 0);
         smr.unregister(&mut ctx);
+    }
+
+    #[test]
+    fn hi_crossing_defers_broadcast_while_peer_rgp_in_flight() {
+        let smr = new_nbr_plus();
+        let cfg = smr.config().clone();
+        let mut waiter = smr.register(0);
+        let _peer = smr.register(1);
+
+        // Cross the LoWatermark so the bookmark + snapshot exist, catching
+        // the peer's timestamp even (quiet).
+        alloc_and_retire(&smr, &mut waiter, cfg.lo_watermark + 1);
+        // Peer goes mid-broadcast (odd timestamp) before the waiter reaches
+        // the HiWatermark.
+        smr.neutralization().announce_rgp_begin(1);
+        // The waiter crosses Hi: it must *defer* (ride-don't-stack) instead
+        // of broadcasting onto the peer's in-flight grace period.
+        alloc_and_retire(&smr, &mut waiter, cfg.hi_watermark - cfg.lo_watermark + 2);
+        let s = smr.thread_stats(&waiter);
+        assert_eq!(s.signals_sent, 0, "deferral must not broadcast");
+        assert_eq!(s.reclaim_scans, 0);
+        assert!(smr.limbo_len(&waiter) > cfg.hi_watermark);
+
+        // The peer's RGP completes — fully after the waiter's snapshot — so
+        // the very next retire piggybacks the bookmark prefix, signal-free.
+        smr.neutralization().announce_rgp_end(1);
+        alloc_and_retire(&smr, &mut waiter, 1);
+        let s = smr.thread_stats(&waiter);
+        assert_eq!(s.rgp_reclaims, 1, "completed peer RGP must be ridden");
+        assert_eq!(s.signals_sent, 0);
+        assert!(smr.limbo_len(&waiter) < cfg.hi_watermark);
+
+        smr.unregister(&mut waiter);
+    }
+
+    #[test]
+    fn heartbeat_piggybacks_instead_of_broadcasting() {
+        let smr = new_nbr_plus();
+        let cfg = smr.config().clone();
+        let mut waiter = smr.register(0);
+        let _peer = smr.register(1);
+
+        // Garbage past the LoWatermark (bookmark + snapshot taken), far
+        // below Hi.
+        alloc_and_retire(&smr, &mut waiter, cfg.lo_watermark + 2);
+        // A peer completes a full RGP after the snapshot.
+        smr.neutralization().announce_rgp_begin(1);
+        smr.neutralization().announce_rgp_end(1);
+        // Enough op exits to fire the heartbeat: it must ride the peer's
+        // RGP rather than induce one of its own.
+        for _ in 0..cfg.scan_heartbeat_ops + 1 {
+            smr.begin_op(&mut waiter);
+            smr.end_op(&mut waiter);
+        }
+        let s = smr.thread_stats(&waiter);
+        assert_eq!(s.rgp_reclaims, 1, "heartbeat must piggyback");
+        assert_eq!(s.signals_sent, 0, "no signals when a peer RGP landed");
+        assert!(s.frees >= cfg.lo_watermark as u64);
+
+        smr.unregister(&mut waiter);
     }
 
     #[test]

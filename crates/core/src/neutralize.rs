@@ -435,6 +435,27 @@ impl NeutralizationCore {
         false
     }
 
+    /// True if any *other* thread's announcement timestamp has advanced past
+    /// `snapshot` at all — a grace period has at least *begun* since the
+    /// snapshot (it may still be mid-handshake, i.e. not yet creditable by
+    /// [`NeutralizationCore::rgp_elapsed_since`]). NBR+ uses this at the
+    /// HiWatermark to defer its own broadcast instead of stacking `n−1`
+    /// redundant signals onto a grace period that is about to complete.
+    /// An aborted broadcast rolls its timestamp back, so a timed-out peer
+    /// stops registering here and the deferring thread falls through to its
+    /// own broadcast.
+    pub fn rgp_in_flight_since(&self, observer: usize, snapshot: &[u64]) -> bool {
+        for tid in self.registry.active_tids() {
+            if tid == observer || tid >= snapshot.len() {
+                continue;
+            }
+            if self.slot(tid).announce_ts() > snapshot[tid] {
+                return true;
+            }
+        }
+        false
+    }
+
     /// Current value of the global signal sequence (diagnostics/tests).
     pub fn signal_sequence(&self) -> u64 {
         self.ping.current_seq()

@@ -132,14 +132,20 @@ impl<S: Smr> HarrisList<S> {
                     continue 'search_again;
                 }
                 if t_next.tag() & MARK != 0 && !S::CAN_TRAVERSE_UNLINKED {
-                    // `t` is logically deleted. Validation-based reclaimers
-                    // (HP, HE) must not follow pointers out of records that may
-                    // already be unlinked, so instead of walking the marked
-                    // chain we unlink this single node from `left` (which is
-                    // its immediate predecessor here, since we never walk past
-                    // a marked node in this mode) and restart from the head —
-                    // i.e. the Harris-Michael behaviour Table 1 requires for
-                    // the HP family.
+                    // `t` is logically deleted. Address-validation reclaimers
+                    // (HP, HP-POP) must not follow pointers out of records
+                    // that may already be unlinked — the validating re-read
+                    // targets a *frozen* field, so it can never observe that
+                    // the pointee was retired and freed (DESIGN.md, "Why the
+                    // HP family keeps the Harris-Michael fallback"). Instead
+                    // of walking the marked chain we unlink this single node
+                    // from `left` (which is its immediate predecessor here,
+                    // since we never walk past a marked node in this mode)
+                    // and restart from the head — i.e. the Harris-Michael
+                    // behaviour Table 1 requires for the HP family. The
+                    // interval reclaimers (IBR, HE) take the batch-unlink
+                    // path below instead: their contiguous announced
+                    // intervals pin every record on the frozen chain.
                     self.smr
                         .end_read_phase(ctx, &[left.untagged_usize(), t.untagged_usize()]);
                     let left_ref = unsafe { left.deref() };
@@ -190,7 +196,13 @@ impl<S: Smr> HarrisList<S> {
                 // Retire the unlinked chain. These nodes were unlinked by this
                 // thread just now, so no reclaimer can free them before the
                 // retire below; dereferencing them here is safe even though
-                // they are not reserved.
+                // they are not reserved. Retiring strictly *after* the unlink
+                // CAS is what the interval reclaimers' traversal-through-
+                // unlinked safety argument builds on: every chain record's
+                // retire era is then at least the unlink era, which a
+                // concurrent traverser's announced interval provably reaches
+                // (DESIGN.md, "Traversals through unlinked records under the
+                // interval reclaimers").
                 let mut c = left_next.with_tag(0);
                 while !c.ptr_eq(right) {
                     let nxt = unsafe { c.deref() }

@@ -300,11 +300,16 @@ pub fn ablation_signal_counts(scale: &ExperimentScale) -> Vec<TrialResult> {
     let threads = scale.thread_counts.iter().copied().max().unwrap_or(2);
     for &kind in &[SmrKind::Nbr, SmrKind::NbrPlus] {
         let spec = scale.spec(WorkloadMix::UPDATE_HEAVY, scale.tree_key_range, threads);
-        out.push(run_with::<DgtTreeFamily>(
-            kind,
-            &spec,
-            scale.smr_config(threads),
-        ));
+        // Stretch the op-exit heartbeat past the watermark cycle (1024
+        // retires) for this ablation: the default 1024-op heartbeat
+        // broadcasts every ~512 retires, which keeps every bag below the
+        // HiWatermark and replaces Algorithm 2's watermark dynamics — the
+        // piggyback path NBR+ exists to measure then never engages at all
+        // (rgp_reclaims flatlines at zero). The heartbeat is this port's
+        // own short-trial addition, not the paper's; the ablation should
+        // measure the paper's reclamation dynamics.
+        let config = scale.smr_config(threads).with_scan_heartbeat_ops(8192);
+        out.push(run_with::<DgtTreeFamily>(kind, &spec, config));
     }
     out
 }

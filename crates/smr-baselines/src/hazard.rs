@@ -118,8 +118,12 @@ impl Smr for HazardPointers {
     const NAME: &'static str = "HP";
     const USES_PROTECTION: bool = true;
     // Protection is validated by re-reading the source field; once the source
-    // record is unlinked that validation can no longer detect reclamation of
-    // the pointee, so traversing out of unlinked records is unsafe.
+    // record is marked its `next` is frozen, so the validation re-read can
+    // never detect that the pointee was retired — and possibly freed and
+    // recycled *before this thread ever loaded the pointer*, a window no
+    // address-based hazard can cover (DESIGN.md, "Why the HP family keeps
+    // the Harris-Michael fallback"). Traversing out of unlinked records is
+    // therefore inherently unsafe for HP, unlike the interval family.
     const CAN_TRAVERSE_UNLINKED: bool = false;
 
     fn new(config: SmrConfig) -> Self {

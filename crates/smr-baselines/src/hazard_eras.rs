@@ -7,6 +7,20 @@
 //! HP's bounded garbage while replacing the per-record validation re-read with
 //! an era re-read (still a per-access store + fence, which is why the paper
 //! groups HE with the "instrumentation similar to HPs" family).
+//!
+//! **Era-hull scan.** The reclamation scan treats each thread's announced
+//! eras as the contiguous interval `[min, max]` over its slots rather than as
+//! a set of points. Point-era sweeping has a gap that is unsound the moment a
+//! traversal follows a pointer out of an *unlinked* record (the Harris list's
+//! marked chains): a record born and retired strictly *between* two of the
+//! traverser's announced eras is covered by neither point and gets freed
+//! while the traverser holds a validated pointer to it — the root cause of
+//! the marked-chain race this port originally side-stepped with
+//! `CAN_TRAVERSE_UNLINKED = false` (reproduced deterministically in
+//! `tests/tests/marked_chain_race.rs`). The hull closes the gap and is what
+//! lets HE run the paper-faithful batch-unlink traversal; the full safety
+//! argument is in DESIGN.md, "Traversals through unlinked records under the
+//! interval reclaimers".
 
 use crate::util::{EraClock, OrphanPool};
 use smr_common::{
@@ -28,8 +42,9 @@ pub struct HeCtx {
     tid: usize,
     limbo: LimboBag,
     scan: ScanState,
-    /// Reusable scratch for the per-scan era snapshot.
-    eras: Vec<u64>,
+    /// Reusable scratch: per-thread era-hull bounds, each sorted.
+    lowers: Vec<u64>,
+    uppers: Vec<u64>,
     allocs_since_advance: usize,
     retires_since_scan: usize,
     mag: Magazine,
@@ -48,14 +63,31 @@ pub struct HazardEras {
 }
 
 impl HazardEras {
-    /// One pass over every active thread's era slots.
-    fn collect_eras(&self, out: &mut Vec<u64>) {
+    /// Snapshots every active thread's announced era *hull* — the contiguous
+    /// interval `[min, max]` over its non-empty slots — pushing one bound
+    /// pair per announcing thread.
+    fn collect_hulls(&self, lowers: &mut Vec<u64>, uppers: &mut Vec<u64>) {
         for tid in self.registry.active_tids() {
-            for s in self.slots[tid].slots.iter() {
-                let e = s.load(Ordering::Acquire);
-                if e != NONE {
-                    out.push(e);
+            let (mut lo, mut hi) = (u64::MAX, NONE);
+            // Two passes over the thread's slots, folded into one hull,
+            // close the `protect_copy` scan race for an era moved between
+            // slots mid-scan — the same argument (and the same
+            // one-relocation-per-held-record contract) as the
+            // hazard-pointer scan (DESIGN.md, "Validate-after-copy for
+            // moved hazards"); relocations only ever happen between slots
+            // of the same thread, so per-thread double collection suffices.
+            for _ in 0..2 {
+                for s in self.slots[tid].slots.iter() {
+                    let e = s.load(Ordering::Acquire);
+                    if e != NONE {
+                        lo = lo.min(e);
+                        hi = hi.max(e);
+                    }
                 }
+            }
+            if hi != NONE {
+                lowers.push(lo);
+                uppers.push(hi);
             }
         }
     }
@@ -64,28 +96,32 @@ impl HazardEras {
         ctx.stats.reclaim_scans += 1;
         ctx.scan.note_scan();
         // Single-fence scan (see DESIGN.md): one SeqCst fence, then Acquire
-        // loads of every announced era. Two collection passes close the
-        // `protect_copy` scan race for eras moved between slots, the same
-        // argument (and the same one-relocation-per-held-record contract)
-        // as the hazard-pointer scan (DESIGN.md, "Validate-after-copy for
-        // moved hazards").
+        // loads of every announced era.
         fence(Ordering::SeqCst);
-        ctx.eras.clear();
-        self.collect_eras(&mut ctx.eras);
-        self.collect_eras(&mut ctx.eras);
-        // Sort-then-sweep: the sorted era set lets the bag test each record
-        // with two binary searches instead of a walk over every slot
-        // (O((R + T·K) log) rather than O(R × T·K)).
-        ctx.eras.sort_unstable();
-        ctx.eras.dedup();
+        ctx.lowers.clear();
+        ctx.uppers.clear();
+        self.collect_hulls(&mut ctx.lowers, &mut ctx.uppers);
+        // Sort-then-sweep: with both bound arrays sorted, each record is
+        // tested with two binary searches (O((R + T) log T) instead of
+        // O(R × T·K)) — the same interval sweep IBR uses.
+        ctx.lowers.sort_unstable();
+        ctx.uppers.sort_unstable();
         let before = ctx.limbo.len();
-        // SAFETY: a thread can only dereference a record while announcing an
-        // era within the record's lifetime; if no announced era intersects
-        // [birth, retire], no thread can still dereference it (Hazard Eras
-        // safety argument; single-fence variant argued in DESIGN.md).
+        // SAFETY: a thread can only dereference a record whose lifetime
+        // overlaps its announced era hull — announced point eras cover every
+        // record reached through live predecessors, and the hull in between
+        // covers records reached through *unlinked* (marked-frozen)
+        // predecessors, whose retire eras are sandwiched between the
+        // traverser's announcements (DESIGN.md, "Traversals through unlinked
+        // records under the interval reclaimers"). If no hull overlaps
+        // [birth, retire], no thread can still dereference the record.
         let freed = unsafe {
-            ctx.limbo
-                .reclaim_outside_eras(&ctx.eras, &mut ctx.stats, &mut ctx.mag)
+            ctx.limbo.reclaim_disjoint_intervals(
+                &ctx.lowers,
+                &ctx.uppers,
+                &mut ctx.stats,
+                &mut ctx.mag,
+            )
         };
         if freed == 0 && before > 0 {
             ctx.stats.reclaim_skips += 1;
@@ -106,10 +142,15 @@ impl Smr for HazardEras {
 
     const NAME: &'static str = "HE";
     const USES_PROTECTION: bool = true;
-    // Same applicability restriction as hazard pointers (the HE paper inherits
-    // HP's usage contract): records reached through unlinked records may
-    // already have been reclaimed before the era was announced.
-    const CAN_TRAVERSE_UNLINKED: bool = false;
+    // Safe since the scan sweeps per-thread era *hulls* (see the module
+    // docs): a record reached through a marked-frozen pointer out of an
+    // unlinked record has its lifetime sandwiched between the eras the
+    // traverser announced before and at the hop, so the hull pins it even
+    // though no announced point era falls inside the lifetime. The HE
+    // *paper*'s point-era scan inherits HP's usage contract and must not set
+    // this; the deterministic reproducer in `marked_chain_race.rs` shows
+    // exactly how the point sweep frees a chain successor early.
+    const CAN_TRAVERSE_UNLINKED: bool = true;
 
     fn new(config: SmrConfig) -> Self {
         config.validate();
@@ -144,7 +185,8 @@ impl Smr for HazardEras {
             tid,
             limbo: LimboBag::new(),
             scan: ScanState::new(),
-            eras: Vec::with_capacity(self.config.hazards_per_thread * self.config.max_threads),
+            lowers: Vec::with_capacity(self.config.max_threads),
+            uppers: Vec::with_capacity(self.config.max_threads),
             allocs_since_advance: 0,
             retires_since_scan: 0,
             mag: Magazine::from_config(&self.pool, &self.config),
@@ -232,8 +274,13 @@ impl Smr for HazardEras {
         }
     }
 
-    fn alloc<T: SmrNode>(&self, ctx: &mut HeCtx, mut value: T) -> Shared<T> {
-        value.header_mut().set_birth_era(self.era.now());
+    fn alloc<T: SmrNode>(&self, ctx: &mut HeCtx, value: T) -> Shared<T> {
+        let raw = ctx.mag.alloc_node(value);
+        // Stamp after the pop (which happens-after the block's free), so a
+        // recycled block's new birth era is never older than the era at
+        // which its previous incarnation was freed (`Smr::alloc` docs).
+        // SAFETY: freshly allocated above, not yet published.
+        unsafe { (*raw).header_mut().set_birth_era(self.era.now()) };
         ctx.allocs_since_advance += 1;
         if ctx.allocs_since_advance >= self.config.epoch_freq {
             ctx.allocs_since_advance = 0;
@@ -241,7 +288,7 @@ impl Smr for HazardEras {
             ctx.stats.epoch_advances += 1;
         }
         ctx.stats.allocs += 1;
-        Shared::from_raw(ctx.mag.alloc_node(value))
+        Shared::from_raw(raw)
     }
 
     unsafe fn retire<T: SmrNode>(&self, ctx: &mut HeCtx, ptr: Shared<T>) {

@@ -105,13 +105,18 @@ impl Smr for Ibr {
 
     const NAME: &'static str = "IBR";
     const USES_PROTECTION: bool = true;
-    // The IBR paper argues interval protection can tolerate traversals through
-    // retired records; this port takes the conservative route and declares it
-    // unsupported, so structures with marked-chain traversals (Harris list)
-    // fall back to unlinking one record at a time under IBR. Root-causing the
-    // residual race observed under chain traversal at high oversubscription is
-    // left as future work (see DESIGN.md, "Known deviations").
-    const CAN_TRAVERSE_UNLINKED: bool = false;
+    // The IBR paper's claim, now proven for this port: the announced interval
+    // is *contiguous* — `lower` fixed at `begin_op`, `upper` re-validated to
+    // cover every load — so a record reached through a marked-frozen pointer
+    // out of an unlinked record (whose lifetime sits between two of the
+    // traversal's access eras) is still pinned by the interval in between.
+    // The residual race that originally parked this flag at `false`
+    // root-caused to hazard eras' *point*-era sweep, not to interval
+    // protection: `tests/tests/marked_chain_race.rs` runs the exact
+    // interleaving under IBR and the chain stays pinned. Full argument in
+    // DESIGN.md, "Traversals through unlinked records under the interval
+    // reclaimers".
+    const CAN_TRAVERSE_UNLINKED: bool = true;
 
     fn new(config: SmrConfig) -> Self {
         config.validate();
@@ -217,8 +222,13 @@ impl Smr for Ibr {
         }
     }
 
-    fn alloc<T: SmrNode>(&self, ctx: &mut IbrCtx, mut value: T) -> Shared<T> {
-        value.header_mut().set_birth_era(self.era.now());
+    fn alloc<T: SmrNode>(&self, ctx: &mut IbrCtx, value: T) -> Shared<T> {
+        let raw = ctx.mag.alloc_node(value);
+        // Stamp after the pop (which happens-after the block's free), so a
+        // recycled block's new birth era is never older than the era at
+        // which its previous incarnation was freed (`Smr::alloc` docs).
+        // SAFETY: freshly allocated above, not yet published.
+        unsafe { (*raw).header_mut().set_birth_era(self.era.now()) };
         ctx.allocs_since_advance += 1;
         if ctx.allocs_since_advance >= self.config.epoch_freq {
             ctx.allocs_since_advance = 0;
@@ -226,7 +236,7 @@ impl Smr for Ibr {
             ctx.stats.epoch_advances += 1;
         }
         ctx.stats.allocs += 1;
-        Shared::from_raw(ctx.mag.alloc_node(value))
+        Shared::from_raw(raw)
     }
 
     unsafe fn retire<T: SmrNode>(&self, ctx: &mut IbrCtx, ptr: Shared<T>) {

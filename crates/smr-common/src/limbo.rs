@@ -213,39 +213,19 @@ impl LimboBag {
         freed
     }
 
-    /// Frees every record whose lifetime `[birth, retire]` contains none of
-    /// the announced `eras`, which **must be sorted** — the hazard-eras sweep.
-    /// An era `e` pins a record iff `birth ≤ e ≤ retire`, so the record is
-    /// safe iff the count of eras `< birth` equals the count of eras
-    /// `≤ retire` (two binary searches instead of a scan over every slot).
-    ///
-    /// # Safety
-    /// `eras` must contain every era announced by a registered thread at the
-    /// scan's linearization point (the callers' single `SeqCst` fence); same
-    /// overall contract as [`LimboBag::reclaim_prefix_if`].
-    pub unsafe fn reclaim_outside_eras(
-        &mut self,
-        eras: &[u64],
-        stats: &mut ThreadStats,
-        mag: &mut Magazine,
-    ) -> usize {
-        debug_assert!(eras.windows(2).all(|w| w[0] <= w[1]));
-        let freed = self.sweep_prefix(
-            usize::MAX,
-            |r| {
-                let below = eras.partition_point(|&e| e < r.birth_era());
-                let covered = eras.partition_point(|&e| e <= r.retire_era());
-                below == covered
-            },
-            mag,
-        );
-        stats.frees += freed as u64;
-        freed
-    }
-
     /// Frees every record whose lifetime `[birth, retire]` is disjoint from
     /// every announced interval, given the interval **lower bounds and upper
-    /// bounds each sorted separately** — the IBR (2GEIBR) sweep.
+    /// bounds each sorted separately** — the sweep both interval-based
+    /// schemes share: IBR (2GEIBR) passes its announced `[lower, upper]`
+    /// pairs, hazard eras the per-thread hull `[min slot era, max slot era]`.
+    ///
+    /// There is deliberately no point-era ("outside eras") sweep any more:
+    /// sweeping announced eras as points instead of intervals frees records
+    /// whose lifetimes fall *between* two of a traversing thread's
+    /// announcements, which is unsound the moment a traversal follows a
+    /// frozen pointer out of an unlinked record (the marked-chain race —
+    /// DESIGN.md, "Traversals through unlinked records under the interval
+    /// reclaimers").
     ///
     /// An interval `[lo, up]` overlaps `[birth, retire]` iff
     /// `lo ≤ retire ∧ up ≥ birth`. Since every valid interval has `lo ≤ up`,
@@ -506,18 +486,23 @@ mod tests {
         unsafe { bag.reclaim_all(&mut stats, &mut mag) };
     }
 
+    /// The hazard-eras hull sweep is the interval sweep with degenerate
+    /// (single-era) hulls allowed: a point hull pins exactly the lifetimes
+    /// containing it, and a record strictly *between* two hulls is freed.
     #[test]
-    fn reclaim_outside_eras_matches_linear_check() {
+    fn degenerate_hulls_behave_like_point_eras() {
         let mut bag = LimboBag::new();
         // Lifetimes: [0,1] [2,4] [5,5] [3,8] [9,10]
         for &(k, b, r) in &[(0, 0, 1), (1, 2, 4), (2, 5, 5), (3, 3, 8), (4, 9, 10)] {
             bag.push(retire_interval(k, b, r));
         }
-        let eras = vec![4, 9]; // sorted announced eras
+        // Two single-era hulls: [4,4] and [9,9].
+        let bounds = vec![4, 9];
         let mut stats = ThreadStats::default();
         let mut mag = Magazine::disabled();
         // Era 4 pins [2,4] and [3,8]; era 9 pins [9,10]. [0,1] and [5,5] free.
-        let freed = unsafe { bag.reclaim_outside_eras(&eras, &mut stats, &mut mag) };
+        let freed =
+            unsafe { bag.reclaim_disjoint_intervals(&bounds, &bounds, &mut stats, &mut mag) };
         assert_eq!(freed, 2);
         let remaining: Vec<(u64, u64)> = bag
             .iter()

@@ -62,6 +62,16 @@ impl ScanPolicy {
     pub fn opportunistic_on_retire(&self, limbo_len: usize) -> bool {
         limbo_len >= self.lo_watermark
     }
+
+    /// Whether a thread at/over the HiWatermark may briefly *defer* its own
+    /// reclamation broadcast to ride a peer's in-flight grace period instead
+    /// (NBR+'s piggybacking). Bounded: once the bag reaches
+    /// `hi + lo` the thread must induce its own scan regardless, so the
+    /// Lemma-10 garbage bound only gains a fixed `lo_watermark` of slack.
+    #[inline]
+    pub fn can_defer_broadcast(&self, limbo_len: usize) -> bool {
+        limbo_len < self.hi_watermark + self.lo_watermark
+    }
 }
 
 /// Per-thread heartbeat state. Lives in the reclaimer's thread context; no

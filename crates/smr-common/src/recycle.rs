@@ -44,7 +44,18 @@
 //! block returned by [`Smr::alloc`](crate::Smr::alloc) is re-stamped with the
 //! *current* global era before it is published, so interval-based schemes
 //! (IBR, HE) see the new incarnation's lifetime start at its true birth and
-//! cannot confuse it with the previous occupant of the same address.
+//! cannot confuse it with the previous occupant of the same address. The
+//! interval reclaimers' own `alloc` overrides (IBR, HE — the only schemes
+//! whose sweeps consult birth eras) read the era clock **after** popping
+//! the block (the pop happens-after the free: same-thread program order,
+//! or the depot mutex across threads), so the new birth era is provably ≥
+//! every era observed while the old incarnation was swept — the two
+//! lifetimes of one address can never overlap, which is what lets
+//! traversal-through-unlinked compose with recycling (DESIGN.md,
+//! "Traversals through unlinked records under the interval reclaimers").
+//! The *default* `Smr::alloc` stamps before the pop (cheaper, and inert:
+//! no scheme using it sweeps by birth era); a new interval-style scheme
+//! must override `alloc` and stamp after the pop like IBR/HE do.
 
 use crate::header::SmrNode;
 use crate::smr::SmrConfig;

@@ -223,15 +223,19 @@ pub trait Smr: Send + Sync + Sized + 'static {
     /// Whether it is safe to follow a pointer read out of an *unlinked*
     /// (but not yet reclaimed) record.
     ///
-    /// Epoch/era-based schemes (EBR family, IBR, NBR — within a read phase)
-    /// allow this: the whole chain is quiesced together. Validation-based
-    /// protection (hazard pointers, hazard eras) does not: the validation
-    /// re-reads a field of a record that may already be unlinked, so it can
-    /// never observe that the pointee was retired and freed. Data structures
-    /// whose traversals can pass through unlinked records (e.g. the Harris
-    /// list's marked chains) consult this flag and fall back to unlinking one
-    /// record at a time — exactly the applicability distinction Table 1 of the
-    /// paper draws.
+    /// Epoch/era-based schemes (EBR family, NBR — within a read phase)
+    /// allow this: the whole chain is quiesced together. The interval
+    /// schemes (IBR, hazard eras with the era-hull scan) allow it too: the
+    /// contiguous announced interval pins every record on a frozen marked
+    /// chain, including lifetimes lying strictly between two access eras
+    /// (DESIGN.md, "Traversals through unlinked records under the interval
+    /// reclaimers"). Address-validation protection (HP, HP-POP) cannot: the
+    /// pointee may have been retired and freed *before the pointer was ever
+    /// loaded*, and the validating re-read targets a frozen field that
+    /// still holds the stale pointer. Data structures whose traversals can
+    /// pass through unlinked records (e.g. the Harris list's marked chains)
+    /// consult this flag and fall back to unlinking one record at a time —
+    /// exactly the applicability distinction Table 1 of the paper draws.
     const CAN_TRAVERSE_UNLINKED: bool = true;
 
     /// Creates the shared state for up to `config.max_threads` threads.
@@ -360,10 +364,18 @@ pub trait Smr: Send + Sync + Sized + 'static {
     /// Allocates a node, stamping its birth era for interval-based schemes.
     ///
     /// When recycling is enabled the block is popped from the thread's
-    /// magazine if possible; the fresh birth-era stamp written here before
-    /// publication is what keeps address reuse ABA-safe for the
-    /// interval-based schemes (see `recycle`, "Recycling is downstream of
-    /// safety").
+    /// magazine if possible; a fresh birth-era stamp before publication is
+    /// what keeps address reuse ABA-safe for the interval-based schemes
+    /// (see `recycle`, "Recycling is downstream of safety"). Those schemes
+    /// (IBR, HE) override this method and stamp **after** the pop — the pop
+    /// happens-after the block's free, so the clock read there is never
+    /// older than any era observed while the previous incarnation was being
+    /// swept and the re-stamped lifetime can never be mistaken for the old
+    /// one. This default keeps the stamp on the stack value: no scheme that
+    /// uses it consults birth eras in its reclamation sweep (only the
+    /// interval sweeps do), so the cheaper shape is equivalent — and it
+    /// keeps the alloc fast path of the epoch/hazard families byte-for-byte
+    /// what it was before the interval overrides were tightened.
     fn alloc<T: SmrNode>(&self, ctx: &mut Self::ThreadCtx, mut value: T) -> Shared<T> {
         value.header_mut().set_birth_era(self.global_era());
         let raw = match self.magazine_mut(ctx) {

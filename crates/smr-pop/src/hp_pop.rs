@@ -197,11 +197,20 @@ impl Smr for HpPop {
 
     const NAME: &'static str = "HP-POP";
     const USES_PROTECTION: bool = true;
-    // Like HP: a pointer read out of an *unlinked* record may reference a
-    // record that was retired and freed under an earlier ping this thread
-    // already acknowledged — the unlink cannot have updated the stale
-    // record's outgoing pointer. Traversals must not pass through unlinked
-    // records (Table 1's applicability distinction).
+    // Re-derived when the interval family (IBR, HE) flipped to `true`: the
+    // ping-snapshot scan does NOT make marked-chain traversal safe, because
+    // the danger predates the hazard. A record reached through a marked-
+    // *frozen* pointer out of an unlinked record may have been retired,
+    // swept and recycled under an earlier ping this thread already
+    // acknowledged — before this thread ever loaded the pointer, so no
+    // private slot existed for that publish to surface, and no address
+    // re-validation can notice (the re-read targets the frozen field, which
+    // still holds the stale pointer). Interval schemes close this with the
+    // era hull between their announcements; an address-based scheme has no
+    // analogous "interval of addresses", so the HP family keeps the
+    // Harris-Michael fallback (Table 1's applicability distinction; full
+    // derivation in DESIGN.md, "Why the HP family keeps the Harris-Michael
+    // fallback").
     const CAN_TRAVERSE_UNLINKED: bool = false;
 
     fn new(config: SmrConfig) -> Self {

@@ -143,3 +143,75 @@ where
     assert_eq!(present, size, "contains() must agree with size()");
     ds.smr().unregister(&mut ctx);
 }
+
+/// Chain-unlink stress: threads repeatedly delete *runs of adjacent keys*
+/// front-to-back, traverse across the freshly marked region, and re-insert.
+/// Adjacent concurrent deletions are what grow multi-node marked chains, so
+/// this drives the Harris list's batch-unlink fast path (walk the marked
+/// chain, remove it with one CAS) that `CAN_TRAVERSE_UNLINKED` enables —
+/// single-threaded checks like `model_check` never build a chain longer than
+/// one node, so without this case the smoke matrix would not execute the
+/// chain traversal at all. Oversubscribe `threads` past the host's cores to
+/// reproduce the scheduling the original marked-chain race needed.
+pub fn chain_unlink_stress<S, DS>(
+    ds: Arc<DS>,
+    threads: usize,
+    rounds: usize,
+    runs: u64,
+    run_len: u64,
+) where
+    S: Smr,
+    DS: ConcurrentSet<S> + Send + Sync + 'static,
+{
+    let total = runs * run_len;
+    {
+        let mut ctx = ds.smr().register(0);
+        for k in 1..=total {
+            ds.insert(&mut ctx, k);
+        }
+        ds.smr().unregister(&mut ctx);
+    }
+    let barrier = Arc::new(Barrier::new(threads));
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let ds = Arc::clone(&ds);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let mut ctx = ds.smr().register(t);
+            let mut rng = SplitMix(0xC4A1_0000 ^ t as u64);
+            barrier.wait();
+            for _ in 0..rounds {
+                // Threads keep colliding on a handful of runs, so several
+                // adjacent nodes are marked before any of them is physically
+                // unlinked — the next search walks the chain and batch-
+                // unlinks it.
+                let base = (rng.next_u64() % runs) * run_len;
+                for k in 1..=run_len {
+                    ds.remove(&mut ctx, base + k);
+                }
+                for k in 1..=run_len {
+                    ds.contains(&mut ctx, base + k);
+                }
+                for k in 1..=run_len {
+                    ds.insert(&mut ctx, base + k);
+                }
+            }
+            ds.smr().unregister(&mut ctx);
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Quiescent post-condition: the structure stayed internally consistent.
+    let mut ctx = ds.smr().register(0);
+    let size = ds.size(&mut ctx);
+    assert!(size as u64 <= total);
+    let mut present = 0;
+    for k in 1..=total {
+        if ds.contains(&mut ctx, k) {
+            present += 1;
+        }
+    }
+    assert_eq!(present, size, "contains() must agree with size()");
+    ds.smr().unregister(&mut ctx);
+}

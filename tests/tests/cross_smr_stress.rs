@@ -2,9 +2,9 @@
 //! exercising the public API exactly as a downstream user would.
 
 use conc_ds::{AbTree, DgtTree, HarrisList, HmHashMap, HmList, LazyList};
-use integration_tests::{contended_stress, disjoint_stress, model_check};
+use integration_tests::{chain_unlink_stress, contended_stress, disjoint_stress, model_check};
 use nbr::{Nbr, NbrPlus};
-use smr_baselines::{Debra, HazardPointers, Ibr};
+use smr_baselines::{Debra, HazardEras, HazardPointers, Ibr};
 use smr_common::SmrConfig;
 use smr_pop::{EpochPop, HpPop};
 use std::sync::Arc;
@@ -97,6 +97,30 @@ fn contended_harris_list_nbr_plus() {
 #[test]
 fn contended_harris_list_ibr() {
     contended_stress(Arc::new(HarrisList::<Ibr>::new(cfg())), 4, 4_000, 32);
+}
+
+#[test]
+fn contended_harris_list_he() {
+    contended_stress(Arc::new(HarrisList::<HazardEras>::new(cfg())), 4, 4_000, 32);
+}
+
+// ---------------------------------------------------------------------------
+// Marked-chain regression at high oversubscription: the scheduling that
+// originally surfaced the interval-reclaimer traversal race (8 threads on a
+// 2-core CI box) hammering the Harris batch-unlink path now that IBR and HE
+// run it (`CAN_TRAVERSE_UNLINKED = true`). The deterministic root-cause
+// reproducer lives in `marked_chain_race.rs`; these are the probabilistic
+// canaries on top of it.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn oversubscribed_chain_unlink_harris_list_ibr() {
+    chain_unlink_stress(Arc::new(HarrisList::<Ibr>::new(cfg())), 8, 150, 4, 8);
+}
+
+#[test]
+fn oversubscribed_chain_unlink_harris_list_he() {
+    chain_unlink_stress(Arc::new(HarrisList::<HazardEras>::new(cfg())), 8, 150, 4, 8);
 }
 
 #[test]

@@ -136,6 +136,123 @@ fn hazard_eras_does_not_free_protected_recycled_record_early() {
     smr.unregister(&mut owner);
 }
 
+/// Marked-chain traversal composed with recycling: a traverser that follows a
+/// frozen marked pointer out of an unlinked record must never land on a
+/// *recycled* block. The argument (DESIGN.md, "Traversals through unlinked
+/// records under the interval reclaimers") has two halves, and this test
+/// pins both:
+///
+/// 1. While a traverser's announced interval overlaps the chain records'
+///    lifetimes, no scan frees them — so no re-stamp can have happened and
+///    the frozen pointer still leads to the original record.
+/// 2. Once the traverser lets go and the successor block *is* recycled, its
+///    re-stamped birth era is strictly later than the old incarnation's
+///    retire era (`Smr::alloc` stamps after the magazine pop, which
+///    happens-after the free), so the old lifetime interval and the new one
+///    never overlap — an interval that pins the old incarnation can never be
+///    mistaken for a claim on the new one, and vice versa.
+#[test]
+fn ibr_marked_chain_successor_recycle_keeps_intervals_disjoint() {
+    struct ChainNode {
+        header: NodeHeader,
+        key: u64,
+        next: Atomic<ChainNode>,
+    }
+    smr_common::impl_smr_node!(ChainNode);
+    fn chain_node(key: u64) -> ChainNode {
+        ChainNode {
+            header: NodeHeader::new(),
+            key,
+            next: Atomic::null(),
+        }
+    }
+    const MARK: usize = 1;
+
+    // Quiet config: the test chooses every scan point; epoch_freq = 1 makes
+    // each allocation advance the era.
+    let smr = Ibr::new(
+        SmrConfig::for_tests()
+            .with_epoch_freqs(1, usize::MAX)
+            .with_watermarks(1 << 20, 8)
+            .with_scan_heartbeat_ops(0),
+    );
+    let mut w = smr.register(0);
+    let mut r = smr.register(1);
+
+    // W: head → A → B → tail.
+    let tail = smr.alloc(&mut w, chain_node(u64::MAX));
+    let b = smr.alloc(&mut w, chain_node(20));
+    unsafe { b.deref() }.next.store(tail, Ordering::Release);
+    let a = smr.alloc(&mut w, chain_node(10));
+    unsafe { a.deref() }.next.store(b, Ordering::Release);
+    let head = Atomic::new(a);
+
+    // R: protect A inside an operation (the traverser parks here).
+    smr.begin_op(&mut r);
+    let ra = smr.protect(&mut r, 0, &head);
+    assert_eq!(ra.untagged_usize(), a.untagged_usize());
+
+    // W: delete the whole chain — mark B, mark A (freezing their next
+    // pointers), batch-unlink, retire in chain order.
+    unsafe { b.deref() }
+        .next
+        .store(tail.with_tag(MARK), Ordering::Release);
+    unsafe { a.deref() }
+        .next
+        .store(b.with_tag(MARK), Ordering::Release);
+    head.store(tail, Ordering::Release);
+    unsafe { smr.retire(&mut w, a) };
+    unsafe { smr.retire(&mut w, b) };
+    let era_retired = smr.global_era();
+
+    // Half 1: R's interval overlaps the chain lifetimes, so W's scan must
+    // not free (and therefore cannot recycle) either record, even though R
+    // has only announced protection for A so far.
+    smr.flush(&mut w);
+    assert_eq!(
+        smr.limbo_len(&w),
+        2,
+        "no chain record may be freed (= recycled) while the traverser's \
+         interval overlaps its lifetime"
+    );
+    // R: the traversal hop through unlinked A lands on the original B.
+    let rb = smr.protect(&mut r, 1, unsafe { &ra.deref().next });
+    assert_eq!(rb.untagged_usize(), b.untagged_usize());
+    assert_eq!(unsafe { rb.with_tag(0).deref().key }, 20);
+
+    // R lets go; now the chain is reclaimable and the blocks enter the
+    // thread-local magazine (LIFO: B's block is re-issued first).
+    smr.clear_protections(&mut r);
+    smr.end_op(&mut r);
+    smr.flush(&mut w);
+    assert_eq!(smr.limbo_len(&w), 0);
+
+    // Half 2: force B's block back out of the pool and check the re-stamp.
+    let mut reused = None;
+    for round in 0..1_000u64 {
+        let p = smr.alloc(&mut w, chain_node(500 + round));
+        if p.untagged_usize() == b.untagged_usize() {
+            reused = Some(p);
+            break;
+        }
+        unsafe { smr.retire(&mut w, p) };
+        smr.flush(&mut w);
+    }
+    let reused = reused.expect("B's block must be recycled — is the pool enabled?");
+    let stamped = unsafe { reused.deref().header().birth_era() };
+    assert!(
+        stamped > era_retired,
+        "the recycled successor's re-stamped birth era ({stamped}) must be \
+         strictly later than the old incarnation's retire era (≤ {era_retired}): \
+         the old interval and the new one must never overlap"
+    );
+    unsafe { smr.retire(&mut w, reused) };
+    unsafe { smr.retire(&mut w, tail) };
+    smr.flush(&mut w);
+    smr.unregister(&mut r);
+    smr.unregister(&mut w);
+}
+
 /// `--no-recycle` reproduces the pre-pool behaviour: a full driver trial runs
 /// green with the pool bypassed and reports zero pool traffic, while the same
 /// trial with recycling reports the pool doing the work.

@@ -7,14 +7,18 @@
 //! reclamation paths to execute constantly even at this small scale.
 //!
 //! 11 reclaimers (incl. the Publish-on-Ping family) × 6 structures
-//! (incl. the HM-list hash map) = 66 cases.
+//! (incl. the HM-list hash map) = 66 model-check cases, plus one
+//! multi-threaded chain-unlink stress case per reclaimer on the Harris
+//! list (77 total) — the marked-chain batch-unlink path only exists under
+//! concurrency.
 
 use conc_ds::{AbTree, DgtTree, HarrisList, HmHashMap, HmList, LazyList};
-use integration_tests::model_check;
+use integration_tests::{chain_unlink_stress, model_check};
 use nbr::{Nbr, NbrPlus};
 use smr_baselines::{Debra, HazardEras, HazardPointers, Ibr, Leaky, Qsbr, Rcu};
 use smr_common::SmrConfig;
 use smr_pop::{EpochPop, HpPop};
+use std::sync::Arc;
 
 fn cfg() -> SmrConfig {
     SmrConfig::for_tests()
@@ -111,4 +115,40 @@ smoke! {
     smoke_leaky_hm_hashmap: HmHashMap<Leaky>;
     smoke_leaky_dgt_tree: DgtTree<Leaky>;
     smoke_leaky_ab_tree: AbTree<Leaky>;
+}
+
+// ---------------------------------------------------------------------------
+// Chain-unlink stress: concurrent adjacent deletions grow multi-node marked
+// chains in the Harris list, which the model checks above (single-threaded)
+// never do. One case per reclaimer, oversubscribed past CI's core count, so
+// every scheme executes either the batch-unlink fast path
+// (`CAN_TRAVERSE_UNLINKED`, incl. IBR and HE since the era-hull fix) or the
+// Harris-Michael fallback (the HP family) under the scheduling that exposed
+// the original marked-chain race.
+// ---------------------------------------------------------------------------
+
+macro_rules! chain_unlink {
+    ($($name:ident: $smr:ty;)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let list = Arc::new(HarrisList::<$smr>::new(cfg().with_max_threads(8)));
+                chain_unlink_stress(list, 8, 60, 4, 8);
+            }
+        )*
+    };
+}
+
+chain_unlink! {
+    chain_unlink_nbr: Nbr;
+    chain_unlink_nbr_plus: NbrPlus;
+    chain_unlink_debra: Debra;
+    chain_unlink_qsbr: Qsbr;
+    chain_unlink_rcu: Rcu;
+    chain_unlink_hp: HazardPointers;
+    chain_unlink_ibr: Ibr;
+    chain_unlink_he: HazardEras;
+    chain_unlink_epoch_pop: EpochPop;
+    chain_unlink_hp_pop: HpPop;
+    chain_unlink_leaky: Leaky;
 }
