@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Opt-in AddressSanitizer run over the smoke-matrix subset (ISSUE 6 satellite).
+#
+# ASan is an *independent* memory-error detector next to the smr-check shadow
+# heap oracle: it catches raw heap misuse (use-after-free through the global
+# allocator, buffer overflow) on the exact leaky/recycle paths the oracle
+# reasons about symbolically. It needs a nightly toolchain with `rust-src`
+# (std must be rebuilt with `-Zsanitizer=address`), so every precondition
+# is probed and the script exits 0 with a SKIP message when one is missing —
+# the CI job is opt-in, never a spurious red.
+#
+# Usage: ci/asan.sh [extra cargo-test args]
+#   ASAN_TEST_FILTER   test name filter (default: smoke_)
+#   ASAN_TOOLCHAIN     toolchain to use (default: nightly)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOOLCHAIN="${ASAN_TOOLCHAIN:-nightly}"
+FILTER="${ASAN_TEST_FILTER:-smoke_}"
+
+skip() {
+    echo "asan: SKIP — $*"
+    exit 0
+}
+
+command -v rustup >/dev/null 2>&1 || skip "rustup not installed"
+rustup toolchain list 2>/dev/null | grep -q "^${TOOLCHAIN}" \
+    || skip "no ${TOOLCHAIN} toolchain installed"
+HOST="$(rustc -vV | sed -n 's/^host: //p')"
+case "$HOST" in
+    x86_64-unknown-linux-gnu|aarch64-unknown-linux-gnu) ;;
+    *) skip "ASan not supported on host triple ${HOST}" ;;
+esac
+rustup component list --toolchain "$TOOLCHAIN" 2>/dev/null \
+    | grep -q '^rust-src.*(installed)' \
+    || skip "${TOOLCHAIN} lacks rust-src (needed for -Zbuild-std)"
+
+echo "asan: running smoke-matrix subset (filter: ${FILTER}) under AddressSanitizer"
+# detect_leaks=0: the Leaky reclaimer leaks by design, and arena/depot blocks
+# still parked in magazines at process exit are not bugs either — ASan is
+# here for use-after-free / overflow, the garbage-bound tests own leak
+# accounting.
+export ASAN_OPTIONS="detect_leaks=0:abort_on_error=1"
+export RUSTFLAGS="-Zsanitizer=address ${RUSTFLAGS:-}"
+exec cargo "+${TOOLCHAIN}" test -Zbuild-std --target "$HOST" \
+    -p integration_tests --test smoke_matrix "$FILTER" "$@"

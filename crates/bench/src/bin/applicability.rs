@@ -9,6 +9,12 @@
 //! test suite and benches).
 
 fn main() {
+    // Instrumentation must never leak into a measurement build: the
+    // `check` feature is test-only (enabled by `smr-check` dev-deps).
+    assert!(
+        !smr_common::check::compiled_in(),
+        "bench binary built with the smr-common `check` feature on; measurements would be invalid"
+    );
     println!("Table 1 — applicability of SMR schemes to the implemented data structures");
     println!("(paper rows LL05, HL01, HM04, DGT15, B17a; `impl` = exercised by this repo's tests)");
     println!();

@@ -94,6 +94,12 @@ fn wants(opts: &Options, name: &str) -> bool {
 }
 
 fn main() {
+    // Instrumentation must never leak into a measurement build: the
+    // `check` feature is test-only (enabled by `smr-check` dev-deps).
+    assert!(
+        !smr_common::check::compiled_in(),
+        "bench binary built with the smr-common `check` feature on; measurements would be invalid"
+    );
     let opts = parse_args();
     let scale = &opts.scale;
     eprintln!(

@@ -12,6 +12,12 @@ use smr_harness::{StopCondition, WorkloadMix, WorkloadSpec};
 use std::time::Duration;
 
 fn main() {
+    // Instrumentation must never leak into a measurement build: the
+    // `check` feature is test-only (enabled by `smr-check` dev-deps).
+    assert!(
+        !smr_common::check::compiled_in(),
+        "bench binary built with the smr-common `check` feature on; measurements would be invalid"
+    );
     let rounds: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())

@@ -229,6 +229,12 @@ fn run_once<F: smr_harness::DsFamily>(
 }
 
 fn main() {
+    // Instrumentation must never leak into a measurement build: the
+    // `check` feature is test-only (enabled by `smr-check` dev-deps).
+    assert!(
+        !smr_common::check::compiled_in(),
+        "bench binary built with the smr-common `check` feature on; measurements would be invalid"
+    );
     let args = parse_args();
     let baseline = args.baseline.as_ref().map(|p| {
         let text = std::fs::read_to_string(p).unwrap_or_else(|e| panic!("read {p}: {e}"));

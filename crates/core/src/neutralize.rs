@@ -177,6 +177,7 @@ impl NeutralizationCore {
 
     /// Deregisters a thread slot.
     pub fn deregister(&self, tid: usize) {
+        smr_common::check::clear_claims(tid);
         let slot = self.slot(tid);
         slot.restartable.store(false, Ordering::SeqCst);
         for r in slot.reservations.iter() {
@@ -219,6 +220,10 @@ impl NeutralizationCore {
     /// holds no shared pointers at this boundary), and becomes restartable.
     #[inline]
     pub fn begin_read_phase(&self, tid: usize) {
+        // Oracle mirror: retract the mirrored reservations before the real
+        // slots are cleared, so the mirror stays a subset of what reclaimers
+        // can actually observe.
+        smr_common::check::clear_claims(tid);
         let slot = self.slot(tid);
         for r in slot.reservations.iter() {
             if r.load(Ordering::Relaxed) != 0 {
@@ -284,6 +289,10 @@ impl NeutralizationCore {
         }
         // SeqCst RMW: the paper's CAS-as-fence (line 12).
         slot.restartable.swap(false, Ordering::SeqCst);
+        // Oracle mirror (after the swap): the reservations only become binding
+        // on reclaimers once `restartable == false` is observable, so claiming
+        // here never over-claims.
+        smr_common::check::claim_reservations(tid, reservations);
     }
 
     /// Leaves any phase (end of operation): the thread is quiescent.

@@ -154,7 +154,10 @@ pub struct AbTree<S: Smr> {
     structure_lock: Mutex<()>,
 }
 
+// SAFETY: the tree owns its nodes through `Atomic` links; all shared access
+// goes through the `Smr` protection protocol, and `Smr: Send + Sync`.
 unsafe impl<S: Smr> Send for AbTree<S> {}
+// SAFETY: as above — mutation is via atomics under per-node seqlocks.
 unsafe impl<S: Smr> Sync for AbTree<S> {}
 
 /// Result of a search: the leaf responsible for the key and its parent
@@ -198,6 +201,7 @@ impl<S: Smr> AbTree<S> {
             return SearchOutcome::Restart;
         }
         loop {
+            // SAFETY: `node` is covered by `slot` (the `protect` above).
             let node_ref = unsafe { node.deref() };
             if node_ref.is_leaf() {
                 return SearchOutcome::Found(SearchResult {
@@ -258,6 +262,8 @@ impl<S: Smr> AbTree<S> {
                 }
             }
             Some(p) => {
+                // SAFETY: the caller reserved `p` at its phase boundary
+                // before calling `lock_parent_of`.
                 let p_ref = unsafe { p.deref() };
                 p_ref.lock.lock();
                 if !p_ref.removed.load(Ordering::Acquire) {
@@ -274,6 +280,8 @@ impl<S: Smr> AbTree<S> {
     fn unlock_parent(&self, parent: Option<Shared<AbNode>>) {
         match parent {
             None => self.root_lock.unlock(),
+            // SAFETY: the caller still holds the reservation it took for
+            // `lock_parent_of`; the lock it holds also pins the record.
             Some(p) => unsafe { p.deref() }.lock.unlock(),
         }
     }
@@ -291,10 +299,13 @@ impl<S: Smr> AbTree<S> {
         match (parent, slot_idx) {
             (None, _) => self.root.store(new_child, Ordering::Release),
             (Some(p), Some(idx)) => {
+                // SAFETY: the caller reserved `p` and holds its lock.
                 unsafe { p.deref() }.children[idx].store(new_child, Ordering::Release)
             }
             (Some(_), None) => unreachable!("validated parent must contain the leaf"),
         }
+        // SAFETY: the caller reserved `leaf`; it is unlinked but not yet
+        // retired (the retire below is what hands it to the reclaimer).
         unsafe { leaf.deref() }
             .removed
             .store(true, Ordering::Release);
@@ -313,10 +324,12 @@ impl<S: Smr> AbTree<S> {
         leaf: Shared<AbNode>,
         key: u64,
     ) -> bool {
+        // SAFETY: the caller reserved `parent` and holds its lock.
         let parent_ref = unsafe { parent.deref() };
         if parent_ref.int_len.load(Ordering::Acquire) >= INT_CAP {
             return false;
         }
+        // SAFETY: the caller reserved `leaf`; still linked under the lock.
         let leaf_ref = unsafe { leaf.deref() };
         let mut all: Vec<u64> = leaf_ref.leaf_keys().to_vec();
         match all.binary_search(&key) {
@@ -345,6 +358,8 @@ impl<S: Smr> AbTree<S> {
             self.root_lock.unlock();
             return false;
         }
+        // SAFETY: `leaf` is still the root (validated above under the root
+        // lock), so it cannot have been retired.
         let leaf_ref = unsafe { leaf.deref() };
         let mut all: Vec<u64> = leaf_ref.leaf_keys().to_vec();
         match all.binary_search(&key) {
@@ -378,6 +393,9 @@ impl<S: Smr> AbTree<S> {
             // Walk the internal path from the root, looking for the shallowest
             // full internal node.
             let root = self.root.load(Ordering::Acquire);
+            // SAFETY: internal nodes are never reclaimed (only leaves are
+            // retired; splits keep internal nodes linked), and the root slot
+            // only ever grows new internal roots above the old one.
             let root_ref = unsafe { root.deref() };
             if root_ref.is_leaf() {
                 return; // handled by split_root_leaf
@@ -385,6 +403,8 @@ impl<S: Smr> AbTree<S> {
             let mut parent: Option<Shared<AbNode>> = None;
             let mut node = root;
             let full = loop {
+                // SAFETY: as above — the walk only visits internal nodes,
+                // which are never reclaimed.
                 let node_ref = unsafe { node.deref() };
                 let len = node_ref.int_len.load(Ordering::Acquire);
                 if len >= INT_CAP {
@@ -418,6 +438,7 @@ impl<S: Smr> AbTree<S> {
         node: Shared<AbNode>,
         _key: u64,
     ) {
+        // SAFETY: `node` is an internal node; those are never reclaimed.
         let node_ref = unsafe { node.deref() };
         // Lock parent slot first (tree order), then the node.
         let slot_idx = match self.lock_parent_of(parent, node) {
@@ -463,6 +484,8 @@ impl<S: Smr> AbTree<S> {
                 self.unlock_parent(None);
             }
             (Some(p), Some(idx)) => {
+                // SAFETY: `p` is an internal node (never reclaimed) and its
+                // slot lock is held.
                 let p_ref = unsafe { p.deref() };
                 debug_assert!(p_ref.int_len.load(Ordering::Acquire) < INT_CAP);
                 p_ref.insert_routing(idx, separator, sibling);
@@ -486,6 +509,7 @@ impl<S: Smr> ConcurrentSet<S> for AbTree<S> {
             match self.search(ctx, key) {
                 SearchOutcome::Restart => continue,
                 SearchOutcome::Found(r) => {
+                    // SAFETY: `r.leaf` is still protected by its search slot.
                     let found = unsafe { r.leaf.deref() }.leaf_contains(key);
                     self.smr.end_read_phase(ctx, &[]);
                     break found;
@@ -506,6 +530,7 @@ impl<S: Smr> ConcurrentSet<S> for AbTree<S> {
                 SearchOutcome::Restart => continue,
                 SearchOutcome::Found(r) => r,
             };
+            // SAFETY: `r.leaf` is still protected by its search slot.
             let leaf_ref = unsafe { r.leaf.deref() };
             if leaf_ref.leaf_contains(key) {
                 self.smr.end_read_phase(ctx, &[]);
@@ -573,6 +598,7 @@ impl<S: Smr> ConcurrentSet<S> for AbTree<S> {
                 SearchOutcome::Restart => continue,
                 SearchOutcome::Found(r) => r,
             };
+            // SAFETY: `r.leaf` is still protected by its search slot.
             let leaf_ref = unsafe { r.leaf.deref() };
             if !leaf_ref.leaf_contains(key) {
                 self.smr.end_read_phase(ctx, &[]);
@@ -616,6 +642,9 @@ impl<S: Smr> ConcurrentSet<S> for AbTree<S> {
             if node.is_null() {
                 continue;
             }
+            // SAFETY: `size` runs inside a read phase; under the reclaimers
+            // this structure is used with, every node reachable from the
+            // root stays dereferenceable for the announced phase.
             let node_ref = unsafe { node.deref() };
             if node_ref.is_leaf() {
                 count += node_ref.leaf_len;
@@ -643,6 +672,8 @@ impl<S: Smr> Drop for AbTree<S> {
             if node.is_null() {
                 continue;
             }
+            // SAFETY: `&mut self` — no concurrent access remains; every
+            // reachable node is exclusively ours and freed exactly once.
             let node_ref = unsafe { node.deref() };
             if !node_ref.is_leaf() {
                 let len = node_ref.int_len.load(Ordering::Relaxed);
@@ -650,6 +681,7 @@ impl<S: Smr> Drop for AbTree<S> {
                     stack.push(node_ref.children[i].load(Ordering::Relaxed));
                 }
             }
+            // SAFETY: as above.
             unsafe { recycle::free_node_raw(node.as_raw()) };
         }
     }

@@ -96,7 +96,10 @@ pub struct DgtTree<S: Smr> {
     root: Box<Node>,
 }
 
+// SAFETY: the tree owns its nodes through `Atomic` links; all shared access
+// goes through the `Smr` protection protocol, and `Smr: Send + Sync`.
 unsafe impl<S: Smr> Send for DgtTree<S> {}
+// SAFETY: as above — mutation is via atomics under per-node locks.
 unsafe impl<S: Smr> Sync for DgtTree<S> {}
 
 impl<S: Smr> DgtTree<S> {
@@ -109,6 +112,8 @@ impl<S: Smr> DgtTree<S> {
     pub fn with_smr(smr: S) -> Self {
         let min_leaf = Shared::from_raw(recycle::alloc_node_raw(Node::leaf(KEY_MIN)));
         let max_leaf = Shared::from_raw(recycle::alloc_node_raw(Node::leaf(KEY_MAX)));
+        // lint:allow-box-node — root sentinel: owned by the structure,
+        // never published for retirement, freed by Box's own drop.
         let root = Box::new(Node::internal(KEY_MAX, min_leaf, max_leaf));
         Self { smr, root }
     }
@@ -125,6 +130,7 @@ impl<S: Smr> DgtTree<S> {
         let mut gparent = Shared::null();
         let mut parent = self.root_shared();
         let mut slot = 0usize;
+        // SAFETY: `parent` is the root sentinel, owned by the tree.
         let mut curr = self
             .smr
             .protect(ctx, slot, unsafe { parent.deref() }.child_for(key));
@@ -132,6 +138,7 @@ impl<S: Smr> DgtTree<S> {
             return None;
         }
         loop {
+            // SAFETY: `curr` is covered by `slot` (the `protect` above).
             let curr_ref = unsafe { curr.deref() };
             if curr_ref.is_leaf() {
                 return Some(SearchResult {
@@ -164,6 +171,7 @@ impl<S: Smr> ConcurrentSet<S> for DgtTree<S> {
             let Some(r) = self.traverse(ctx, key) else {
                 continue;
             };
+            // SAFETY: `r.leaf` is still protected by its traversal slot.
             let found = unsafe { r.leaf.deref() }.key == key;
             self.smr.end_read_phase(ctx, &[]);
             break found;
@@ -181,6 +189,7 @@ impl<S: Smr> ConcurrentSet<S> for DgtTree<S> {
             let Some(r) = self.traverse(ctx, key) else {
                 continue;
             };
+            // SAFETY: `r.leaf` is still protected by its traversal slot.
             let leaf_ref = unsafe { r.leaf.deref() };
             if leaf_ref.key == key {
                 self.smr.end_read_phase(ctx, &[]);
@@ -192,6 +201,7 @@ impl<S: Smr> ConcurrentSet<S> for DgtTree<S> {
             self.smr
                 .end_read_phase(ctx, &[r.parent.untagged_usize(), r.leaf.untagged_usize()]);
 
+            // SAFETY: `r.parent` was just reserved by `end_read_phase`.
             let parent_ref = unsafe { r.parent.deref() };
             parent_ref.lock.lock();
             let child_slot = parent_ref.child_for(key);
@@ -227,6 +237,7 @@ impl<S: Smr> ConcurrentSet<S> for DgtTree<S> {
             let Some(r) = self.traverse(ctx, key) else {
                 continue;
             };
+            // SAFETY: `r.leaf` is still protected by its traversal slot.
             let leaf_ref = unsafe { r.leaf.deref() };
             if leaf_ref.key != key {
                 self.smr.end_read_phase(ctx, &[]);
@@ -245,7 +256,9 @@ impl<S: Smr> ConcurrentSet<S> for DgtTree<S> {
                 ],
             );
 
+            // SAFETY: `r.gparent` was just reserved by `end_read_phase`.
             let gparent_ref = unsafe { r.gparent.deref() };
+            // SAFETY: `r.parent` was just reserved by `end_read_phase`.
             let parent_ref = unsafe { r.parent.deref() };
             // Lock order: ancestor first (consistent tree order ⇒ no deadlock).
             gparent_ref.lock.lock();
@@ -292,6 +305,9 @@ impl<S: Smr> ConcurrentSet<S> for DgtTree<S> {
         let mut stack = vec![self.root_shared()];
         let mut count = 0usize;
         while let Some(node) = stack.pop() {
+            // SAFETY: `size` runs inside a read phase; under the reclaimers
+            // this structure is used with, every node reachable from the
+            // root stays dereferenceable for the announced phase.
             let node_ref = unsafe { node.deref() };
             if node_ref.is_leaf() {
                 if node_ref.key != KEY_MIN && node_ref.key != KEY_MAX {
@@ -324,9 +340,12 @@ impl<S: Smr> Drop for DgtTree<S> {
             if node.is_null() {
                 continue;
             }
+            // SAFETY: `&mut self` — no concurrent access remains; every
+            // reachable node is exclusively ours and freed exactly once.
             let node_ref = unsafe { node.deref() };
             stack.push(node_ref.left.load(Ordering::Relaxed));
             stack.push(node_ref.right.load(Ordering::Relaxed));
+            // SAFETY: as above.
             unsafe { recycle::free_node_raw(node.as_raw()) };
         }
     }

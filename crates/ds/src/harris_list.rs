@@ -60,7 +60,10 @@ pub struct HarrisList<S: Smr> {
     tail: Shared<Node>,
 }
 
+// SAFETY: the list owns its nodes through `Atomic` links; every shared
+// access goes through the `Smr` protection protocol, and `Smr: Send + Sync`.
 unsafe impl<S: Smr> Send for HarrisList<S> {}
+// SAFETY: as above — all mutation is via atomics and CAS.
 unsafe impl<S: Smr> Sync for HarrisList<S> {}
 
 impl<S: Smr> HarrisList<S> {
@@ -72,6 +75,8 @@ impl<S: Smr> HarrisList<S> {
     /// Creates an empty list around an existing reclaimer instance.
     pub fn with_smr(smr: S) -> Self {
         let tail = Shared::from_raw(recycle::alloc_node_raw(Node::new(KEY_MAX)));
+        // lint:allow-box-node — head sentinel: owned by the structure,
+        // never published for retirement, freed by Box's own drop.
         let head = Box::new(Node {
             header: NodeHeader::new(),
             key: KEY_MIN,
@@ -97,6 +102,8 @@ impl<S: Smr> HarrisList<S> {
             // and slot protecting the freshly loaded `t_next`.
             let mut t_prot_slot = SLOT_T_B;
             let mut t_next_slot = SLOT_T_A;
+            // SAFETY: `t` is the head sentinel, owned by the list and
+            // never freed while it exists.
             let mut t_next = self
                 .smr
                 .protect(ctx, t_next_slot, unsafe { &t.deref().next });
@@ -125,6 +132,8 @@ impl<S: Smr> HarrisList<S> {
                 } else {
                     SLOT_T_A
                 };
+                // SAFETY: `t` was returned by `protect` into `t_prot_slot`
+                // (or is the head) and that slot still covers it.
                 t_next = self
                     .smr
                     .protect(ctx, t_next_slot, unsafe { &t.deref().next });
@@ -148,6 +157,8 @@ impl<S: Smr> HarrisList<S> {
                     // intervals pin every record on the frozen chain.
                     self.smr
                         .end_read_phase(ctx, &[left.untagged_usize(), t.untagged_usize()]);
+                    // SAFETY: `left` is covered by SLOT_LEFT and was just
+                    // reserved by `end_read_phase` above.
                     let left_ref = unsafe { left.deref() };
                     if left_ref
                         .next
@@ -164,6 +175,8 @@ impl<S: Smr> HarrisList<S> {
                     }
                     continue 'search_again;
                 }
+                // SAFETY: `t` is covered by `t_prot_slot` (taken over from
+                // the `protect` that returned it).
                 let t_key = unsafe { t.deref().key };
                 if t_next.tag() & MARK == 0 && t_key >= key {
                     break;
@@ -173,6 +186,8 @@ impl<S: Smr> HarrisList<S> {
 
             // Phase 2: left and right already adjacent?
             if left_next.with_tag(0).ptr_eq(right) {
+                // SAFETY: `right` (== the last `t`) is covered by
+                // `t_prot_slot` for the duration of the read phase.
                 let right_marked = !right.ptr_eq(self.tail)
                     && unsafe { right.deref() }.next.load(Ordering::Acquire).tag() & MARK != 0;
                 if right_marked {
@@ -187,6 +202,7 @@ impl<S: Smr> HarrisList<S> {
             // left and right with one CAS, then retire them.
             self.smr
                 .end_read_phase(ctx, &[left.untagged_usize(), right.untagged_usize()]);
+            // SAFETY: `left` was reserved by `end_read_phase` just above.
             let left_ref = unsafe { left.deref() };
             if left_ref
                 .next
@@ -205,6 +221,9 @@ impl<S: Smr> HarrisList<S> {
                 // interval reclaimers").
                 let mut c = left_next.with_tag(0);
                 while !c.ptr_eq(right) {
+                    // SAFETY: `c` is on the chain this thread's CAS just
+                    // unlinked (see the comment above): not yet retired, so
+                    // no reclaimer can have freed it.
                     let nxt = unsafe { c.deref() }
                         .next
                         .load(Ordering::Acquire)
@@ -213,6 +232,7 @@ impl<S: Smr> HarrisList<S> {
                     unsafe { self.smr.retire(ctx, c) };
                     c = nxt;
                 }
+                // SAFETY: `right` was reserved by `end_read_phase` above.
                 let right_marked = !right.ptr_eq(self.tail)
                     && unsafe { right.deref() }.next.load(Ordering::Acquire).tag() & MARK != 0;
                 if right_marked {
@@ -234,6 +254,7 @@ impl<S: Smr> ConcurrentSet<S> for HarrisList<S> {
         check_key(key);
         self.smr.begin_op(ctx);
         let r = self.search(ctx, key);
+        // SAFETY: `search` returned with `r.right` reserved for this thread.
         let found = !r.right.ptr_eq(self.tail) && unsafe { r.right.deref() }.key == key;
         self.smr.clear_protections(ctx);
         self.smr.end_op(ctx);
@@ -245,6 +266,7 @@ impl<S: Smr> ConcurrentSet<S> for HarrisList<S> {
         self.smr.begin_op(ctx);
         let inserted = loop {
             let r = self.search(ctx, key);
+            // SAFETY: `search` returned with `r.right` reserved.
             if !r.right.ptr_eq(self.tail) && unsafe { r.right.deref() }.key == key {
                 break false;
             }
@@ -253,6 +275,7 @@ impl<S: Smr> ConcurrentSet<S> for HarrisList<S> {
             let mut node = Node::new(key);
             node.next = Atomic::new(r.right);
             let node = self.smr.alloc(ctx, node);
+            // SAFETY: `search` returned with `r.left` reserved.
             let left_ref = unsafe { r.left.deref() };
             if left_ref
                 .next
@@ -275,9 +298,11 @@ impl<S: Smr> ConcurrentSet<S> for HarrisList<S> {
         self.smr.begin_op(ctx);
         let removed = loop {
             let r = self.search(ctx, key);
+            // SAFETY: `search` returned with `r.right` reserved (both derefs).
             if r.right.ptr_eq(self.tail) || unsafe { r.right.deref() }.key != key {
                 break false;
             }
+            // SAFETY: as above — `r.right` is still reserved.
             let right_ref = unsafe { r.right.deref() };
             let right_next = right_ref.next.load(Ordering::Acquire);
             if right_next.tag() & MARK != 0 {
@@ -300,6 +325,7 @@ impl<S: Smr> ConcurrentSet<S> for HarrisList<S> {
             // Physical delete: try to unlink it ourselves; if we fail, a
             // subsequent search (ours, below, or any other thread's) unlinks
             // and retires it.
+            // SAFETY: `search` returned with `r.left` reserved.
             let left_ref = unsafe { r.left.deref() };
             if left_ref
                 .next
@@ -333,6 +359,10 @@ impl<S: Smr> ConcurrentSet<S> for HarrisList<S> {
             if node.ptr_eq(self.tail) {
                 break;
             }
+            // SAFETY: `size` runs inside a read phase; under the reclaimers
+            // whose `CAN_TRAVERSE_UNLINKED` contract this structure is used
+            // with, every node reachable from the head stays dereferenceable
+            // for the duration of the announced phase.
             let next = unsafe { node.deref() }.next.load(Ordering::Acquire);
             if next.tag() & MARK == 0 {
                 count += 1;
@@ -353,10 +383,13 @@ impl<S: Smr> Drop for HarrisList<S> {
     fn drop(&mut self) {
         let mut curr = self.head.next.load(Ordering::Relaxed).with_tag(0);
         while !curr.is_null() {
+            // SAFETY: `&mut self` — no thread can hold references into the
+            // list any more; every remaining node is exclusively ours.
             let next = unsafe { curr.deref() }
                 .next
                 .load(Ordering::Relaxed)
                 .with_tag(0);
+            // SAFETY: as above; each node is freed exactly once here.
             unsafe { recycle::free_node_raw(curr.as_raw()) };
             curr = next;
         }

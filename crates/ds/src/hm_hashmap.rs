@@ -31,7 +31,10 @@ pub struct HmHashMap<S: Smr> {
     buckets: Box<[HmCore]>,
 }
 
+// SAFETY: buckets own their nodes through `Atomic` links; all shared access
+// goes through the `Smr` protection protocol, and `Smr: Send + Sync`.
 unsafe impl<S: Smr> Send for HmHashMap<S> {}
+// SAFETY: as above — all mutation is via atomics and CAS.
 unsafe impl<S: Smr> Sync for HmHashMap<S> {}
 
 /// SplitMix64 finalizer: spreads adjacent keys across buckets.

@@ -80,6 +80,8 @@ pub(crate) struct HmCore {
 impl HmCore {
     pub(crate) fn new(policy: RestartPolicy) -> Self {
         let tail = Shared::from_raw(recycle::alloc_node_raw(Node::new(KEY_MAX)));
+        // lint:allow-box-node — head sentinel: owned by the core, never
+        // published for retirement, freed by Box's own drop.
         let head = Box::new(Node {
             header: NodeHeader::new(),
             key: KEY_MIN,
@@ -104,6 +106,7 @@ impl HmCore {
             // Rotating hazard slots: pred, curr, next.
             let mut pred_slot = 2usize;
             let mut curr_slot = 0usize;
+            // SAFETY: `pred` is the head sentinel here, owned by the core.
             let mut curr = smr.protect(ctx, curr_slot, unsafe { &pred.deref().next });
             if smr.checkpoint(ctx) {
                 continue 'from_root;
@@ -114,6 +117,8 @@ impl HmCore {
                     return FindResult { pred, curr };
                 }
                 let next_slot = 3 - pred_slot - curr_slot; // the remaining slot of {0,1,2}
+                                                           // SAFETY: `curr` is covered by `curr_slot` (the `protect`
+                                                           // that returned it).
                 let next = smr.protect(ctx, next_slot, unsafe { &curr.deref().next });
                 if smr.checkpoint(ctx) {
                     continue 'from_root;
@@ -123,6 +128,7 @@ impl HmCore {
                     // on the reserved pred/curr pair), then resume according to
                     // the policy.
                     smr.end_read_phase(ctx, &[pred.untagged_usize(), curr.untagged_usize()]);
+                    // SAFETY: `pred` was just reserved by `end_read_phase`.
                     let pred_ref = unsafe { pred.deref() };
                     let unlinked = pred_ref
                         .next
@@ -154,6 +160,7 @@ impl HmCore {
                         }
                     }
                 }
+                // SAFETY: `curr` is covered by `curr_slot`.
                 let curr_key = unsafe { curr.deref().key };
                 if curr_key >= key {
                     return FindResult { pred, curr };
@@ -170,6 +177,7 @@ impl HmCore {
         check_key(key);
         smr.begin_op(ctx);
         let r = self.find(smr, ctx, key);
+        // SAFETY: `find` returned with `r.curr` still protected.
         let found = !r.curr.ptr_eq(self.tail) && unsafe { r.curr.deref() }.key == key;
         smr.end_read_phase(ctx, &[]);
         smr.clear_protections(ctx);
@@ -182,6 +190,7 @@ impl HmCore {
         smr.begin_op(ctx);
         let inserted = loop {
             let r = self.find(smr, ctx, key);
+            // SAFETY: `find` returned with `r.curr` still protected.
             if !r.curr.ptr_eq(self.tail) && unsafe { r.curr.deref() }.key == key {
                 smr.end_read_phase(ctx, &[]);
                 break false;
@@ -190,6 +199,7 @@ impl HmCore {
             let mut node = Node::new(key);
             node.next = Atomic::new(r.curr);
             let node = smr.alloc(ctx, node);
+            // SAFETY: `r.pred` was reserved by `end_read_phase` above.
             let pred_ref = unsafe { r.pred.deref() };
             if pred_ref
                 .next
@@ -211,11 +221,13 @@ impl HmCore {
         smr.begin_op(ctx);
         let removed = loop {
             let r = self.find(smr, ctx, key);
+            // SAFETY: `find` returned with `r.curr` still protected.
             if r.curr.ptr_eq(self.tail) || unsafe { r.curr.deref() }.key != key {
                 smr.end_read_phase(ctx, &[]);
                 break false;
             }
             smr.end_read_phase(ctx, &[r.pred.untagged_usize(), r.curr.untagged_usize()]);
+            // SAFETY: `r.curr` was reserved by `end_read_phase` above.
             let curr_ref = unsafe { r.curr.deref() };
             let next = curr_ref.next.load(Ordering::Acquire);
             if next.tag() & MARK != 0 {
@@ -238,6 +250,7 @@ impl HmCore {
             }
             // Physical delete: if our unlink fails, some traversal will do it
             // (and retire the node).
+            // SAFETY: `r.pred` was reserved by `end_read_phase` above.
             let pred_ref = unsafe { r.pred.deref() };
             if pred_ref
                 .next
@@ -274,6 +287,8 @@ impl HmCore {
             if curr.ptr_eq(self.tail) {
                 break;
             }
+            // SAFETY: `count` runs inside a read phase; see its doc — only
+            // meaningful while no other thread mutates the core.
             let next = unsafe { curr.deref() }.next.load(Ordering::Acquire);
             if next.tag() & MARK == 0 {
                 count += 1;
@@ -290,10 +305,13 @@ impl Drop for HmCore {
     fn drop(&mut self) {
         let mut curr = self.head.next.load(Ordering::Relaxed).with_tag(0);
         while !curr.is_null() {
+            // SAFETY: `&mut self` — no concurrent access remains; every
+            // node is exclusively ours and freed exactly once.
             let next = unsafe { curr.deref() }
                 .next
                 .load(Ordering::Relaxed)
                 .with_tag(0);
+            // SAFETY: as above.
             unsafe { recycle::free_node_raw(curr.as_raw()) };
             curr = next;
         }
@@ -306,7 +324,10 @@ pub struct HmList<S: Smr> {
     core: HmCore,
 }
 
+// SAFETY: the core owns its nodes through `Atomic` links; all shared access
+// goes through the `Smr` protection protocol, and `Smr: Send + Sync`.
 unsafe impl<S: Smr> Send for HmList<S> {}
+// SAFETY: as above — all mutation is via atomics and CAS.
 unsafe impl<S: Smr> Sync for HmList<S> {}
 
 impl<S: Smr> HmList<S> {

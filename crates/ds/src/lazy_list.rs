@@ -64,6 +64,8 @@ impl<S: Smr> LazyList<S> {
     /// Creates an empty list around an existing reclaimer instance.
     pub fn with_smr(smr: S) -> Self {
         let tail = recycle::alloc_node_raw(Node::new(KEY_MAX));
+        // lint:allow-box-node — head sentinel: owned by the structure,
+        // never published for retirement, freed by Box's own drop.
         let head = Box::new(Node {
             header: NodeHeader::new(),
             key: KEY_MIN,
@@ -97,12 +99,15 @@ impl<S: Smr> LazyList<S> {
             return None;
         }
         loop {
+            // SAFETY: `curr` is covered by `slot` (the `protect` above).
             let curr_ref = unsafe { curr.deref() };
             if curr_ref.key >= key {
                 return Some((pred, curr, slot));
             }
             pred = curr;
             slot ^= 1;
+            // SAFETY: `pred` (the old `curr`) is still covered by the other
+            // slot until this `protect` returns.
             curr = self.smr.protect(ctx, slot, unsafe { &pred.deref().next });
             if self.smr.checkpoint(ctx) {
                 return None;
@@ -114,6 +119,7 @@ impl<S: Smr> LazyList<S> {
     #[inline]
     fn validate(pred: &Node, curr_ptr: Shared<Node>, pred_is_head: bool) -> bool {
         let pred_ok = pred_is_head || !pred.is_marked();
+        // SAFETY: the caller reserved `curr_ptr` before calling `validate`.
         pred_ok
             && !unsafe { curr_ptr.deref() }.is_marked()
             && pred.next.load(Ordering::Acquire).ptr_eq(curr_ptr)
@@ -133,6 +139,7 @@ impl<S: Smr> ConcurrentSet<S> for LazyList<S> {
             let Some((_pred, curr, _)) = self.traverse(ctx, key) else {
                 continue;
             };
+            // SAFETY: `curr` is still protected by its traversal slot.
             let curr_ref = unsafe { curr.deref() };
             let found = curr_ref.key == key && !curr_ref.is_marked();
             // Read-only operation: no reservations needed.
@@ -152,6 +159,7 @@ impl<S: Smr> ConcurrentSet<S> for LazyList<S> {
             let Some((pred, curr, _)) = self.traverse(ctx, key) else {
                 continue;
             };
+            // SAFETY: `curr` is still protected by its traversal slot.
             let curr_ref = unsafe { curr.deref() };
             if curr_ref.key == key && !curr_ref.is_marked() {
                 // Already present; linearizes at the `marked` read.
@@ -163,6 +171,7 @@ impl<S: Smr> ConcurrentSet<S> for LazyList<S> {
             self.smr
                 .end_read_phase(ctx, &[pred.untagged_usize(), curr.untagged_usize()]);
 
+            // SAFETY: `pred` was just reserved by `end_read_phase`.
             let pred_ref = unsafe { pred.deref() };
             let pred_is_head = pred.ptr_eq(self.head_shared());
             pred_ref.lock.lock();
@@ -201,6 +210,7 @@ impl<S: Smr> ConcurrentSet<S> for LazyList<S> {
             let Some((pred, curr, _)) = self.traverse(ctx, key) else {
                 continue;
             };
+            // SAFETY: `curr` is still protected by its traversal slot.
             let curr_ref = unsafe { curr.deref() };
             if curr_ref.key != key || curr_ref.is_marked() {
                 self.smr.end_read_phase(ctx, &[]);
@@ -210,6 +220,7 @@ impl<S: Smr> ConcurrentSet<S> for LazyList<S> {
             self.smr
                 .end_read_phase(ctx, &[pred.untagged_usize(), curr.untagged_usize()]);
 
+            // SAFETY: `pred` was just reserved by `end_read_phase`.
             let pred_ref = unsafe { pred.deref() };
             let pred_is_head = pred.ptr_eq(self.head_shared());
             pred_ref.lock.lock();
@@ -243,6 +254,9 @@ impl<S: Smr> ConcurrentSet<S> for LazyList<S> {
         let mut count = 0usize;
         let mut curr = self.head.next.load(Ordering::Acquire);
         loop {
+            // SAFETY: `size` runs inside a read phase; under the reclaimers
+            // this structure is used with, every node reachable from the
+            // head stays dereferenceable for the announced phase.
             let node = unsafe { curr.deref() };
             if node.key == KEY_MAX {
                 break;
@@ -268,7 +282,10 @@ impl<S: Smr> Drop for LazyList<S> {
         // (unlinked nodes are owned by the reclaimer's limbo bags).
         let mut curr = self.head.next.load(Ordering::Relaxed);
         while !curr.is_null() {
+            // SAFETY: `&mut self` — no concurrent access remains; every
+            // linked node is exclusively ours and freed exactly once.
             let next = unsafe { curr.deref() }.next.load(Ordering::Relaxed);
+            // SAFETY: as above.
             unsafe { recycle::free_node_raw(curr.as_raw()) };
             curr = next;
         }

@@ -25,6 +25,8 @@ static ENABLED: AtomicUsize = AtomicUsize::new(0);
 /// A `System`-backed allocator that tracks live and peak heap usage.
 pub struct CountingAlloc;
 
+// SAFETY: defers to `System` for every allocation; the layout contracts are
+// passed through unchanged, counters are side effects only.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let p = System.alloc(layout);

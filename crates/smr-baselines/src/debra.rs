@@ -176,6 +176,7 @@ impl Smr for Debra {
     }
 
     fn unregister(&self, ctx: &mut DebraCtx) {
+        smr_common::check::unpin_epoch(ctx.tid);
         self.announce(ctx.tid, 0, false);
         let mut leftovers = Vec::new();
         for bag in ctx.bags.iter_mut() {
@@ -195,6 +196,11 @@ impl Smr for Debra {
     fn begin_op(&self, ctx: &mut DebraCtx) {
         let e = self.epoch.now();
         self.announce(ctx.tid, e, true);
+        // Oracle: active at epoch `e` — no record retired at epoch ≥ e may
+        // be freed while this op runs (the bag rule frees at retire + 2,
+        // and the advance to retire + 2 needs every active announcement to
+        // be past the retire epoch).
+        smr_common::check::pin_epoch(ctx.tid, e);
         self.sync_local_epoch(ctx, e);
         ctx.ops_since_advance += 1;
         if ctx.ops_since_advance >= self.config.epoch_freq {
@@ -209,6 +215,9 @@ impl Smr for Debra {
 
     #[inline]
     fn end_op(&self, ctx: &mut DebraCtx) {
+        // Unpin before going quiescent — and before the scans below, which
+        // may free this thread's own current-epoch retires.
+        smr_common::check::unpin_epoch(ctx.tid);
         self.announce(ctx.tid, 0, false);
         let pending = self.limbo_len(ctx);
         if ctx.scan.tick_op(&self.policy, pending) {
@@ -224,6 +233,19 @@ impl Smr for Debra {
 
     unsafe fn retire<T: SmrNode>(&self, ctx: &mut DebraCtx, ptr: Shared<T>) {
         debug_assert!(!ptr.is_null());
+        // Stamp with the epoch read *now*, not the one announced at
+        // `begin_op`: the global epoch can advance mid-operation (this
+        // thread's announcement of `e` only blocks the advance past `e+1`),
+        // and a reader that began in epoch `e+1` before this record was
+        // unlinked may hold a pointer to it. Bagging under the stale
+        // `begin_op` epoch `e` would free at `e+2` — exactly when that
+        // reader can still be active. Re-reading makes the classic argument
+        // go through: the `e'+1 → e'+2` advance (with `e'` the retire-time
+        // epoch) requires every active thread to have begun after the epoch
+        // reached `e'+1`, which is after this retire, which is after the
+        // unlink. Found by smr-check (use-after-free/deref on the Harris
+        // list; replay: strategy=random/1 within the seeded sweep).
+        self.sync_local_epoch(ctx, self.epoch.now());
         let idx = Self::current_bag_index(ctx);
         ctx.bags[idx].push(Retired::new(ptr.as_raw(), ctx.local_epoch));
         ctx.stats.retires += 1;

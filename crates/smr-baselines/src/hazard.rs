@@ -104,6 +104,9 @@ impl HazardPointers {
     }
 
     fn clear_slots(&self, tid: usize) {
+        // Claims drop first: mirrored claims must stay a subset of the real
+        // announcements (a claim outliving its slot would flag legal frees).
+        smr_common::check::clear_claims(tid);
         for h in self.hazards[tid].slots.iter() {
             if h.load(Ordering::Relaxed) != 0 {
                 h.store(0, Ordering::Release);
@@ -182,12 +185,21 @@ impl Smr for HazardPointers {
     fn protect<T: SmrNode>(&self, ctx: &mut HpCtx, slot: usize, src: &Atomic<T>) -> Shared<T> {
         let slots = &self.hazards[ctx.tid].slots;
         debug_assert!(slot < slots.len(), "hazard slot index out of range");
+        // The slot is being repurposed: whatever it validated before stops
+        // being protected at the first announcement store below, so the
+        // mirrored claim must drop *now* (a claim outliving its slot would
+        // flag legal frees of the abandoned record).
+        smr_common::check::claim_addr(ctx.tid, slot, 0);
         let mut p = src.load(Ordering::Acquire);
         loop {
             // Announce, fence (SeqCst store), then validate against the source.
             slots[slot].store(p.untagged_usize(), Ordering::SeqCst);
             let q = src.load(Ordering::SeqCst);
             if q.ptr_eq(p) {
+                // The claim is mirrored only for the *validated* value: a
+                // failing iteration's transient announcement protects nothing
+                // (the record may legitimately be freed while it is up).
+                smr_common::check::claim_addr(ctx.tid, slot, q.untagged_usize());
                 return q;
             }
             ctx.stats.protect_failures += 1;
@@ -215,6 +227,7 @@ impl Smr for HazardPointers {
         // `scan_and_reclaim` and DESIGN.md, "Validate-after-copy for moved
         // hazards").
         self.hazards[ctx.tid].slots[dst_slot].store(ptr.untagged_usize(), Ordering::SeqCst);
+        smr_common::check::claim_addr(ctx.tid, dst_slot, ptr.untagged_usize());
     }
 
     #[inline]

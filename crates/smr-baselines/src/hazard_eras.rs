@@ -60,6 +60,15 @@ pub struct HazardEras {
     slots: Vec<CachePadded<EraSlots>>,
     pool: Arc<BlockPool>,
     orphans: OrphanPool,
+    /// Test-only resurrection of the pre-fix **point-era** sweep: each
+    /// announced era is treated as a degenerate `[e, e]` interval instead of
+    /// folding a thread's slots into their contiguous hull. This reopens the
+    /// exact marked-chain soundness hole PR 5 closed (a record born and
+    /// retired strictly between two announced eras is covered by neither
+    /// point) so the smr-check explorer can prove it rediscovers the bug.
+    /// Only settable under the `check` feature; never read by release builds.
+    #[cfg(feature = "check")]
+    resurrect_point_sweep: std::sync::atomic::AtomicBool,
 }
 
 impl HazardEras {
@@ -67,6 +76,25 @@ impl HazardEras {
     /// interval `[min, max]` over its non-empty slots — pushing one bound
     /// pair per announcing thread.
     fn collect_hulls(&self, lowers: &mut Vec<u64>, uppers: &mut Vec<u64>) {
+        #[cfg(feature = "check")]
+        if self
+            .resurrect_point_sweep
+            .load(std::sync::atomic::Ordering::SeqCst)
+        {
+            // Resurrected pre-fix behaviour: every announced era is its own
+            // degenerate interval; the gap between two announcements covers
+            // nothing.
+            for tid in self.registry.active_tids() {
+                for s in self.slots[tid].slots.iter() {
+                    let e = s.load(Ordering::Acquire);
+                    if e != NONE {
+                        lowers.push(e);
+                        uppers.push(e);
+                    }
+                }
+            }
+            return;
+        }
         for tid in self.registry.active_tids() {
             let (mut lo, mut hi) = (u64::MAX, NONE);
             // Two passes over the thread's slots, folded into one hull,
@@ -129,11 +157,23 @@ impl HazardEras {
     }
 
     fn clear_slots(&self, tid: usize) {
+        // Claims drop first: mirrored claims must stay a subset of the real
+        // announcements (a claim outliving its slot would flag legal frees).
+        smr_common::check::clear_claims(tid);
         for s in self.slots[tid].slots.iter() {
             if s.load(Ordering::Relaxed) != NONE {
                 s.store(NONE, Ordering::Release);
             }
         }
+    }
+
+    /// Restores the pre-fix point-era sweep (see the field docs). Test-only:
+    /// the smr-check resurrect suite flips this to prove the checker finds
+    /// the historical marked-chain bug.
+    #[cfg(feature = "check")]
+    pub fn resurrect_point_era_sweep(&self) {
+        self.resurrect_point_sweep
+            .store(true, std::sync::atomic::Ordering::SeqCst);
     }
 }
 
@@ -171,6 +211,8 @@ impl Smr for HazardEras {
             pool: BlockPool::from_config(&config),
             orphans: OrphanPool::new(),
             config,
+            #[cfg(feature = "check")]
+            resurrect_point_sweep: std::sync::atomic::AtomicBool::new(false),
         }
     }
 
@@ -223,9 +265,19 @@ impl Smr for HazardEras {
             let p = src.load(Ordering::Acquire);
             let era = self.era.now();
             if era == announced {
+                // Mirror the stable announcement (the oracle folds a
+                // thread's era claims into the same [min, max] hull the
+                // reclamation sweep uses).
+                smr_common::check::claim_era(ctx.tid, slot, era);
                 return p;
             }
             slots[slot].store(era, Ordering::SeqCst);
+            // Keep the mirrored claim in lockstep with the real slot: the
+            // old era stops being announced by the store above, and leaving
+            // it claimed would stretch the oracle's hull beyond what the
+            // real sweep sees (no preempt point sits between the store and
+            // this call, so the pair is scheduler-atomic).
+            smr_common::check::claim_era(ctx.tid, slot, era);
             announced = era;
             ctx.stats.protect_failures += 1;
         }
@@ -258,6 +310,9 @@ impl Smr for HazardEras {
         if slots[dst_slot].load(Ordering::Relaxed) != era {
             slots[dst_slot].store(era, Ordering::SeqCst);
         }
+        if era != NONE {
+            smr_common::check::claim_era(ctx.tid, dst_slot, era);
+        }
     }
 
     #[inline]
@@ -281,6 +336,8 @@ impl Smr for HazardEras {
         // which its previous incarnation was freed (`Smr::alloc` docs).
         // SAFETY: freshly allocated above, not yet published.
         unsafe { (*raw).header_mut().set_birth_era(self.era.now()) };
+        // SAFETY: same exclusive ownership as the line above.
+        smr_common::check::on_node_alloc(raw as usize, unsafe { (*raw).header().birth_era() });
         ctx.allocs_since_advance += 1;
         if ctx.allocs_since_advance >= self.config.epoch_freq {
             ctx.allocs_since_advance = 0;

@@ -49,6 +49,15 @@ pub struct Ibr {
     slots: Vec<CachePadded<IntervalSlot>>,
     pool: Arc<BlockPool>,
     orphans: OrphanPool,
+    /// Test-only resurrection of the pre-fix **stamp-before-pop** allocation:
+    /// the birth era is read from the clock *before* the magazine pop instead
+    /// of after it. The era read then races the previous incarnation's free —
+    /// a stale stamp dates the new incarnation's lifetime to overlap the old
+    /// one, breaking the incarnation-disjointness contract `recycle_aba.rs`
+    /// pins (the intervals of two occupants of one address must never
+    /// overlap). Only settable under the `check` feature.
+    #[cfg(feature = "check")]
+    resurrect_stamp_before_pop: std::sync::atomic::AtomicBool,
 }
 
 impl Ibr {
@@ -98,6 +107,15 @@ impl Ibr {
             ctx.stats.reclaim_skips += 1;
         }
     }
+
+    /// Restores the pre-fix stamp-before-pop allocation (see the field docs).
+    /// Test-only: the smr-check resurrect suite flips this to prove the
+    /// checker finds the historical recycled-incarnation bug.
+    #[cfg(feature = "check")]
+    pub fn resurrect_stamp_before_pop(&self) {
+        self.resurrect_stamp_before_pop
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+    }
 }
 
 impl Smr for Ibr {
@@ -136,6 +154,8 @@ impl Smr for Ibr {
             pool: BlockPool::from_config(&config),
             orphans: OrphanPool::new(),
             config,
+            #[cfg(feature = "check")]
+            resurrect_stamp_before_pop: std::sync::atomic::AtomicBool::new(false),
         }
     }
 
@@ -161,6 +181,7 @@ impl Smr for Ibr {
     }
 
     fn unregister(&self, ctx: &mut IbrCtx) {
+        smr_common::check::clear_claims(ctx.tid);
         self.slots[ctx.tid].lower.store(IDLE, Ordering::SeqCst);
         self.slots[ctx.tid].upper.store(IDLE, Ordering::SeqCst);
         self.scan_and_reclaim(ctx);
@@ -179,10 +200,16 @@ impl Smr for Ibr {
         let e = self.era.now();
         self.slots[ctx.tid].lower.store(e, Ordering::SeqCst);
         self.slots[ctx.tid].upper.store(e, Ordering::SeqCst);
+        // Mirror the interval as two era claims (pseudo-slot 0 = lower,
+        // 1 = upper); the oracle's hull over them is exactly [lower, upper].
+        smr_common::check::claim_era(ctx.tid, 0, e);
+        smr_common::check::claim_era(ctx.tid, 1, e);
     }
 
     #[inline]
     fn end_op(&self, ctx: &mut IbrCtx) {
+        // Claims drop first (they must stay a subset of the announcement).
+        smr_common::check::clear_claims(ctx.tid);
         // Withdrawing an announcement only *permits* more reclamation, so a
         // delayed-visibility (Release) store is safe: a scan that still sees
         // the old interval merely pins a few records longer. The next
@@ -214,21 +241,57 @@ impl Smr for Ibr {
             let p = src.load(Ordering::Acquire);
             let e = self.era.now();
             if announced != IDLE && e <= announced {
+                smr_common::check::claim_era(ctx.tid, 1, announced);
                 return p;
             }
             upper.store(e, Ordering::SeqCst);
+            // Mirror the grown interval immediately (scheduler-atomic with
+            // the store above): the claim hull must track the real
+            // announcement or later loop iterations under-claim the records
+            // this thread is about to dereference.
+            smr_common::check::claim_era(ctx.tid, 1, e);
             announced = e;
             ctx.stats.protect_failures += 1;
         }
     }
 
     fn alloc<T: SmrNode>(&self, ctx: &mut IbrCtx, value: T) -> Shared<T> {
+        #[cfg(feature = "check")]
+        if self
+            .resurrect_stamp_before_pop
+            .load(std::sync::atomic::Ordering::SeqCst)
+        {
+            // Resurrected pre-fix shape: the clock is read *before* the pop.
+            // Between the read and the pop another thread can retire + free
+            // the block this pop will return at an era `r > e`; stamping `e`
+            // then backdates the new incarnation into the old one's lifetime.
+            // The preempt point is the window the explorer widens.
+            let e = self.era.now();
+            smr_common::check::preempt("ibr.alloc.stale-stamp", 0);
+            let mut value = value;
+            value.header_mut().set_birth_era(e);
+            let raw = ctx.mag.alloc_node(value);
+            smr_common::check::on_node_alloc(raw as usize, e);
+            // Keep the normal era-advance cadence: the historical bug was
+            // the stamp-before-pop ordering, not a frozen clock (without
+            // this the era never moves and no retire can postdate `e`).
+            ctx.allocs_since_advance += 1;
+            if ctx.allocs_since_advance >= self.config.epoch_freq {
+                ctx.allocs_since_advance = 0;
+                self.era.advance();
+                ctx.stats.epoch_advances += 1;
+            }
+            ctx.stats.allocs += 1;
+            return Shared::from_raw(raw);
+        }
         let raw = ctx.mag.alloc_node(value);
         // Stamp after the pop (which happens-after the block's free), so a
         // recycled block's new birth era is never older than the era at
         // which its previous incarnation was freed (`Smr::alloc` docs).
         // SAFETY: freshly allocated above, not yet published.
         unsafe { (*raw).header_mut().set_birth_era(self.era.now()) };
+        // SAFETY: same exclusive ownership as the line above.
+        smr_common::check::on_node_alloc(raw as usize, unsafe { (*raw).header().birth_era() });
         ctx.allocs_since_advance += 1;
         if ctx.allocs_since_advance >= self.config.epoch_freq {
             ctx.allocs_since_advance = 0;

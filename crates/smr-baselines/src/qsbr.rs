@@ -143,6 +143,7 @@ impl Smr for Qsbr {
     }
 
     fn unregister(&self, ctx: &mut QsbrCtx) {
+        smr_common::check::unpin_epoch(ctx.tid);
         self.slots[ctx.tid]
             .quiescent_epoch
             .store(OFFLINE, Ordering::SeqCst);
@@ -165,11 +166,20 @@ impl Smr for Qsbr {
         // Operations run "inside" whatever epoch the thread last observed; the
         // quiescent announcement happens at the end of the operation.
         let e = self.epoch.now();
+        // Oracle mirror: while this op runs, the stale quiescent announcement
+        // caps the observable epoch at `e + 1`, so no record retired at an
+        // epoch >= e can be freed (frees need retire + 2 <= observed). Pinning
+        // at `e` therefore never over-claims.
+        smr_common::check::pin_epoch(ctx.tid, e);
         self.sync_local_epoch(ctx, e);
     }
 
     #[inline]
     fn end_op(&self, ctx: &mut QsbrCtx) {
+        // Oracle mirror: drop the pin before announcing quiescence — the
+        // scans below may free this thread's own bags, which is legal once
+        // the op is over (claims must stay a subset of real announcements).
+        smr_common::check::unpin_epoch(ctx.tid);
         // Quiescent state: announce the current epoch and occasionally try to
         // advance it. Release suffices for the announcement: it orders the
         // finished operation's reads before the store (the direction safety
@@ -202,6 +212,16 @@ impl Smr for Qsbr {
 
     unsafe fn retire<T: SmrNode>(&self, ctx: &mut QsbrCtx, ptr: Shared<T>) {
         debug_assert!(!ptr.is_null());
+        // Stamp with the epoch read *now*, not the one cached at `begin_op`:
+        // this thread's quiescent announcement from its *previous* op does
+        // not block mid-op epoch advances, so a reader beginning in epoch
+        // `e+1` before this record's unlink can hold a pointer while a
+        // stale-`e` bag is freed at `e+2`. Re-reading restores the grace
+        // period argument: the `e'+1 → e'+2` advance requires every thread
+        // to go quiescent after the epoch reached `e'+1`, which postdates
+        // this retire and hence the unlink (same stale-stamp shape smr-check
+        // caught in DEBRA).
+        self.sync_local_epoch(ctx, self.epoch.now());
         let idx = (ctx.local_epoch as usize) % BAGS;
         ctx.bags[idx].push(Retired::new(ptr.as_raw(), ctx.local_epoch));
         ctx.stats.retires += 1;

@@ -130,6 +130,7 @@ impl Smr for Rcu {
     }
 
     fn unregister(&self, ctx: &mut RcuCtx) {
+        smr_common::check::unpin_epoch(ctx.tid);
         self.slots[ctx.tid].announced.store(IDLE, Ordering::SeqCst);
         self.orphans.adopt(ctx.limbo.drain());
         ctx.mag.flush();
@@ -145,10 +146,17 @@ impl Smr for Rcu {
     fn begin_op(&self, ctx: &mut RcuCtx) {
         let e = self.era.now();
         self.slots[ctx.tid].announced.store(e, Ordering::SeqCst);
+        // Oracle mirror (after the real announcement): frees require
+        // `retire_era < min announced`, so while `e` is published no record
+        // with retire era >= e may be freed.
+        smr_common::check::pin_epoch(ctx.tid, e);
     }
 
     #[inline]
     fn end_op(&self, ctx: &mut RcuCtx) {
+        // Oracle mirror: drop the pin before the real withdrawal so the
+        // mirrored claim stays a subset of the published announcement.
+        smr_common::check::unpin_epoch(ctx.tid);
         // Withdrawing the announcement only *permits* more reclamation
         // (Release suffices): prior reads of this operation stay ordered
         // before the store, and the next begin_op re-announces with SeqCst

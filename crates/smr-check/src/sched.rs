@@ -1,0 +1,474 @@
+//! The deterministic schedule explorer: a seeded cooperative scheduler that
+//! drives N scenario tasks on real OS threads with **exactly one task
+//! runnable at a time**, context-switching only at the instrumentation
+//! layer's [`preempt`](smr_common::check::preempt) points (every `Atomic`
+//! load/store/CAS, ping poll/broadcast/ack-wait, and the scheme-specific
+//! windows such as IBR's stamp-before-pop gap).
+//!
+//! Because every shared-memory step is serialized through the scheduler, an
+//! interleaving is fully determined by the `(strategy, seed)` pair: the same
+//! pair replays the same schedule, so a failure report printing the seed is a
+//! replayable trace.
+//!
+//! Two strategies are provided:
+//!
+//! * [`Strategy::Random`] — at each step, switch to a uniformly chosen
+//!   runnable task with probability `1/switch_one_in` (staying put is free:
+//!   no condvar round-trip, so the explorer gets long deterministic bursts
+//!   punctuated by random switches).
+//! * [`Strategy::Pct`] — the priority-based PCT sampler (Burckhardt et al.):
+//!   tasks get a random priority permutation, the highest-priority runnable
+//!   task always runs, and at `depth` pre-drawn step indices the running
+//!   task is demoted below everyone else. PCT finds bugs of preemption depth
+//!   `d` with probability ≥ 1/(n·k^d) per schedule, which is why a handful
+//!   of PCT schedules often beats thousands of uniformly random ones.
+//!
+//! A task that spins (e.g. a reclaimer awaiting ping acks) preempts on every
+//! iteration, so the scheduler can interleave the thread it is waiting for;
+//! the schemes' own `ack_spin_limit` bounds such loops, and a global step
+//! [`budget`](run_schedule) backstops anything that still livelocks.
+
+use smr_common::check::{self, Preemptor};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// SplitMix64: the repo-standard deterministic sequence (also used by the
+/// `ds` model checks and the vendored `rand`).
+#[derive(Debug, Clone)]
+pub struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (n > 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// Scheduling strategy for one schedule run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Switch to a uniformly random runnable task with probability
+    /// `1/switch_one_in` at each step.
+    Random {
+        /// Expected steps between switches (≥ 1; 1 = switch every step).
+        switch_one_in: u64,
+    },
+    /// PCT with `depth` priority change points.
+    Pct {
+        /// Number of change points (the targeted preemption depth − 1).
+        depth: usize,
+    },
+}
+
+impl Strategy {
+    /// Short label for failure reports.
+    pub fn label(self) -> String {
+        match self {
+            Strategy::Random { switch_one_in } => format!("random/{switch_one_in}"),
+            Strategy::Pct { depth } => format!("pct/{depth}"),
+        }
+    }
+}
+
+/// Outcome of one schedule run.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Preemption points executed before the run ended.
+    pub steps: u64,
+    /// First worker panic (oracle violation or scenario assertion), if any.
+    pub failure: Option<String>,
+    /// The step budget ran out: the run was released to free-running mode to
+    /// finish, and its tail is not schedule-deterministic. Not a failure by
+    /// itself, but a sweep that mostly exhausts budgets explores poorly.
+    pub budget_exhausted: bool,
+}
+
+enum StratState {
+    Random {
+        switch_one_in: u64,
+    },
+    Pct {
+        /// Per-task priority; higher runs first. Demotions assign fresh
+        /// all-time minima so the order of demotion is preserved. Signed so
+        /// minima can keep descending below the initial `1..=n` band
+        /// (an unsigned decrement from 0 would wrap to the *maximum* and
+        /// turn every demotion into a promotion).
+        prio: Vec<i64>,
+        /// Sorted step indices at which the running task is demoted.
+        change_at: Vec<u64>,
+        next_change: usize,
+        next_low: i64,
+    },
+}
+
+/// Expected schedule length used to spread PCT change points. PCT's bug-find
+/// probability depends on change points landing *inside* the run, so this
+/// must track real schedule lengths: the matrix/resurrect scenarios measure
+/// ~150-500 steps on the quiet config. Points past the run's end are wasted
+/// (they never fire), which silently degrades PCT to static priorities —
+/// exactly the failure mode that hid the stamp-before-pop resurrection until
+/// this was lowered from 30_000.
+const PCT_HORIZON: u64 = 512;
+
+/// Forced-rotation backstop: a task that has run this many consecutive steps
+/// is demoted (PCT) / forcibly switched away from (Random) so a spin that the
+/// schemes' own bounds somehow miss cannot monopolize the schedule.
+const ROTATE_AFTER: u64 = 50_000;
+
+struct Core {
+    current: usize,
+    done: Vec<bool>,
+    steps: u64,
+    budget: u64,
+    aborted: bool,
+    failure: Option<String>,
+    budget_exhausted: bool,
+    rng: SplitMix64,
+    strat: StratState,
+    /// Consecutive steps by `current` without a switch.
+    consec: u64,
+}
+
+impl Core {
+    fn new(n: usize, strategy: Strategy, seed: u64, budget: u64) -> Self {
+        let mut rng = SplitMix64(seed ^ 0xA5A5_5A5A_C3C3_3C3C);
+        let strat = match strategy {
+            Strategy::Random { switch_one_in } => StratState::Random {
+                switch_one_in: switch_one_in.max(1),
+            },
+            Strategy::Pct { depth } => {
+                // Random priority permutation via Fisher-Yates.
+                let mut prio: Vec<i64> = (1..=n as i64).collect();
+                for i in (1..n).rev() {
+                    let j = rng.below(i as u64 + 1) as usize;
+                    prio.swap(i, j);
+                }
+                let mut change_at: Vec<u64> =
+                    (0..depth).map(|_| 1 + rng.below(PCT_HORIZON)).collect();
+                change_at.sort_unstable();
+                StratState::Pct {
+                    prio,
+                    change_at,
+                    next_change: 0,
+                    next_low: 0,
+                }
+            }
+        };
+        let mut core = Self {
+            current: 0,
+            done: vec![false; n],
+            steps: 0,
+            budget,
+            aborted: false,
+            failure: None,
+            budget_exhausted: false,
+            rng,
+            strat,
+            consec: 0,
+        };
+        core.current = core.pick_first();
+        core
+    }
+
+    fn ready(&self) -> Vec<usize> {
+        (0..self.done.len()).filter(|&i| !self.done[i]).collect()
+    }
+
+    fn pick_first(&mut self) -> usize {
+        match &self.strat {
+            StratState::Random { .. } => self.rng.below(self.done.len() as u64) as usize,
+            StratState::Pct { prio, .. } => (0..prio.len())
+                .max_by_key(|&i| prio[i])
+                .expect("at least one task"),
+        }
+    }
+
+    /// Picks who runs next, given that `me` just hit a preemption point.
+    fn decide(&mut self, me: usize) -> usize {
+        let force_rotate = self.consec >= ROTATE_AFTER;
+        match &mut self.strat {
+            StratState::Random { switch_one_in } => {
+                let one_in = *switch_one_in;
+                if force_rotate || self.rng.below(one_in) == 0 {
+                    let ready = self.ready();
+                    if force_rotate && ready.len() > 1 {
+                        // Exclude `me` so the rotation actually rotates.
+                        let others: Vec<usize> = ready.into_iter().filter(|&i| i != me).collect();
+                        others[self.rng.below(others.len() as u64) as usize]
+                    } else {
+                        ready[self.rng.below(ready.len() as u64) as usize]
+                    }
+                } else {
+                    me
+                }
+            }
+            StratState::Pct {
+                prio,
+                change_at,
+                next_change,
+                next_low,
+            } => {
+                let mut demote = force_rotate;
+                while *next_change < change_at.len() && self.steps >= change_at[*next_change] {
+                    *next_change += 1;
+                    demote = true;
+                }
+                if demote {
+                    *next_low -= 1;
+                    prio[me] = *next_low; // below every initial priority
+                }
+                let prio = &*prio;
+                (0..self.done.len())
+                    .filter(|&i| !self.done[i])
+                    .max_by_key(|&i| prio[i])
+                    .unwrap_or(me)
+            }
+        }
+    }
+
+    /// Picks a successor when `me` has finished (is already marked done).
+    fn pick_next_ready(&mut self) -> Option<usize> {
+        let ready = self.ready();
+        if ready.is_empty() {
+            return None;
+        }
+        Some(match &self.strat {
+            StratState::Random { .. } => ready[self.rng.below(ready.len() as u64) as usize],
+            StratState::Pct { prio, .. } => {
+                *ready.iter().max_by_key(|&&i| prio[i]).expect("non-empty")
+            }
+        })
+    }
+}
+
+struct Shared {
+    core: Mutex<Core>,
+    cv: Condvar,
+}
+
+fn lock(shared: &Shared) -> MutexGuard<'_, Core> {
+    shared.core.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The per-worker [`Preemptor`] installed for the duration of the task body.
+struct TaskHandle {
+    id: usize,
+    shared: Arc<Shared>,
+}
+
+impl Preemptor for TaskHandle {
+    fn preempt(&self, point: &'static str, _addr: usize) {
+        let mut core = lock(&self.shared);
+        if core.aborted {
+            return;
+        }
+        core.steps += 1;
+        if core.steps >= core.budget {
+            // Release everyone to free-running mode so the scenario can
+            // drain; the run is recorded as budget-exhausted, not failed.
+            core.aborted = true;
+            core.budget_exhausted = true;
+            let _ = point;
+            self.shared.cv.notify_all();
+            return;
+        }
+        let next = core.decide(self.id);
+        if next == self.id {
+            core.consec += 1;
+            return;
+        }
+        core.current = next;
+        core.consec = 0;
+        self.shared.cv.notify_all();
+        while !core.aborted && core.current != self.id {
+            core = self
+                .shared
+                .cv
+                .wait(core)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
+
+/// Runs `tasks` to completion under one deterministic schedule drawn from
+/// `(strategy, seed)`. Returns once every task has finished (a failed task
+/// releases the others to free-running mode first, so teardown always
+/// completes). `budget` bounds the number of preemption points before the
+/// run degrades to free-running.
+pub fn run_schedule(
+    strategy: Strategy,
+    seed: u64,
+    budget: u64,
+    tasks: Vec<Box<dyn FnOnce() + Send>>,
+) -> Outcome {
+    let n = tasks.len();
+    assert!(n > 0, "a schedule needs at least one task");
+    let shared = Arc::new(Shared {
+        core: Mutex::new(Core::new(n, strategy, seed, budget)),
+        cv: Condvar::new(),
+    });
+    let mut handles = Vec::with_capacity(n);
+    for (id, body) in tasks.into_iter().enumerate() {
+        let shared = Arc::clone(&shared);
+        handles.push(std::thread::spawn(move || {
+            // Wait to be scheduled for the first time.
+            {
+                let mut core = lock(&shared);
+                while !core.aborted && core.current != id {
+                    core = shared.cv.wait(core).unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+            check::set_preemptor(Some(Arc::new(TaskHandle {
+                id,
+                shared: Arc::clone(&shared),
+            })));
+            let result = catch_unwind(AssertUnwindSafe(body));
+            check::set_preemptor(None);
+            let mut core = lock(&shared);
+            core.done[id] = true;
+            if let Err(payload) = result {
+                if core.failure.is_none() {
+                    core.failure = Some(panic_message(payload));
+                }
+                core.aborted = true;
+            } else if !core.aborted {
+                if let Some(next) = core.pick_next_ready() {
+                    core.current = next;
+                    core.consec = 0;
+                }
+            }
+            shared.cv.notify_all();
+        }));
+    }
+    for h in handles {
+        // A panicking worker was already caught by catch_unwind; join errors
+        // would mean a panic in our own wrapper, which we surface as-is.
+        h.join().expect("scheduler worker wrapper panicked");
+    }
+    let core = lock(&shared);
+    Outcome {
+        steps: core.steps,
+        failure: core.failure.clone(),
+        budget_exhausted: core.budget_exhausted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Three tasks, each recording its id at every step; the interleaving
+    /// must be a pure function of the seed.
+    fn trace_for(strategy: Strategy, seed: u64) -> Vec<usize> {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut tasks: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+        for id in 0..3usize {
+            let log = Arc::clone(&log);
+            tasks.push(Box::new(move || {
+                for _ in 0..40 {
+                    check::preempt("test.step", 0);
+                    log.lock().unwrap().push(id);
+                }
+            }));
+        }
+        let out = run_schedule(strategy, seed, 100_000, tasks);
+        assert!(out.failure.is_none(), "{:?}", out.failure);
+        assert!(!out.budget_exhausted);
+        Arc::try_unwrap(log).unwrap().into_inner().unwrap()
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        for strategy in [
+            Strategy::Random { switch_one_in: 3 },
+            Strategy::Pct { depth: 4 },
+        ] {
+            let a = trace_for(strategy, 42);
+            let b = trace_for(strategy, 42);
+            assert_eq!(a, b, "schedule must be deterministic for {strategy:?}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = trace_for(Strategy::Random { switch_one_in: 2 }, 1);
+        let b = trace_for(Strategy::Random { switch_one_in: 2 }, 2);
+        assert_ne!(a, b, "distinct seeds should explore distinct interleavings");
+    }
+
+    #[test]
+    fn only_one_task_runs_at_a_time() {
+        // A data race on a plain (non-atomic, scheduler-protected) counter
+        // would be flagged by the parity check below under free threading;
+        // under the one-runnable-at-a-time scheduler the increments around
+        // each preemption point are atomic with respect to task switches.
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut tasks: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+        for _ in 0..4 {
+            let counter = Arc::clone(&counter);
+            tasks.push(Box::new(move || {
+                for _ in 0..50 {
+                    let before = counter.load(Ordering::Relaxed);
+                    counter.store(before + 1, Ordering::Relaxed);
+                    let after = counter.load(Ordering::Relaxed);
+                    assert_eq!(after, before + 1, "another task ran inside our step");
+                    check::preempt("test.step", 0);
+                }
+            }));
+        }
+        let out = run_schedule(Strategy::Random { switch_one_in: 1 }, 7, 100_000, tasks);
+        assert!(out.failure.is_none(), "{:?}", out.failure);
+        assert_eq!(counter.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn worker_panic_is_reported_and_others_drain() {
+        let mut tasks: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+        tasks.push(Box::new(|| {
+            check::preempt("test.step", 0);
+            panic!("scripted failure");
+        }));
+        for _ in 0..2 {
+            tasks.push(Box::new(|| {
+                for _ in 0..20 {
+                    check::preempt("test.step", 0);
+                }
+            }));
+        }
+        let out = run_schedule(Strategy::Random { switch_one_in: 2 }, 3, 100_000, tasks);
+        let failure = out.failure.expect("panic must be captured");
+        assert!(failure.contains("scripted failure"), "got: {failure}");
+    }
+
+    #[test]
+    fn budget_exhaustion_is_flagged_not_failed() {
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = vec![Box::new(|| {
+            for _ in 0..1000 {
+                check::preempt("test.step", 0);
+            }
+        })];
+        let out = run_schedule(Strategy::Random { switch_one_in: 2 }, 5, 100, tasks);
+        assert!(out.budget_exhausted);
+        assert!(out.failure.is_none());
+    }
+}

@@ -1,0 +1,119 @@
+//! The seeded exploration sweep: every scheme × structure cell runs a batch
+//! of deterministic schedules (a mix of random-switch and PCT strategies)
+//! and must come out oracle-clean.
+//!
+//! Knobs (environment):
+//!
+//! * `SMR_CHECK_SCHEDULES` — schedules per cell (default 100; the 22-cell
+//!   matrix then runs 2200 schedules).
+//! * `SMR_CHECK_SEED` — base seed (default `0x5EED_CAFE`; accepts `0x...`).
+//!   To replay a reported failure, set this to the printed seed and
+//!   `SMR_CHECK_SCHEDULES=1`.
+//! * `SMR_CHECK_CELL_SECS` — wall-clock budget per cell (default 30s);
+//!   a cell that runs out of time stops early and reports how far it got
+//!   rather than blowing the CI budget.
+
+use smr_check::{replay_banner, run_matrix_one, Params, Scheme, SplitMix64, Strategy, Structure};
+use std::time::{Duration, Instant};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(v) => {
+            let v = v.trim();
+            let parsed = if let Some(hex) = v.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16)
+            } else {
+                v.parse()
+            };
+            parsed.unwrap_or_else(|_| panic!("{name}={v} is not a u64"))
+        }
+        Err(_) => default,
+    }
+}
+
+/// The strategy rotation: frequent and rare random switching plus shallow
+/// and deep PCT. Different strategies expose different bug shapes — dense
+/// switching finds short races, PCT finds low-preemption-count windows that
+/// uniform switching almost never hits.
+fn strategy_for(i: u64) -> Strategy {
+    match i % 5 {
+        0 => Strategy::Random { switch_one_in: 1 },
+        1 => Strategy::Random { switch_one_in: 3 },
+        2 => Strategy::Random { switch_one_in: 8 },
+        3 => Strategy::Pct { depth: 3 },
+        _ => Strategy::Pct { depth: 10 },
+    }
+}
+
+fn sweep_cell(scheme: Scheme, structure: Structure) {
+    let schedules = env_u64("SMR_CHECK_SCHEDULES", 100);
+    let base_seed = env_u64("SMR_CHECK_SEED", 0x5EED_CAFE);
+    let cell_budget = Duration::from_secs(env_u64("SMR_CHECK_CELL_SECS", 30));
+    let params = Params::default();
+
+    let start = Instant::now();
+    let mut seeds = SplitMix64(base_seed ^ ((scheme as u64) << 8) ^ structure as u64);
+    let mut ran = 0u64;
+    let mut exhausted = 0u64;
+    for i in 0..schedules {
+        if start.elapsed() > cell_budget {
+            break;
+        }
+        let seed = seeds.next_u64();
+        let strategy = strategy_for(i);
+        let report = run_matrix_one(scheme, structure, strategy, seed, &params);
+        assert!(
+            report.clean(),
+            "{}",
+            replay_banner(scheme.label(), structure.label(), strategy, seed, &report)
+        );
+        ran += 1;
+        exhausted += report.budget_exhausted as u64;
+    }
+    println!(
+        "{}/{}: {ran}/{schedules} schedules clean in {:?} ({exhausted} budget-exhausted)",
+        scheme.label(),
+        structure.label(),
+        start.elapsed()
+    );
+    assert!(ran > 0, "cell ran no schedules at all");
+    // A sweep that mostly times out explores almost nothing deterministically.
+    assert!(
+        exhausted * 2 <= ran,
+        "{}/{}: {exhausted}/{ran} schedules exhausted the step budget",
+        scheme.label(),
+        structure.label()
+    );
+}
+
+macro_rules! sweep {
+    ($name:ident, $scheme:ident, $structure:ident) => {
+        #[test]
+        fn $name() {
+            sweep_cell(Scheme::$scheme, Structure::$structure);
+        }
+    };
+}
+
+sweep!(nbr_plus_list, NbrPlus, List);
+sweep!(nbr_plus_hash, NbrPlus, HashMap);
+sweep!(nbr_list, Nbr, List);
+sweep!(nbr_hash, Nbr, HashMap);
+sweep!(debra_list, Debra, List);
+sweep!(debra_hash, Debra, HashMap);
+sweep!(qsbr_list, Qsbr, List);
+sweep!(qsbr_hash, Qsbr, HashMap);
+sweep!(rcu_list, Rcu, List);
+sweep!(rcu_hash, Rcu, HashMap);
+sweep!(ibr_list, Ibr, List);
+sweep!(ibr_hash, Ibr, HashMap);
+sweep!(he_list, He, List);
+sweep!(he_hash, He, HashMap);
+sweep!(hp_list, Hp, List);
+sweep!(hp_hash, Hp, HashMap);
+sweep!(epoch_pop_list, EpochPop, List);
+sweep!(epoch_pop_hash, EpochPop, HashMap);
+sweep!(hp_pop_list, HpPop, List);
+sweep!(hp_pop_hash, HpPop, HashMap);
+sweep!(leaky_list, Leaky, List);
+sweep!(leaky_hash, Leaky, HashMap);

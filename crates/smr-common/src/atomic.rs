@@ -141,6 +141,7 @@ impl<T> Shared<T> {
     #[inline]
     pub unsafe fn deref<'a>(self) -> &'a T {
         debug_assert!(!self.is_null());
+        crate::check::assert_live(self.untagged_usize());
         &*self.as_raw()
     }
 
@@ -153,6 +154,7 @@ impl<T> Shared<T> {
         if self.is_null() {
             None
         } else {
+            crate::check::assert_live(self.untagged_usize());
             Some(&*self.as_raw())
         }
     }
@@ -170,9 +172,18 @@ pub struct Atomic<T> {
     _marker: PhantomData<*mut T>,
 }
 
+// SAFETY: `Atomic<T>` is a word-sized atomic cell; the pointee is only ever
+// touched through `Shared::deref`, whose own contract (caller-proved
+// protection) carries the burden — so sharing the cell needs no more than
+// `T: Send + Sync` for the access it can hand out.
 unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+// SAFETY: as above — `load`/`store`/`compare_exchange` are atomic.
 unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
+// SAFETY: `Shared<T>` is a plain tagged pointer value; dereferencing it is
+// its own unsafe contract, so the value may move between threads whenever
+// `T` itself tolerates shared cross-thread access.
 unsafe impl<T: Send + Sync> Send for Shared<T> {}
+// SAFETY: as above — `Shared<T>` exposes no interior mutation of its own.
 unsafe impl<T: Send + Sync> Sync for Shared<T> {}
 
 impl<T> fmt::Debug for Atomic<T> {
@@ -213,18 +224,21 @@ impl<T> Atomic<T> {
     /// Atomically loads the tagged pointer.
     #[inline]
     pub fn load(&self, order: Ordering) -> Shared<T> {
+        crate::check::preempt("atomic.load", self as *const _ as usize);
         Shared::from_usize(self.data.load(order))
     }
 
     /// Atomically stores the tagged pointer.
     #[inline]
     pub fn store(&self, val: Shared<T>, order: Ordering) {
+        crate::check::preempt("atomic.store", self as *const _ as usize);
         self.data.store(val.into_usize(), order);
     }
 
     /// Atomically swaps the tagged pointer, returning the previous value.
     #[inline]
     pub fn swap(&self, val: Shared<T>, order: Ordering) -> Shared<T> {
+        crate::check::preempt("atomic.swap", self as *const _ as usize);
         Shared::from_usize(self.data.swap(val.into_usize(), order))
     }
 
@@ -237,6 +251,7 @@ impl<T> Atomic<T> {
         success: Ordering,
         failure: Ordering,
     ) -> Result<Shared<T>, Shared<T>> {
+        crate::check::preempt("atomic.cas", self as *const _ as usize);
         self.data
             .compare_exchange(current.into_usize(), new.into_usize(), success, failure)
             .map(Shared::from_usize)
@@ -252,6 +267,7 @@ impl<T> Atomic<T> {
         success: Ordering,
         failure: Ordering,
     ) -> Result<Shared<T>, Shared<T>> {
+        crate::check::preempt("atomic.cas-weak", self as *const _ as usize);
         self.data
             .compare_exchange_weak(current.into_usize(), new.into_usize(), success, failure)
             .map(Shared::from_usize)
@@ -262,6 +278,7 @@ impl<T> Atomic<T> {
     /// Returns the previous value.
     #[inline]
     pub fn fetch_or_tag(&self, tag: usize, order: Ordering) -> Shared<T> {
+        crate::check::preempt("atomic.fetch-or-tag", self as *const _ as usize);
         Shared::from_usize(self.data.fetch_or(tag & TAG_MASK, order))
     }
 

@@ -49,6 +49,7 @@
 
 pub mod atomic;
 pub mod backoff;
+pub mod check;
 pub mod header;
 pub mod limbo;
 pub mod pad;

@@ -120,6 +120,7 @@ impl PingChannel {
     /// Pings every registered thread except `sender`, returning the sequence
     /// number of this broadcast and the number of pings delivered.
     pub fn ping_all(&self, sender: usize, registry: &Registry) -> (u64, u64) {
+        crate::check::preempt("ping.broadcast", 0);
         let seq = self.seq.fetch_add(1, Ordering::SeqCst) + 1;
         let mut sent = 0u64;
         for tid in registry.active_tids() {
@@ -155,6 +156,7 @@ impl PingChannel {
     /// cost a pingee pays.
     #[inline]
     pub fn poll(&self, tid: usize) -> Option<u64> {
+        crate::check::preempt("ping.poll", tid);
         let slot = &self.slots[tid];
         let pending = slot.pending.load(Ordering::SeqCst);
         if pending > slot.acked.load(Ordering::Relaxed) {
@@ -216,6 +218,9 @@ impl PingChannel {
                 if iterations > spin_limit {
                     return PingOutcome::TimedOut;
                 }
+                // Under the deterministic explorer this is the *only* way the
+                // awaited pingee ever runs: the wait must yield the schedule.
+                crate::check::preempt("ping.await-acks", tid);
                 while_waiting();
                 backoff.snooze();
             }

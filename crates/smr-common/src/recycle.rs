@@ -167,6 +167,7 @@ pub fn alloc_node_raw<T: SmrNode>(value: T) -> *mut T {
     }
     // SAFETY: freshly allocated, exclusively owned, large enough for T.
     unsafe { ptr.write(value) };
+    crate::check::on_raw_alloc(ptr as usize);
     ptr
 }
 
@@ -177,6 +178,7 @@ pub fn alloc_node_raw<T: SmrNode>(value: T) -> *mut T {
 /// or [`Magazine::alloc_node`]), must be exclusively owned by the caller, and
 /// must not be used afterwards.
 pub unsafe fn free_node_raw<T: SmrNode>(ptr: *mut T) {
+    crate::check::on_owner_free(ptr as usize);
     core::ptr::drop_in_place(ptr);
     dealloc(ptr.cast(), node_layout::<T>());
 }
@@ -362,6 +364,7 @@ impl Magazine {
                     // live value (destructors ran before pooling), and are
                     // exclusively owned by this magazine.
                     unsafe { ptr.write(value) };
+                    crate::check::on_raw_alloc(ptr as usize);
                     return ptr;
                 }
                 self.misses += 1;
@@ -378,6 +381,7 @@ impl Magazine {
     /// Same contract as [`free_node_raw`].
     #[inline]
     pub unsafe fn free_node<T: SmrNode>(&mut self, ptr: *mut T) {
+        crate::check::on_owner_free(ptr as usize);
         core::ptr::drop_in_place(ptr);
         self.release(ptr.cast(), node_layout::<T>());
     }

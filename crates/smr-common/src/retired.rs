@@ -31,11 +31,15 @@ pub struct Retired {
     retire_era: u64,
 }
 
-// A retired record is exclusively owned by the limbo bag holding it; the
-// underlying node type is required to be `Send` by `SmrNode`.
+// SAFETY: a retired record is exclusively owned by the limbo bag holding
+// it; the underlying node type is required to be `Send` by `SmrNode`.
 unsafe impl Send for Retired {}
 
 unsafe fn destroy_erased<T: SmrNode>(ptr: *mut u8, mag: Option<&mut Magazine>) {
+    // The single reclamation funnel: the owning scheme's scan just declared
+    // this record safe, which is exactly what the shadow-heap oracle checks
+    // against every thread's standing protection claims.
+    crate::check::on_reclaim(ptr as usize);
     core::ptr::drop_in_place(ptr.cast::<T>());
     match mag {
         Some(mag) => mag.release(ptr, node_layout::<T>()),
@@ -55,6 +59,7 @@ impl Retired {
     pub unsafe fn new<T: SmrNode>(ptr: *mut T, retire_era: u64) -> Self {
         debug_assert!(!ptr.is_null());
         let birth_era = (*ptr).header().birth_era();
+        crate::check::on_retire(ptr as usize, birth_era, retire_era);
         Self {
             ptr: ptr.cast(),
             destroy_fn: destroy_erased::<T>,

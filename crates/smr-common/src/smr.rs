@@ -382,6 +382,9 @@ pub trait Smr: Send + Sync + Sized + 'static {
             Some(mag) => mag.alloc_node(value),
             None => recycle::alloc_node_raw(value),
         };
+        // SAFETY: `raw` was just allocated above and is exclusively owned
+        // until returned; reading its freshly-written header is sound.
+        crate::check::on_node_alloc(raw as usize, unsafe { (*raw).header().birth_era() });
         self.thread_stats_mut(ctx).allocs += 1;
         Shared::from_raw(raw)
     }

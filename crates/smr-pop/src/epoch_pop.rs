@@ -92,7 +92,18 @@ impl EpochPop {
     /// acknowledgement store sequenced after this publish.
     #[inline]
     fn publish(&self, tid: usize, value: u64) {
-        self.slots[tid].published.store(value, Ordering::Release);
+        // Oracle mirror: only a *published* non-idle era is binding on
+        // reclaimers (a private reservation protects nothing until a ping
+        // promotes it), so the pin is tied to the publish itself. Retract
+        // before an IDLE store, claim after a non-idle one, keeping the
+        // mirrored pin a subset of the real published protection.
+        if value == IDLE {
+            smr_common::check::unpin_epoch(tid);
+            self.slots[tid].published.store(value, Ordering::Release);
+        } else {
+            self.slots[tid].published.store(value, Ordering::Release);
+            smr_common::check::pin_epoch(tid, value);
+        }
     }
 
     /// Services an incoming ping, if any: promote the private reservation to
@@ -257,6 +268,10 @@ impl Smr for EpochPop {
 
     #[inline]
     fn end_op(&self, ctx: &mut EpochPopCtx) {
+        // Oracle mirror: a published era stops protecting once the op ends
+        // (the next handshake will re-ack with IDLE), so retract the pin even
+        // though the stale published slot still holds the old era.
+        smr_common::check::unpin_epoch(ctx.tid);
         ctx.private_epoch = IDLE;
         self.poll_ping(ctx);
         if ctx.scan.tick_op(&self.policy, ctx.limbo.len()) {

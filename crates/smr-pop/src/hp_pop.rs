@@ -258,6 +258,7 @@ impl Smr for HpPop {
     }
 
     fn unregister(&self, ctx: &mut HpPopCtx) {
+        smr_common::check::clear_claims(ctx.tid);
         ctx.private.fill(0);
         self.publish_from(ctx.tid, &ctx.private);
         // Last chance to free what is already safe; the rest is orphaned.
@@ -281,6 +282,12 @@ impl Smr for HpPop {
         debug_assert!(slot < ctx.private.len(), "hazard slot index out of range");
         let p = src.load(Ordering::Acquire);
         ctx.private[slot] = p.untagged_usize();
+        // Oracle mirror: the private slot is binding even before any publish —
+        // no record can be freed without a handshake, and this thread's ack
+        // publishes every private slot first. A pointer loaded *after* this
+        // thread's ack can only come from a reachable record (DESIGN.md), so
+        // a free of a claimed address means the protection contract broke.
+        smr_common::check::claim_addr(ctx.tid, slot, p.untagged_usize());
         p
     }
 
@@ -297,10 +304,14 @@ impl Smr for HpPop {
         ptr: Shared<T>,
     ) {
         ctx.private[dst_slot] = ptr.untagged_usize();
+        smr_common::check::claim_addr(ctx.tid, dst_slot, ptr.untagged_usize());
     }
 
     #[inline]
     fn clear_protections(&self, ctx: &mut HpPopCtx) {
+        // Oracle mirror: retract before the real clear (claims stay a subset
+        // of what the next ack would publish).
+        smr_common::check::clear_claims(ctx.tid);
         ctx.private.fill(0);
         // The published slots are left stale: they can only pin more
         // (at most K records per thread, the same slack as HP's bound) and
@@ -321,6 +332,7 @@ impl Smr for HpPop {
 
     #[inline]
     fn end_op(&self, ctx: &mut HpPopCtx) {
+        smr_common::check::clear_claims(ctx.tid);
         ctx.private.fill(0);
         self.poll_ping(ctx);
         if ctx.scan.tick_op(&self.policy, ctx.limbo.len()) {

@@ -1,9 +1,11 @@
 //! Vendored, API-compatible stub for the subset of `proptest` used by this
 //! workspace (see `vendor/README.md`).
 //!
-//! Differences from real proptest: no shrinking of failing inputs, and the
-//! RNG is seeded deterministically per test (from the test's name), so every
-//! run generates the same cases — failures are reproducible by construction.
+//! Differences from real proptest: shrinking is a naive iterative pass
+//! (repeatedly adopt the first simpler candidate that still fails, instead of
+//! proptest's lazy shrink trees), and the RNG is seeded deterministically per
+//! test (from the test's name), so every run generates the same cases —
+//! failures are reproducible by construction.
 
 use std::ops::{Range, RangeInclusive};
 
@@ -44,6 +46,16 @@ pub trait Strategy {
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Candidate simplifications of `value`, simplest first.
+    ///
+    /// The default is "cannot shrink". Implementations must only return
+    /// values the strategy could itself have generated, and must make
+    /// progress (no candidate equal to `value`), or the shrink loop in
+    /// [`shrink_failure`] would spin until its step cap.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// Maps generated values through `f`.
     fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
     where
@@ -65,6 +77,10 @@ impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
     fn generate(&self, rng: &mut TestRng) -> O {
         (self.f)(self.inner.generate(rng))
     }
+
+    // `shrink` stays at the "cannot shrink" default: `f` is not invertible,
+    // so mapped outputs cannot be traced back to shrinkable inputs. (Real
+    // proptest shrinks the *input* lazily; this stub generates eagerly.)
 }
 
 /// Strategy that always yields a clone of one value.
@@ -87,6 +103,9 @@ macro_rules! impl_range_strategy {
                 assert!(self.start < self.end, "empty range strategy");
                 self.start + rng.below((self.end - self.start) as u64) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(self.start, *value)
+            }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
@@ -99,28 +118,91 @@ macro_rules! impl_range_strategy {
                 }
                 lo + rng.below(span + 1) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(*self.start(), *value)
+            }
         }
+
     )*};
 }
 
 impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
 
+/// Numeric shrink candidates used by the range strategies: the range
+/// minimum, the midpoint toward it, and the predecessor — simplest first,
+/// deduplicated.
+fn shrink_toward<T>(lo: T, value: T) -> Vec<T>
+where
+    T: Copy
+        + PartialEq
+        + PartialOrd
+        + std::ops::Sub<Output = T>
+        + std::ops::Add<Output = T>
+        + Halvable,
+{
+    if value == lo {
+        return Vec::new();
+    }
+    let mut out = vec![lo];
+    let mid = lo + (value - lo).halved();
+    if mid != lo && mid != value {
+        out.push(mid);
+    }
+    let pred = value - T::one();
+    if pred != lo && pred != mid {
+        out.push(pred);
+    }
+    out
+}
+
+/// Tiny numeric helper so [`shrink_toward`] can stay generic without a
+/// num-traits dependency.
+trait Halvable {
+    fn halved(self) -> Self;
+    fn one() -> Self;
+}
+
+macro_rules! impl_halvable {
+    ($($t:ty),*) => {$(
+        impl Halvable for $t {
+            fn halved(self) -> Self { self / 2 }
+            fn one() -> Self { 1 }
+        }
+    )*};
+}
+
+impl_halvable!(u8, u16, u32, u64, usize, i32, i64);
+
 macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
             type Value = ($($name::Value,)+);
-            #[allow(non_snake_case)]
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
-                let ($($name,)+) = self;
-                ($($name.generate(rng),)+)
+                ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // One component at a time, holding the others fixed.
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     };
 }
 
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
 
 /// Collection strategies.
 pub mod collection {
@@ -139,13 +221,46 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
             let span = (self.size.end - self.size.start) as u64;
             let len = self.size.start + rng.below(span) as usize;
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let min = self.size.start;
+            // Structural candidates first: keep either half (still >= the
+            // minimum length), then drop a single leading element.
+            let target = min.max(value.len() / 2);
+            if target < value.len() {
+                out.push(value[..target].to_vec());
+                out.push(value[value.len() - target..].to_vec());
+            }
+            if value.len() > min {
+                out.push(value[1..].to_vec());
+            }
+            // Then element-wise shrinks (each element strategy yields at
+            // most a few candidates), capped globally so candidate lists
+            // stay small on long vectors.
+            const MAX_CANDIDATES: usize = 32;
+            for (i, elem) in value.iter().enumerate() {
+                for cand in self.element.shrink(elem) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                    if out.len() >= MAX_CANDIDATES {
+                        return out;
+                    }
+                }
+            }
+            out
         }
     }
 }
@@ -176,6 +291,53 @@ pub fn seed_from_name(name: &str) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }
     h
+}
+
+/// Ties a case-running closure's argument type to `S::Value` so the
+/// `proptest!` macro expansion type-checks without naming strategy types.
+#[doc(hidden)]
+pub fn case_runner<S, R, F>(_strategies: &S, run: F) -> F
+where
+    S: Strategy,
+    F: Fn(S::Value) -> R,
+{
+    run
+}
+
+/// Boxed panic payload, as produced by `std::panic::catch_unwind`.
+pub type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// Naive iterative shrinking: repeatedly adopt the first shrink candidate
+/// that still fails until no candidate fails (or the step cap is hit), and
+/// return the minimized value, the number of successful shrink steps, and
+/// the panic payload of the minimal failure.
+pub fn shrink_failure<S, R, F>(
+    strategy: &S,
+    mut value: S::Value,
+    run: F,
+    mut payload: PanicPayload,
+) -> (S::Value, u32, PanicPayload)
+where
+    S: Strategy,
+    S::Value: Clone,
+    F: Fn(S::Value) -> Result<R, PanicPayload>,
+{
+    // Each step strictly simplifies the value, so this cap only matters if a
+    // strategy's `shrink` violates its progress contract.
+    const MAX_STEPS: u32 = 512;
+    let mut steps = 0;
+    'outer: while steps < MAX_STEPS {
+        for cand in strategy.shrink(&value) {
+            if let Err(p) = run(cand.clone()) {
+                value = cand;
+                payload = p;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (value, steps, payload)
 }
 
 /// Everything a property test file needs.
@@ -211,19 +373,25 @@ macro_rules! proptest {
             fn $name() {
                 let config: $crate::ProptestConfig = $config;
                 let mut rng = $crate::TestRng::new($crate::seed_from_name(stringify!($name)));
-                for case in 0..config.cases {
-                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        $(
-                            let $pat = $crate::Strategy::generate(&($strategy), &mut rng);
-                        )+
+                let strategies = ($($strategy,)+);
+                let run_case = $crate::case_runner(&strategies, |candidate| {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                        let ($($pat,)+) = candidate;
                         $body
-                    }));
-                    if let Err(payload) = result {
+                    }))
+                });
+                for case in 0..config.cases {
+                    let values = $crate::Strategy::generate(&strategies, &mut rng);
+                    if let Err(payload) = run_case(::std::clone::Clone::clone(&values)) {
+                        let (minimal, steps, payload) =
+                            $crate::shrink_failure(&strategies, values, &run_case, payload);
                         eprintln!(
-                            "proptest case {}/{} of `{}` failed (deterministic seed; rerun reproduces it)",
+                            "proptest case {}/{} of `{}` failed; shrunk {} step(s) to minimal input {:?} (deterministic seed; rerun reproduces it)",
                             case + 1,
                             config.cases,
                             stringify!($name),
+                            steps,
+                            minimal,
                         );
                         std::panic::resume_unwind(payload);
                     }
@@ -270,5 +438,61 @@ mod tests {
         fn prop_map_applies(s in (0u8..3, 1u64..=9).prop_map(|(a, b)| (a as u64) * 10 + b)) {
             assert!((1..=29).contains(&s));
         }
+    }
+
+    fn fails_if<S: crate::Strategy>(
+        strategy: &S,
+        start: S::Value,
+        bad: impl Fn(&S::Value) -> bool,
+    ) -> (S::Value, u32)
+    where
+        S::Value: Clone,
+    {
+        assert!(bad(&start), "starting value must fail");
+        let (minimal, steps, _payload) = crate::shrink_failure(
+            strategy,
+            start,
+            |v| {
+                if bad(&v) {
+                    Err(Box::new("still failing") as crate::PanicPayload)
+                } else {
+                    Ok(())
+                }
+            },
+            Box::new("initial failure"),
+        );
+        assert!(bad(&minimal), "shrinking must preserve the failure");
+        (minimal, steps)
+    }
+
+    #[test]
+    fn shrinks_numeric_failure_to_boundary() {
+        // "fails when >= 10" must minimize to exactly 10.
+        let (minimal, steps) = fails_if(&(0u64..100), 87, |&v| v >= 10);
+        assert_eq!(minimal, 10);
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn shrinks_tuple_components_independently() {
+        let strategy = (0u64..100, 0u64..100);
+        let (minimal, _) = fails_if(&strategy, (40, 70), |&(a, b)| a >= 3 && b >= 5);
+        assert_eq!(minimal, (3, 5));
+    }
+
+    #[test]
+    fn shrinks_vec_failure_to_short_witness() {
+        // "fails when it contains a value >= 5" minimizes to a single
+        // element (the minimum length) holding the boundary value.
+        let strategy = collection::vec(0u64..10, 1..50);
+        let start = vec![1, 9, 2, 7, 3, 8, 0, 6];
+        let (minimal, _) = fails_if(&strategy, start, |v| v.iter().any(|&x| x >= 5));
+        assert_eq!(minimal, vec![5]);
+    }
+
+    #[test]
+    fn clean_value_shrinks_zero_steps() {
+        let (minimal, steps) = fails_if(&(0u64..100), 0, |_| true);
+        assert_eq!((minimal, steps), (0, 0));
     }
 }
