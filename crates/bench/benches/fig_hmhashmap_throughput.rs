@@ -1,0 +1,44 @@
+//! Harris-Michael hash map throughput under the three operation mixes, one
+//! Criterion series per reclaimer. Short per-bucket chains make this the
+//! opposite regime from the long-traversal lists: protection-per-hop schemes
+//! (HP, IBR, HE/WFE) close most of their gap here, so the figure brackets
+//! the traversal-cost story from the other side.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nbr_bench::helpers;
+use smr_harness::families::HmHashMapFamily;
+use smr_harness::WorkloadMix;
+
+const KEY_RANGE: u64 = 8_192;
+
+fn bench_hmhashmap(c: &mut Criterion) {
+    let threads = helpers::bench_threads();
+    let (samples, warm, meas) = helpers::criterion_times();
+    // One prefilled map per reclaimer, shared across the three mix groups
+    // and every Criterion sample.
+    let runners = helpers::prefilled_runners::<HmHashMapFamily>(KEY_RANGE, threads);
+    for (mix, mix_label) in [
+        (WorkloadMix::UPDATE_HEAVY, "50i-50d"),
+        (WorkloadMix::BALANCED, "25i-25d"),
+        (WorkloadMix::READ_HEAVY, "5i-5d"),
+    ] {
+        let mut group = c.benchmark_group(format!("fig_hmhashmap_{mix_label}"));
+        group
+            .sample_size(samples)
+            .warm_up_time(warm)
+            .measurement_time(meas)
+            .throughput(Throughput::Elements(helpers::OPS_PER_ITER));
+        for (kind, runner) in &runners {
+            group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+                b.iter_custom(|iters| {
+                    let spec = helpers::spec_for_iters(mix, KEY_RANGE, threads, iters);
+                    runner.run(&spec).duration
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_hmhashmap);
+criterion_main!(benches);

@@ -3,13 +3,51 @@
 //! so a crash identifies the offending combination).
 //!
 //! ```text
-//! cargo run -p nbr-bench --release --bin stress -- [rounds]
+//! cargo run -p nbr-bench --release --bin stress -- [rounds] [--faults [seed]]
 //! ```
+//!
+//! With `--faults`, each round also runs the standing fault cells: every
+//! scheme under a seeded [`FaultPlan`] of stalls, departures and black-holed
+//! pings. The plan's seed is printed with each cell, so any crash or hang is
+//! replayable by passing that seed back on the command line.
 
 use smr_common::SmrConfig;
 use smr_harness::families::{run_with, HarrisListFamily, SmrKind};
-use smr_harness::{StopCondition, WorkloadMix, WorkloadSpec};
+use smr_harness::{FaultPlan, StopCondition, WorkloadMix, WorkloadSpec};
 use std::time::Duration;
+
+/// One standing fault cell per scheme: a seeded plan over 4 workers, with
+/// the per-round seed mixed in so successive rounds explore different plans.
+fn fault_cells(round: usize, base_seed: u64) {
+    let threads = 4usize;
+    for &kind in SmrKind::all() {
+        let seed = base_seed
+            .wrapping_add(round as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            | 1;
+        let plan = FaultPlan::seeded(seed, threads);
+        eprintln!(
+            "[round {round}] fault-cell harris-list smr={} plan={plan}",
+            kind.label()
+        );
+        let spec = WorkloadSpec::new(
+            WorkloadMix::UPDATE_HEAVY,
+            2_048,
+            threads,
+            StopCondition::TotalOps(200_000),
+        )
+        .with_fault_plan(plan);
+        let config = SmrConfig::default()
+            .with_max_threads(threads + 4)
+            .with_watermarks(1024, 256)
+            .with_signal_cost_ns(2_000);
+        let r = run_with::<HarrisListFamily>(kind, &spec, config);
+        eprintln!(
+            "    ok: {:.3} Mops/s, {} retired, {} freed, {} faults, {} departed",
+            r.mops, r.smr_totals.retires, r.smr_totals.frees, r.injected_faults, r.departed_workers
+        );
+    }
+}
 
 fn main() {
     // Instrumentation must never leak into a measurement build: the
@@ -18,16 +56,30 @@ fn main() {
         !smr_common::check::compiled_in(),
         "bench binary built with the smr-common `check` feature on; measurements would be invalid"
     );
-    let rounds: usize = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let rounds: usize = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
         .and_then(|s| s.parse().ok())
         .unwrap_or(1);
+    let faults = args.iter().any(|a| a == "--faults");
+    let fault_seed: u64 = args
+        .iter()
+        .position(|a| a == "--faults")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| {
+            s.strip_prefix("0x")
+                .map(|h| u64::from_str_radix(h, 16).ok())
+                .unwrap_or_else(|| s.parse().ok())
+        })
+        .unwrap_or(0x5EED_FA17);
     let kinds = [
         SmrKind::NbrPlus,
         SmrKind::Nbr,
         SmrKind::Debra,
         SmrKind::Hp,
         SmrKind::Ibr,
+        SmrKind::Wfe,
         SmrKind::EpochPop,
         SmrKind::HpPop,
         SmrKind::Leaky,
@@ -85,6 +137,9 @@ fn main() {
                     }
                 }
             }
+        }
+        if faults {
+            fault_cells(round, fault_seed);
         }
     }
     println!("stress completed");

@@ -72,6 +72,7 @@ pub mod helpers {
             SmrKind::Nbr,
             SmrKind::Debra,
             SmrKind::Ibr,
+            SmrKind::Wfe,
             SmrKind::Hp,
             SmrKind::EpochPop,
             SmrKind::HpPop,

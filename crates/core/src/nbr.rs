@@ -51,6 +51,13 @@ impl Nbr {
     /// records freed (0 when the handshake timed out and the round was
     /// conceded — see DESIGN.md substitution S1).
     fn reclaim_with_signals(&self, ctx: &mut NbrCtx) -> usize {
+        // Survivor adoption: fold departed threads' orphans into this
+        // round's prefix — they were unlinked before their owner departed,
+        // so the broadcast below covers them like the thread's own retires
+        // (`take_orphans` is non-blocking).
+        for r in self.core.take_orphans() {
+            ctx.limbo.push(r);
+        }
         let tail = ctx.limbo.len();
         if tail == 0 {
             return 0;

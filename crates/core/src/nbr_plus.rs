@@ -100,6 +100,13 @@ impl NbrPlus {
     /// HiWatermark path: induce an RGP (signals + verified handshake) and
     /// reclaim everything retired before the broadcast.
     fn reclaim_at_hi_watermark(&self, ctx: &mut NbrPlusCtx) -> usize {
+        // Survivor adoption: fold departed threads' orphans into this
+        // round's prefix — they were unlinked before their owner departed,
+        // so the broadcast below covers them like the thread's own retires
+        // (`take_orphans` is non-blocking).
+        for r in self.core.take_orphans() {
+            ctx.limbo.push(r);
+        }
         let tail = ctx.limbo.len();
         if tail == 0 {
             return 0;

@@ -183,6 +183,11 @@ impl NeutralizationCore {
         for r in slot.reservations.iter() {
             r.store(0, Ordering::SeqCst);
         }
+        // Mark the ping slot departed *before* leaving the registry, closing
+        // the window where a reclaimer that snapshotted the active set is
+        // still spinning on this thread's ack: the departed flag wakes it
+        // immediately instead of costing the remaining allowance.
+        self.ping.mark_departed(tid);
         self.registry.deregister(tid);
     }
 
@@ -193,6 +198,17 @@ impl NeutralizationCore {
             return;
         }
         self.orphans.lock().unwrap().extend(records);
+    }
+
+    /// Takes every orphaned record, transferring ownership to a surviving
+    /// thread, which folds them into its own limbo bag so they flow through
+    /// the ordinary reservation-checked reclamation path. Non-blocking: if
+    /// the pool is contended the caller gets nothing this round.
+    pub fn take_orphans(&self) -> Vec<smr_common::Retired> {
+        match self.orphans.try_lock() {
+            Ok(mut records) => std::mem::take(&mut *records),
+            Err(_) => Vec::new(),
+        }
     }
 
     /// Frees every orphaned record. Only called from `Drop` of the owning

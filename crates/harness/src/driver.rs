@@ -7,6 +7,7 @@
 //! peak heap usage.
 
 use crate::alloc_track;
+use crate::fault::{FaultKind, FaultSpec};
 use crate::workload::{Op, OpGenerator, StopCondition, WorkloadSpec};
 use conc_ds::ConcurrentSet;
 use smr_common::{Smr, SmrConfig, ThreadStats};
@@ -119,6 +120,11 @@ pub struct TrialResult {
     pub peak_mem_bytes: usize,
     /// Whether a stalled thread was present.
     pub stalled_thread: bool,
+    /// Faults injected by the trial's [`FaultPlan`](crate::fault::FaultPlan)
+    /// (0 for fault-free trials).
+    pub injected_faults: usize,
+    /// Workers that departed mid-trial (subset of `injected_faults`).
+    pub departed_workers: usize,
 }
 
 impl TrialResult {
@@ -133,6 +139,9 @@ struct SharedState {
     stop: AtomicBool,
     ops_done: AtomicU64,
     ops_budget: u64,
+    /// Workers publish their batch counts into `ops_done` even without an
+    /// ops budget — needed when a fault plan measures stalls in global ops.
+    track_ops: bool,
 }
 
 /// Builds a structure and prefills it per `spec` — the setup phase of
@@ -181,6 +190,7 @@ where
         stop: AtomicBool::new(false),
         ops_done: AtomicU64::new(0),
         ops_budget,
+        track_ops: ops_budget != u64::MAX || spec.fault_plan.is_some(),
     });
 
     let mut handles = Vec::new();
@@ -225,6 +235,19 @@ where
     let duration = started.elapsed();
 
     let mops = total_ops as f64 / duration.as_secs_f64() / 1.0e6;
+    let (injected_faults, departed_workers) = match &spec.fault_plan {
+        Some(plan) => (
+            plan.faults()
+                .iter()
+                .filter(|f| f.victim < spec.threads)
+                .count(),
+            plan.faults()
+                .iter()
+                .filter(|f| f.victim < spec.threads && matches!(f.kind, FaultKind::Depart))
+                .count(),
+        ),
+        None => (0, 0),
+    };
     TrialResult {
         ds: DS::variant_name(),
         smr: S::NAME,
@@ -237,6 +260,8 @@ where
         smr_totals: totals,
         peak_mem_bytes: alloc_track::peak_bytes(),
         stalled_thread: spec.stalled_thread,
+        injected_faults,
+        departed_workers,
     }
 }
 
@@ -289,7 +314,8 @@ where
     }
 }
 
-/// One worker thread: run operations until the stop condition fires.
+/// One worker thread: run operations until the stop condition fires,
+/// executing the thread's assigned fault (if any) at a batch boundary.
 fn worker<S, DS>(
     ds: &DS,
     shared: &SharedState,
@@ -302,6 +328,7 @@ where
 {
     let mut ctx = ds.smr().register(tid);
     let mut gen = OpGenerator::new(spec, tid);
+    let mut fault: Option<FaultSpec> = spec.fault_plan.as_ref().and_then(|p| p.fault_for(tid));
     shared.start.wait();
     let mut ops = 0u64;
     loop {
@@ -321,10 +348,32 @@ where
             }
         }
         ops += BATCH;
+        if let Some(f) = fault {
+            if ops >= f.at_op {
+                fault = None;
+                match f.kind {
+                    FaultKind::Depart => {
+                        // Departure without quiescing: no flush, the current
+                        // limbo bag is handed to the orphan pool by
+                        // `unregister` and survivors adopt it at their next
+                        // scan. The worker's ops still count.
+                        let stats = ds.smr().thread_stats(&ctx);
+                        ds.smr().unregister(&mut ctx);
+                        return (ops, stats);
+                    }
+                    FaultKind::Stall { for_ops } => {
+                        park_in_read_phase(ds.smr(), &mut ctx, shared, for_ops, true);
+                    }
+                    FaultKind::BlackholePings { for_ops } => {
+                        park_in_read_phase(ds.smr(), &mut ctx, shared, for_ops, false);
+                    }
+                }
+            }
+        }
         if shared.stop.load(Ordering::Acquire) {
             break;
         }
-        if shared.ops_budget != u64::MAX {
+        if shared.track_ops {
             let done = shared.ops_done.fetch_add(BATCH, Ordering::AcqRel) + BATCH;
             if done >= shared.ops_budget {
                 shared.stop.store(true, Ordering::SeqCst);
@@ -335,6 +384,38 @@ where
     let stats = ds.smr().thread_stats(&ctx);
     ds.smr().unregister(&mut ctx);
     (ops, stats)
+}
+
+/// The stall/black-hole fault body: open an operation and a read phase
+/// (pinning the epoch for EBR-family reclaimers, announcing restartability
+/// for NBR) and park until `for_ops` further operations complete globally or
+/// the trial stops. With `ack_pings` the victim keeps servicing
+/// neutralization checkpoints while parked (a descheduled-but-signalable
+/// thread); without, it acknowledges nothing (a black hole) and the peers'
+/// `await_acks` degradation path is on trial.
+fn park_in_read_phase<S: Smr>(
+    smr: &S,
+    ctx: &mut S::ThreadCtx,
+    shared: &SharedState,
+    for_ops: u64,
+    ack_pings: bool,
+) {
+    let resume_at = shared
+        .ops_done
+        .load(Ordering::Acquire)
+        .saturating_add(for_ops);
+    smr.begin_op(ctx);
+    smr.begin_read_phase(ctx);
+    while shared.ops_done.load(Ordering::Acquire) < resume_at
+        && !shared.stop.load(Ordering::Acquire)
+    {
+        if ack_pings {
+            let _ = smr.checkpoint(ctx);
+        }
+        std::thread::yield_now();
+    }
+    smr.end_read_phase(ctx, &[]);
+    smr.end_op(ctx);
 }
 
 /// The E2 stalled thread: begins an operation (pinning the epoch for

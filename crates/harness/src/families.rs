@@ -13,7 +13,7 @@ use crate::driver::{
 use crate::workload::WorkloadSpec;
 use conc_ds::{AbTree, DgtTree, HarrisList, HmHashMap, HmList, LazyList};
 use nbr::{Nbr, NbrPlus};
-use smr_baselines::{Debra, HazardEras, HazardPointers, Ibr, Leaky, Qsbr, Rcu};
+use smr_baselines::{Debra, HazardEras, HazardPointers, Ibr, Leaky, Qsbr, Rcu, Wfe};
 use smr_common::{Smr, SmrConfig};
 use smr_pop::{EpochPop, HpPop};
 use std::marker::PhantomData;
@@ -38,6 +38,8 @@ pub enum SmrKind {
     Ibr,
     /// Hazard eras.
     He,
+    /// Wait-free eras (robust: bounded garbage under stalled threads).
+    Wfe,
     /// Publish-on-Ping epoch reclamation (private epoch reservations,
     /// published on ping over the cooperative channel).
     EpochPop,
@@ -60,6 +62,7 @@ impl SmrKind {
             SmrKind::Hp => "HP",
             SmrKind::Ibr => "IBR",
             SmrKind::He => "HE",
+            SmrKind::Wfe => "WFE",
             SmrKind::EpochPop => "EpochPOP",
             SmrKind::HpPop => "HP-POP",
             SmrKind::Leaky => "none",
@@ -79,7 +82,7 @@ impl SmrKind {
         ]
     }
 
-    /// Every implemented reclaimer (E1 set plus NBR, HE and the
+    /// Every implemented reclaimer (E1 set plus NBR, HE, WFE and the
     /// Publish-on-Ping family).
     pub fn all() -> &'static [SmrKind] {
         &[
@@ -90,6 +93,7 @@ impl SmrKind {
             SmrKind::Rcu,
             SmrKind::Ibr,
             SmrKind::He,
+            SmrKind::Wfe,
             SmrKind::Hp,
             SmrKind::EpochPop,
             SmrKind::HpPop,
@@ -190,6 +194,7 @@ pub fn run_with<F: DsFamily>(kind: SmrKind, spec: &WorkloadSpec, config: SmrConf
         SmrKind::Hp => run_trial::<HazardPointers, F::Ds<HazardPointers>>(spec, config),
         SmrKind::Ibr => run_trial::<Ibr, F::Ds<Ibr>>(spec, config),
         SmrKind::He => run_trial::<HazardEras, F::Ds<HazardEras>>(spec, config),
+        SmrKind::Wfe => run_trial::<Wfe, F::Ds<Wfe>>(spec, config),
         SmrKind::EpochPop => run_trial::<EpochPop, F::Ds<EpochPop>>(spec, config),
         SmrKind::HpPop => run_trial::<HpPop, F::Ds<HpPop>>(spec, config),
         SmrKind::Leaky => run_trial::<Leaky, F::Ds<Leaky>>(spec, config),
@@ -242,6 +247,7 @@ pub fn build_prefilled<F: DsFamily>(
         SmrKind::Hp => mk::<HazardPointers, F::Ds<HazardPointers>>(spec, config),
         SmrKind::Ibr => mk::<Ibr, F::Ds<Ibr>>(spec, config),
         SmrKind::He => mk::<HazardEras, F::Ds<HazardEras>>(spec, config),
+        SmrKind::Wfe => mk::<Wfe, F::Ds<Wfe>>(spec, config),
         SmrKind::EpochPop => mk::<EpochPop, F::Ds<EpochPop>>(spec, config),
         SmrKind::HpPop => mk::<HpPop, F::Ds<HpPop>>(spec, config),
         SmrKind::Leaky => mk::<Leaky, F::Ds<Leaky>>(spec, config),

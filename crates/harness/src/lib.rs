@@ -13,6 +13,9 @@
 //!   stand in for the paper's "max resident memory".
 //! * [`families`] — runtime dispatch over the (reclaimer × data structure)
 //!   matrix.
+//! * [`fault`] — the fault-injection adversary: seeded plans of worker
+//!   stalls, mid-operation departures and black-holed pings, replayable
+//!   from their seed.
 //! * [`experiments`] — `e1_*`, `e2_*`, `e3_*`, `e4_*`, `fig5`–`fig8` and the
 //!   signal-count ablation, each returning the rows the corresponding figure
 //!   plots.
@@ -25,6 +28,7 @@ pub mod alloc_track;
 pub mod driver;
 pub mod experiments;
 pub mod families;
+pub mod fault;
 pub mod report;
 pub mod workload;
 
@@ -33,4 +37,5 @@ pub use driver::{
 };
 pub use experiments::ExperimentScale;
 pub use families::{build_prefilled, run_with, DsFamily, PrefilledTrial, SmrKind};
+pub use fault::{FaultKind, FaultPlan, FaultSpec};
 pub use workload::{KeyDist, Op, OpGenerator, StopCondition, WorkloadMix, WorkloadSpec};

@@ -124,6 +124,8 @@ mod tests {
             smr_totals: ThreadStats::default(),
             peak_mem_bytes: 1024 * 1024,
             stalled_thread: false,
+            injected_faults: 0,
+            departed_workers: 0,
         }
     }
 

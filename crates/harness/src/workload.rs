@@ -120,6 +120,9 @@ pub struct WorkloadSpec {
     pub seed: u64,
     /// How keys are drawn (uniform by default).
     pub key_dist: KeyDist,
+    /// Optional fault-injection plan (stalls, departures, black-holed
+    /// pings); `None` runs the trial fault-free.
+    pub fault_plan: Option<std::sync::Arc<crate::fault::FaultPlan>>,
 }
 
 impl WorkloadSpec {
@@ -135,6 +138,7 @@ impl WorkloadSpec {
             stalled_thread: false,
             seed: 0x5EED_0BAD_F00D,
             key_dist: KeyDist::Uniform,
+            fault_plan: None,
         }
     }
 
@@ -159,6 +163,12 @@ impl WorkloadSpec {
     /// Overrides the key distribution.
     pub fn with_key_dist(mut self, dist: KeyDist) -> Self {
         self.key_dist = dist;
+        self
+    }
+
+    /// Attaches a fault-injection plan (see [`crate::fault`]).
+    pub fn with_fault_plan(mut self, plan: crate::fault::FaultPlan) -> Self {
+        self.fault_plan = Some(std::sync::Arc::new(plan));
         self
     }
 }

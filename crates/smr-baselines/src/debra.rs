@@ -123,6 +123,16 @@ impl Debra {
         if ctx.bags[idx].is_empty() {
             ctx.bag_epochs[idx] = observed;
         }
+        // Survivor adoption: departed threads' orphans join the current
+        // bag and wait two further advances like any fresh retire
+        // (`take_all` is non-blocking).
+        let orphaned = self.orphans.take_all();
+        if !orphaned.is_empty() {
+            let idx = (observed as usize) % BAGS;
+            for r in orphaned {
+                ctx.bags[idx].push(r);
+            }
+        }
     }
 
     fn current_bag_index(ctx: &DebraCtx) -> usize {

@@ -62,6 +62,12 @@ pub struct Ibr {
 
 impl Ibr {
     fn scan_and_reclaim(&self, ctx: &mut IbrCtx) {
+        // Survivor adoption: fold departed threads' orphaned records into
+        // this thread's limbo bag so they flow through the ordinary
+        // protection-checked sweep below (`take_all` is non-blocking).
+        for r in self.orphans.take_all() {
+            ctx.limbo.push(r);
+        }
         ctx.stats.reclaim_scans += 1;
         ctx.scan.note_scan();
         // Single-fence scan (see DESIGN.md): one SeqCst fence, then Acquire

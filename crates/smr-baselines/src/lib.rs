@@ -13,6 +13,7 @@
 //! | `HP` | [`hazard`] | hazard pointers | yes |
 //! | `IBR` | [`ibr`] | interval-based (2GEIBR) | yes |
 //! | `HE` | [`hazard_eras`] | hazard eras | yes |
+//! | `WFE` | [`wfe`] | wait-free eras (robust: bounded under stall) | yes |
 //! | `none` | [`leaky`] | no reclamation (throughput upper bound) | n/a |
 //!
 //! The NBR and NBR+ algorithms themselves live in the `nbr` crate.
@@ -28,6 +29,7 @@ pub mod leaky;
 pub mod qsbr;
 pub mod rcu;
 pub mod util;
+pub mod wfe;
 
 pub use debra::{Debra, DebraCtx};
 pub use hazard::{HazardPointers, HpCtx};
@@ -36,3 +38,4 @@ pub use ibr::{Ibr, IbrCtx};
 pub use leaky::{Leaky, LeakyCtx};
 pub use qsbr::{Qsbr, QsbrCtx};
 pub use rcu::{Rcu, RcuCtx};
+pub use wfe::{Wfe, WfeCtx};

@@ -69,6 +69,12 @@ impl Rcu {
     }
 
     fn scan_and_reclaim(&self, ctx: &mut RcuCtx) {
+        // Survivor adoption: fold departed threads' orphaned records into
+        // this thread's limbo bag so they flow through the ordinary
+        // protection-checked sweep below (`take_all` is non-blocking).
+        for r in self.orphans.take_all() {
+            ctx.limbo.push(r);
+        }
         ctx.stats.reclaim_scans += 1;
         ctx.scan.note_scan();
         let min = self.min_announced_era();

@@ -23,6 +23,7 @@ pub enum Scheme {
     Rcu,
     Ibr,
     He,
+    Wfe,
     Hp,
     EpochPop,
     HpPop,
@@ -31,7 +32,7 @@ pub enum Scheme {
 
 impl Scheme {
     /// Every scheme, in the harness's canonical order.
-    pub fn all() -> [Scheme; 11] {
+    pub fn all() -> [Scheme; 12] {
         [
             Scheme::NbrPlus,
             Scheme::Nbr,
@@ -40,6 +41,7 @@ impl Scheme {
             Scheme::Rcu,
             Scheme::Ibr,
             Scheme::He,
+            Scheme::Wfe,
             Scheme::Hp,
             Scheme::EpochPop,
             Scheme::HpPop,
@@ -56,6 +58,7 @@ impl Scheme {
             Scheme::Rcu => "rcu",
             Scheme::Ibr => "ibr",
             Scheme::He => "he",
+            Scheme::Wfe => "wfe",
             Scheme::Hp => "hp",
             Scheme::EpochPop => "epoch-pop",
             Scheme::HpPop => "hp-pop",
@@ -67,7 +70,7 @@ impl Scheme {
     /// is what makes the oracle's incarnation-disjointness rule sound; the
     /// others recycle without any per-incarnation era discipline.
     pub fn interval(self) -> bool {
-        matches!(self, Scheme::Ibr | Scheme::He)
+        matches!(self, Scheme::Ibr | Scheme::He | Scheme::Wfe)
     }
 }
 
@@ -299,6 +302,7 @@ pub fn run_matrix_one(
         Scheme::Rcu => go!(smr_baselines::Rcu),
         Scheme::Ibr => go!(smr_baselines::Ibr),
         Scheme::He => go!(smr_baselines::HazardEras),
+        Scheme::Wfe => go!(smr_baselines::Wfe),
         Scheme::Hp => go!(smr_baselines::HazardPointers),
         Scheme::EpochPop => go!(smr_pop::EpochPop),
         Scheme::HpPop => go!(smr_pop::HpPop),

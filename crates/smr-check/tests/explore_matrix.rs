@@ -4,8 +4,8 @@
 //!
 //! Knobs (environment):
 //!
-//! * `SMR_CHECK_SCHEDULES` — schedules per cell (default 100; the 22-cell
-//!   matrix then runs 2200 schedules).
+//! * `SMR_CHECK_SCHEDULES` — schedules per cell (default 100; the 24-cell
+//!   matrix then runs 2400 schedules).
 //! * `SMR_CHECK_SEED` — base seed (default `0x5EED_CAFE`; accepts `0x...`).
 //!   To replay a reported failure, set this to the printed seed and
 //!   `SMR_CHECK_SCHEDULES=1`.
@@ -109,6 +109,8 @@ sweep!(ibr_list, Ibr, List);
 sweep!(ibr_hash, Ibr, HashMap);
 sweep!(he_list, He, List);
 sweep!(he_hash, He, HashMap);
+sweep!(wfe_list, Wfe, List);
+sweep!(wfe_hash, Wfe, HashMap);
 sweep!(hp_list, Hp, List);
 sweep!(hp_hash, Hp, HashMap);
 sweep!(epoch_pop_list, EpochPop, List);

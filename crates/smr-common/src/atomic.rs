@@ -228,6 +228,17 @@ impl<T> Atomic<T> {
         Shared::from_usize(self.data.load(order))
     }
 
+    /// The raw atomic word backing this cell, for type-erased helper
+    /// protocols (WFE parks the word's address on its help board so a
+    /// fulfiller can load it without knowing `T` — and without the
+    /// instrumentation preempt point of [`Atomic::load`], which must not
+    /// fire inside a lock-held critical section under the deterministic
+    /// explorer). The word's encoding is `Shared::into_usize`.
+    #[inline]
+    pub fn raw_word(&self) -> &AtomicUsize {
+        &self.data
+    }
+
     /// Atomically stores the tagged pointer.
     #[inline]
     pub fn store(&self, val: Shared<T>, order: Ordering) {

@@ -31,15 +31,25 @@
 
 use crate::pad::CachePadded;
 use crate::registry::Registry;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Per-thread channel endpoints. `pending` is multi-writer (any pinger);
-/// `acked` is single-writer (the owning thread).
+/// `acked` is single-writer (the owning thread); `strikes`/`departed` are
+/// the degradation state (multi-writer, monotone until the slot resets).
 #[derive(Debug)]
 struct PingSlot {
     pending: AtomicU64,
     acked: AtomicU64,
+    /// Consecutive conceded rounds charged to this slot. Each strike halves
+    /// the spin window the *next* pinger grants it, so a silent peer costs
+    /// one full-budget concession and then geometrically less per scan
+    /// instead of a full `ack_spin_limit` timeout forever.
+    strikes: AtomicU64,
+    /// The owning thread left without quiescing (fault injection, crash
+    /// detection). Departed slots are permanently exempt from handshakes and
+    /// skipped by broadcasts until the slot is reset by a re-registration.
+    departed: AtomicBool,
 }
 
 /// Outcome of a bounded wait for acknowledgements.
@@ -82,6 +92,8 @@ impl PingChannel {
                     CachePadded::new(PingSlot {
                         pending: AtomicU64::new(0),
                         acked: AtomicU64::new(0),
+                        strikes: AtomicU64::new(0),
+                        departed: AtomicBool::new(false),
                     })
                 })
                 .collect(),
@@ -115,6 +127,30 @@ impl PingChannel {
         let seq = self.seq.load(Ordering::SeqCst);
         self.slots[tid].pending.fetch_max(seq, Ordering::SeqCst);
         self.slots[tid].acked.fetch_max(seq, Ordering::SeqCst);
+        // A fresh owner starts with a clean record: no strikes, not departed.
+        self.slots[tid].strikes.store(0, Ordering::SeqCst);
+        self.slots[tid].departed.store(false, Ordering::SeqCst);
+    }
+
+    /// Marks `tid`'s slot as departed: its owner left (or was killed) without
+    /// quiescing. From now on broadcasts skip the slot and handshakes treat
+    /// it as exempt, so one dead peer stops costing a timeout per scan. A
+    /// later [`PingChannel::reset_slot`] (re-registration) clears the mark.
+    pub fn mark_departed(&self, tid: usize) {
+        self.slots[tid].departed.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether `tid`'s slot is marked departed.
+    #[inline]
+    pub fn is_departed(&self, tid: usize) -> bool {
+        self.slots[tid].departed.load(Ordering::SeqCst)
+    }
+
+    /// Consecutive conceded rounds currently charged to `tid`
+    /// (diagnostics/tests).
+    #[inline]
+    pub fn strikes(&self, tid: usize) -> u64 {
+        self.slots[tid].strikes.load(Ordering::SeqCst)
     }
 
     /// Pings every registered thread except `sender`, returning the sequence
@@ -124,7 +160,10 @@ impl PingChannel {
         let seq = self.seq.fetch_add(1, Ordering::SeqCst) + 1;
         let mut sent = 0u64;
         for tid in registry.active_tids() {
-            if tid == sender {
+            if tid == sender || self.is_departed(tid) {
+                // A departed owner will never poll; paying the simulated
+                // delivery cost for it would charge every broadcast for a
+                // thread that no longer exists.
                 continue;
             }
             self.slots[tid].pending.fetch_max(seq, Ordering::SeqCst);
@@ -172,7 +211,13 @@ impl PingChannel {
     /// release edge the pinger's `acked` observation synchronizes with.
     #[inline]
     pub fn ack(&self, tid: usize, seq: u64) {
-        self.slots[tid].acked.store(seq, Ordering::SeqCst);
+        let slot = &self.slots[tid];
+        slot.acked.store(seq, Ordering::SeqCst);
+        // An ack proves the owner is alive and polling: forgive its strikes
+        // so the next handshake grants it a full spin window again.
+        if slot.strikes.load(Ordering::Relaxed) != 0 {
+            slot.strikes.store(0, Ordering::Relaxed);
+        }
     }
 
     /// Whether `tid` has acknowledged sequence `seq` (or newer).
@@ -191,7 +236,14 @@ impl PingChannel {
     /// The wait backs off from spinning to yielding so that, on
     /// oversubscribed machines, a descheduled pingee gets the CPU it needs to
     /// reach its next hook site. The per-thread iteration count is bounded by
-    /// `spin_limit`; on expiry the caller must treat the round as failed.
+    /// `spin_limit >> strikes(tid)` (floored at one iteration): a peer that
+    /// conceded the previous round gets half the window this round, so a
+    /// permanently silent peer degrades to O(1) iterations per scan instead
+    /// of head-of-line blocking every scan for the full budget. Departed
+    /// slots are exempt outright. On any expiry the remaining peers are
+    /// still *checked* (their acks observed, no further spinning — the round
+    /// is conceded regardless) and only the expired peers are charged a
+    /// strike.
     pub fn await_acks(
         &self,
         sender: usize,
@@ -201,22 +253,37 @@ impl PingChannel {
         exempt: impl Fn(usize) -> bool,
         mut while_waiting: impl FnMut(),
     ) -> PingOutcome {
+        let mut conceded = false;
         for tid in registry.active_tids() {
             if tid == sender {
                 continue;
             }
+            let slot = &self.slots[tid];
+            let allowance = if conceded {
+                // The round is already lost; observe this peer's state once
+                // but do not grant it a spin window (and below, do not charge
+                // it a strike for a window it never got).
+                0
+            } else {
+                let strikes = slot.strikes.load(Ordering::SeqCst).min(63);
+                (spin_limit >> strikes).max(1)
+            };
             let mut backoff = crate::Backoff::new();
             let mut iterations = 0usize;
             loop {
-                if exempt(tid) {
+                if slot.departed.load(Ordering::SeqCst) || exempt(tid) {
                     break;
                 }
                 if self.acked_at_least(tid, seq) {
                     break;
                 }
                 iterations += 1;
-                if iterations > spin_limit {
-                    return PingOutcome::TimedOut;
+                if iterations > allowance {
+                    if allowance > 0 {
+                        slot.strikes.fetch_add(1, Ordering::SeqCst);
+                    }
+                    conceded = true;
+                    break;
                 }
                 // Under the deterministic explorer this is the *only* way the
                 // awaited pingee ever runs: the wait must yield the schedule.
@@ -225,7 +292,11 @@ impl PingChannel {
                 backoff.snooze();
             }
         }
-        PingOutcome::AllAcked
+        if conceded {
+            PingOutcome::TimedOut
+        } else {
+            PingOutcome::AllAcked
+        }
     }
 }
 
@@ -321,6 +392,82 @@ mod tests {
         let outcome = ch.await_acks(0, seq, &reg, 16, |_| false, || calls += 1);
         assert_eq!(outcome, PingOutcome::TimedOut);
         assert!(calls > 0, "the waiter must get a chance to self-service");
+    }
+
+    #[test]
+    fn black_holed_peer_window_decays_geometrically() {
+        let (ch, reg) = chan(2);
+        reg.register_tid(0);
+        reg.register_tid(1);
+        // Thread 1 never acks. Each conceded round halves the spin window the
+        // next round grants it: full budget once, then geometrically less.
+        let spin_limit = 64usize;
+        let mut costs = Vec::new();
+        for _ in 0..4 {
+            let (seq, _) = ch.ping_all(0, &reg);
+            let mut spins = 0usize;
+            let outcome = ch.await_acks(0, seq, &reg, spin_limit, |_| false, || spins += 1);
+            assert_eq!(outcome, PingOutcome::TimedOut);
+            costs.push(spins);
+        }
+        assert_eq!(costs[0], spin_limit, "first round pays the full budget");
+        for w in costs.windows(2) {
+            assert!(
+                w[1] <= w[0] / 2,
+                "window must at least halve per conceded round: {costs:?}"
+            );
+        }
+        assert_eq!(ch.strikes(1), 4);
+        // An ack forgives the strikes: the peer gets a full window again.
+        let (seq, _) = ch.ping_all(0, &reg);
+        ch.ack(1, seq);
+        assert_eq!(ch.strikes(1), 0);
+        assert_eq!(
+            ch.await_acks(0, seq, &reg, spin_limit, |_| false, || {}),
+            PingOutcome::AllAcked
+        );
+    }
+
+    #[test]
+    fn departed_peer_costs_no_spins_and_no_pings() {
+        let (ch, reg) = chan(3);
+        reg.register_tid(0);
+        reg.register_tid(1);
+        reg.register_tid(2);
+        ch.mark_departed(1);
+        assert!(ch.is_departed(1));
+        // Broadcast skips the departed slot entirely.
+        let (seq, sent) = ch.ping_all(0, &reg);
+        assert_eq!(sent, 1, "only the live peer is pinged");
+        ch.ack(2, seq);
+        let mut spins = 0usize;
+        assert_eq!(
+            ch.await_acks(0, seq, &reg, 64, |_| false, || spins += 1),
+            PingOutcome::AllAcked,
+            "a departed peer must not block the handshake"
+        );
+        assert_eq!(spins, 0, "no spin window is granted to a departed slot");
+        // Re-registration of the slot clears the mark.
+        ch.reset_slot(1);
+        assert!(!ch.is_departed(1));
+    }
+
+    #[test]
+    fn concession_still_observes_remaining_acks_without_spinning() {
+        let (ch, reg) = chan(3);
+        reg.register_tid(0);
+        reg.register_tid(1);
+        reg.register_tid(2);
+        let (seq, _) = ch.ping_all(0, &reg);
+        ch.ack(2, seq); // tid 2 acks, tid 1 stays silent
+        assert_eq!(
+            ch.await_acks(0, seq, &reg, 16, |_| false, || {}),
+            PingOutcome::TimedOut
+        );
+        // Only the silent peer is charged; the peer that acked keeps a clean
+        // record (an expired round must not poison live threads downstream).
+        assert_eq!(ch.strikes(1), 1);
+        assert_eq!(ch.strikes(2), 0);
     }
 
     #[test]

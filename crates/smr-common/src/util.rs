@@ -77,6 +77,23 @@ impl OrphanPool {
         self.len() == 0
     }
 
+    /// Takes every parked record out of the pool, transferring ownership to
+    /// the caller — the survivor-adoption path: a live thread folds a
+    /// departed peer's leftovers into its own limbo bag, where they flow
+    /// through the scheme's ordinary protection-checked sweep instead of
+    /// waiting for the reclaimer's `Drop`. Moving a [`Retired`] is safe;
+    /// only freeing is not.
+    ///
+    /// Uses `try_lock` so the call is non-blocking on the reclamation path:
+    /// if another thread holds the pool (adopting or taking), the caller
+    /// simply gets nothing this round and retries at its next scan.
+    pub fn take_all(&self) -> Vec<Retired> {
+        match self.records.try_lock() {
+            Ok(mut records) => std::mem::take(&mut *records),
+            Err(_) => Vec::new(),
+        }
+    }
+
     /// Destroys every parked record.
     ///
     /// # Safety
@@ -137,5 +154,30 @@ mod tests {
         assert_eq!(pool.len(), 3);
         unsafe { pool.drain_and_free() };
         assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn take_all_transfers_ownership_to_survivor() {
+        let pool = OrphanPool::new();
+        let raws: Vec<_> = (0..4)
+            .map(|_| {
+                crate::recycle::alloc_node_raw(N {
+                    header: NodeHeader::new(),
+                })
+            })
+            .collect();
+        let retired: Vec<Retired> = raws
+            .iter()
+            .map(|&r| unsafe { Retired::new(r, 0) })
+            .collect();
+        pool.adopt(retired);
+        let taken = pool.take_all();
+        assert_eq!(taken.len(), 4);
+        assert!(pool.is_empty(), "take_all must empty the pool");
+        assert!(pool.take_all().is_empty());
+        for r in taken {
+            // SAFETY: test-local records; nothing else references them.
+            unsafe { r.reclaim() };
+        }
     }
 }

@@ -122,6 +122,13 @@ impl EpochPop {
     /// record retired before the ping whose era is covered by no published
     /// reservation.
     fn reclaim_with_pings(&self, ctx: &mut EpochPopCtx) {
+        // Survivor adoption: fold departed threads' orphaned records into
+        // this thread's limbo bag before the empty check, so orphans are
+        // freed even by threads with nothing of their own to reclaim
+        // (`take_all` is non-blocking).
+        for r in self.orphans.take_all() {
+            ctx.limbo.push(r);
+        }
         let tail = ctx.limbo.len();
         if tail == 0 {
             return;
@@ -250,6 +257,10 @@ impl Smr for EpochPop {
         self.reclaim_with_pings(ctx);
         self.orphans.adopt(ctx.limbo.drain());
         ctx.mag.flush();
+        // Departed-slot exemption: set before leaving the registry so a
+        // reclaimer mid-`await_acks` on a stale active-set snapshot stops
+        // waiting on this thread immediately.
+        self.ping.mark_departed(ctx.tid);
         self.registry.deregister(ctx.tid);
     }
 

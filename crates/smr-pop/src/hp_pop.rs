@@ -110,6 +110,13 @@ impl HpPop {
     /// record retired before the ping that no published (or own private)
     /// reservation covers.
     fn reclaim_with_pings(&self, ctx: &mut HpPopCtx) {
+        // Survivor adoption: fold departed threads' orphaned records into
+        // this thread's limbo bag before the empty check, so orphans are
+        // freed even by threads with nothing of their own to reclaim
+        // (`take_all` is non-blocking).
+        for r in self.orphans.take_all() {
+            ctx.limbo.push(r);
+        }
         let tail = ctx.limbo.len();
         if tail == 0 {
             return;
@@ -265,6 +272,10 @@ impl Smr for HpPop {
         self.reclaim_with_pings(ctx);
         self.orphans.adopt(ctx.limbo.drain());
         ctx.mag.flush();
+        // Departed-slot exemption: set before leaving the registry so a
+        // reclaimer mid-`await_acks` on a stale active-set snapshot stops
+        // waiting on this thread immediately.
+        self.ping.mark_departed(ctx.tid);
         self.registry.deregister(ctx.tid);
     }
 
@@ -282,12 +293,20 @@ impl Smr for HpPop {
         debug_assert!(slot < ctx.private.len(), "hazard slot index out of range");
         let p = src.load(Ordering::Acquire);
         ctx.private[slot] = p.untagged_usize();
-        // Oracle mirror: the private slot is binding even before any publish —
-        // no record can be freed without a handshake, and this thread's ack
-        // publishes every private slot first. A pointer loaded *after* this
-        // thread's ack can only come from a reachable record (DESIGN.md), so
-        // a free of a claimed address means the protection contract broke.
-        smr_common::check::claim_addr(ctx.tid, slot, p.untagged_usize());
+        // Oracle mirror: an *unmarked* load is binding even before any
+        // publish — no record can be freed without a handshake, this
+        // thread's ack publishes every private slot first, and an unmarked
+        // pointer loaded after the ack comes from a reachable record
+        // (DESIGN.md), so a free of its claimed address means the protection
+        // contract broke. A *marked* load is not covered by that argument:
+        // it may read the frozen next field of an already-unlinked record
+        // and return pre-ping garbage a concurrent handshake is entitled to
+        // free. That is safe — `CAN_TRAVERSE_UNLINKED = false` structures
+        // never dereference a marked hop (they restart) — so mirror the slot
+        // as empty rather than claiming an address the scheme does not
+        // protect.
+        let claimed = if p.tag() == 0 { p.untagged_usize() } else { 0 };
+        smr_common::check::claim_addr(ctx.tid, slot, claimed);
         p
     }
 

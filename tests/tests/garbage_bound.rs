@@ -103,6 +103,100 @@ fn ibr_bounds_garbage_with_stalled_thread() {
 }
 
 #[test]
+fn wfe_bounds_garbage_with_stalled_thread() {
+    // WFE is the tree's first *robust* reclaimer: like IBR/HE its stalled
+    // reader pins at most the records whose lifetime overlaps its announced
+    // era hull — bounded by the live set at the stall point — and unlike the
+    // epoch family the bound is constant in trial length. Two trial lengths
+    // prove the constancy.
+    let config = cfg();
+    let key_range = 4_096u64;
+    let live_at_stall = 2 * (key_range / 2); // prefill = key_range / 2
+    let wfe_bound = bound(&config, 3) + live_at_stall;
+    let short = run_with::<DgtTreeFamily>(
+        SmrKind::Wfe,
+        &stalled_spec(key_range, 60_000),
+        config.clone(),
+    );
+    let long = run_with::<DgtTreeFamily>(
+        SmrKind::Wfe,
+        &stalled_spec(key_range, 180_000),
+        config.clone(),
+    );
+    assert!(
+        short.outstanding_garbage() <= wfe_bound,
+        "WFE outstanding garbage {} exceeds the robust bound {}",
+        short.outstanding_garbage(),
+        wfe_bound
+    );
+    assert!(
+        long.outstanding_garbage() <= wfe_bound,
+        "WFE garbage must not grow with trial length: {} after 3x the ops, bound {}",
+        long.outstanding_garbage(),
+        wfe_bound
+    );
+    assert!(
+        short.smr_totals.frees > 0,
+        "WFE must have reclaimed during the run"
+    );
+}
+
+#[test]
+fn wfe_bounded_while_epoch_family_grows_under_injected_permanent_stall() {
+    // The ISSUE-7 robustness assertion, via the fault adversary instead of
+    // the E2 stalled extra thread: one worker stalls *permanently* inside an
+    // open operation (still acking pings). WFE's garbage stays under the
+    // fixed robust bound; DEBRA's and QSBR's provably grows past it, because
+    // the victim pins the epoch from the stall point onward.
+    use smr_harness::{FaultKind, FaultPlan};
+    let config = cfg();
+    let key_range = 4_096u64;
+    let mk_spec = || {
+        WorkloadSpec::new(
+            WorkloadMix::UPDATE_HEAVY,
+            key_range,
+            3,
+            StopCondition::TotalOps(60_000),
+        )
+        .with_fault_plan(FaultPlan::single(
+            0,
+            256,
+            FaultKind::Stall { for_ops: u64::MAX },
+        ))
+    };
+    let live_at_stall = 2 * (key_range / 2);
+    let robust_bound = bound(&config, 4) + live_at_stall;
+
+    let wfe = run_with::<DgtTreeFamily>(SmrKind::Wfe, &mk_spec(), config.clone());
+    assert_eq!(wfe.injected_faults, 1);
+    assert!(
+        wfe.outstanding_garbage() <= robust_bound,
+        "WFE outstanding garbage {} exceeds the robust bound {} under a permanent stall",
+        wfe.outstanding_garbage(),
+        robust_bound
+    );
+    assert!(wfe.smr_totals.frees > 0);
+
+    for kind in [SmrKind::Debra, SmrKind::Qsbr] {
+        let r = run_with::<DgtTreeFamily>(kind, &mk_spec(), config.clone());
+        assert!(
+            r.outstanding_garbage() > robust_bound,
+            "{} should accumulate garbage ({}) past the robust bound ({}) under the same stall",
+            kind.label(),
+            r.outstanding_garbage(),
+            robust_bound
+        );
+        assert!(
+            r.outstanding_garbage() > wfe.outstanding_garbage(),
+            "{} ({}) must hold more garbage than WFE ({})",
+            kind.label(),
+            r.outstanding_garbage(),
+            wfe.outstanding_garbage()
+        );
+    }
+}
+
+#[test]
 fn hp_pop_bounds_garbage_with_stalled_thread() {
     // HP-POP's private-until-pinged reservations still yield HP's bound: the
     // stalled reader publishes at most `hazards_per_thread` addresses on each

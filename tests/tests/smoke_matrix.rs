@@ -6,16 +6,16 @@
 //! against a `BTreeSet` with a tiny-watermark config, which forces the
 //! reclamation paths to execute constantly even at this small scale.
 //!
-//! 11 reclaimers (incl. the Publish-on-Ping family) × 6 structures
-//! (incl. the HM-list hash map) = 66 model-check cases, plus one
+//! 12 reclaimers (incl. the Publish-on-Ping family and WFE) × 6 structures
+//! (incl. the HM-list hash map) = 72 model-check cases, plus one
 //! multi-threaded chain-unlink stress case per reclaimer on the Harris
-//! list (77 total) — the marked-chain batch-unlink path only exists under
+//! list (84 total) — the marked-chain batch-unlink path only exists under
 //! concurrency.
 
 use conc_ds::{AbTree, DgtTree, HarrisList, HmHashMap, HmList, LazyList};
 use integration_tests::{chain_unlink_stress, model_check};
 use nbr::{Nbr, NbrPlus};
-use smr_baselines::{Debra, HazardEras, HazardPointers, Ibr, Leaky, Qsbr, Rcu};
+use smr_baselines::{Debra, HazardEras, HazardPointers, Ibr, Leaky, Qsbr, Rcu, Wfe};
 use smr_common::SmrConfig;
 use smr_pop::{EpochPop, HpPop};
 use std::sync::Arc;
@@ -95,6 +95,13 @@ smoke! {
     smoke_he_dgt_tree: DgtTree<HazardEras>;
     smoke_he_ab_tree: AbTree<HazardEras>;
 
+    smoke_wfe_lazy_list: LazyList<Wfe>;
+    smoke_wfe_harris_list: HarrisList<Wfe>;
+    smoke_wfe_hm_list: HmList<Wfe>;
+    smoke_wfe_hm_hashmap: HmHashMap<Wfe>;
+    smoke_wfe_dgt_tree: DgtTree<Wfe>;
+    smoke_wfe_ab_tree: AbTree<Wfe>;
+
     smoke_epoch_pop_lazy_list: LazyList<EpochPop>;
     smoke_epoch_pop_harris_list: HarrisList<EpochPop>;
     smoke_epoch_pop_hm_list: HmList<EpochPop>;
@@ -148,6 +155,7 @@ chain_unlink! {
     chain_unlink_hp: HazardPointers;
     chain_unlink_ibr: Ibr;
     chain_unlink_he: HazardEras;
+    chain_unlink_wfe: Wfe;
     chain_unlink_epoch_pop: EpochPop;
     chain_unlink_hp_pop: HpPop;
     chain_unlink_leaky: Leaky;
