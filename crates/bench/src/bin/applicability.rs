@@ -15,6 +15,10 @@ fn main() {
         !smr_common::check::compiled_in(),
         "bench binary built with the smr-common `check` feature on; measurements would be invalid"
     );
+    assert!(
+        !smr_common::telemetry::trace_compiled_in(),
+        "bench binary built with the smr-common `trace` feature on; measurements would be invalid"
+    );
     println!("Table 1 — applicability of SMR schemes to the implemented data structures");
     println!("(paper rows LL05, HL01, HM04, DGT15, B17a; `impl` = exercised by this repo's tests)");
     println!();

@@ -100,6 +100,10 @@ fn main() {
         !smr_common::check::compiled_in(),
         "bench binary built with the smr-common `check` feature on; measurements would be invalid"
     );
+    assert!(
+        !smr_common::telemetry::trace_compiled_in(),
+        "bench binary built with the smr-common `trace` feature on; measurements would be invalid"
+    );
     let opts = parse_args();
     let scale = &opts.scale;
     eprintln!(

@@ -13,7 +13,7 @@
 
 use smr_common::SmrConfig;
 use smr_harness::families::{run_with, HarrisListFamily, SmrKind};
-use smr_harness::{FaultPlan, StopCondition, WorkloadMix, WorkloadSpec};
+use smr_harness::{report, FaultPlan, StopCondition, WorkloadMix, WorkloadSpec};
 use std::time::Duration;
 
 /// One standing fault cell per scheme: a seeded plan over 4 workers, with
@@ -29,6 +29,13 @@ fn fault_cells(round: usize, base_seed: u64) {
         eprintln!(
             "[round {round}] fault-cell harris-list smr={} plan={plan}",
             kind.label()
+        );
+        report::note(
+            "fault-plan",
+            &format!(
+                "smr={} plan={plan} — replay with: stress --faults {seed:#x}",
+                kind.label()
+            ),
         );
         let spec = WorkloadSpec::new(
             WorkloadMix::UPDATE_HEAVY,
@@ -55,6 +62,11 @@ fn main() {
     assert!(
         !smr_common::check::compiled_in(),
         "bench binary built with the smr-common `check` feature on; measurements would be invalid"
+    );
+    assert!(
+        !smr_common::telemetry::trace_compiled_in(),
+        "bench binary built with the smr-common `trace` feature on; measurements would be invalid \
+         (use the dedicated `trace` bin for event capture)"
     );
     let args: Vec<String> = std::env::args().skip(1).collect();
     let rounds: usize = args
@@ -122,15 +134,21 @@ fn main() {
                             // never reclaims (leaky) or the trial stayed
                             // below every scan trigger.
                             if kind == SmrKind::Leaky {
-                                eprintln!("    note: leaky baseline never reclaims by design");
+                                report::note(
+                                    "leaky-baseline",
+                                    "leaky baseline never reclaims by design",
+                                );
                             } else {
-                                eprintln!(
-                                    "    note: 0 reclaimed — {} retires stayed below the scan \
-                                     trigger (hi_watermark={}, heartbeat={} ops; {} scans ran)",
-                                    r.smr_totals.retires,
-                                    config.hi_watermark,
-                                    config.scan_heartbeat_ops,
-                                    r.smr_totals.reclaim_scans,
+                                report::note(
+                                    "below-scan-trigger",
+                                    &format!(
+                                        "0 reclaimed — {} retires stayed below the scan \
+                                         trigger (hi_watermark={}, heartbeat={} ops; {} scans ran)",
+                                        r.smr_totals.retires,
+                                        config.hi_watermark,
+                                        config.scan_heartbeat_ops,
+                                        r.smr_totals.reclaim_scans,
+                                    ),
                                 );
                             }
                         }

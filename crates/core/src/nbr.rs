@@ -8,6 +8,7 @@
 //! retired before the broadcast.
 
 use crate::neutralize::{HandshakeOutcome, NeutralizationCore};
+use smr_common::telemetry::{self, trace, TraceKind};
 use smr_common::{
     BlockPool, LimboBag, Magazine, Retired, ScanPolicy, ScanState, Shared, Smr, SmrConfig, SmrNode,
     ThreadStats,
@@ -55,7 +56,12 @@ impl Nbr {
         // round's prefix — they were unlinked before their owner departed,
         // so the broadcast below covers them like the thread's own retires
         // (`take_orphans` is non-blocking).
-        for r in self.core.take_orphans() {
+        let orphaned = self.core.take_orphans();
+        if !orphaned.is_empty() {
+            ctx.stats.orphan_adoptions += orphaned.len() as u64;
+            trace::emit(ctx.tid, TraceKind::OrphanAdopt, orphaned.len() as u64, 0);
+        }
+        for r in orphaned {
             ctx.limbo.push(r);
         }
         let tail = ctx.limbo.len();
@@ -64,14 +70,24 @@ impl Nbr {
         }
         ctx.stats.reclaim_scans += 1;
         ctx.scan.note_scan();
+        let sw = telemetry::stopwatch_if(self.core.config().telemetry);
+        trace::emit(ctx.tid, TraceKind::ScanBegin, tail as u64, 0);
+        let ping_sw = telemetry::stopwatch_if(self.core.config().telemetry);
         let (seq, sent) = self.core.signal_all(ctx.tid);
         ctx.stats.signals_sent += sent;
-        match self.core.await_neutralization(ctx.tid, seq) {
+        let freed = match self.core.await_neutralization(ctx.tid, seq) {
             HandshakeOutcome::TimedOut => {
+                if let Some(ping_sw) = ping_sw {
+                    ctx.stats.tel.ping_stall.record(ping_sw.elapsed_ns());
+                }
+                ctx.stats.ping_concessions += 1;
                 ctx.stats.reclaim_skips += 1;
                 0
             }
             HandshakeOutcome::AllNeutralized => {
+                if let Some(ping_sw) = ping_sw {
+                    ctx.stats.tel.ping_rtt.record(ping_sw.elapsed_ns());
+                }
                 self.core
                     .collect_reservations_into(ctx.tid, &mut ctx.reserved);
                 // SAFETY: every record in the prefix was unlinked before the
@@ -88,7 +104,12 @@ impl Nbr {
                     )
                 }
             }
+        };
+        trace::emit(ctx.tid, TraceKind::ScanEnd, freed as u64, 0);
+        if let Some(sw) = sw {
+            ctx.stats.tel.scan.record(sw.elapsed_ns());
         }
+        freed
     }
 }
 
@@ -155,6 +176,7 @@ impl Smr for Nbr {
     fn checkpoint(&self, ctx: &mut NbrCtx) -> bool {
         if self.core.checkpoint(ctx.tid) {
             ctx.stats.neutralizations += 1;
+            trace::emit(ctx.tid, TraceKind::Neutralized, 0, 0);
             true
         } else {
             false
@@ -179,6 +201,12 @@ impl Smr for Nbr {
         ctx.stats.retires += 1;
         ctx.stats.observe_limbo(ctx.limbo.len());
         if self.policy.scan_on_retire(ctx.limbo.len()) {
+            trace::emit(
+                ctx.tid,
+                TraceKind::LimboHigh,
+                ctx.limbo.len() as u64,
+                self.policy.hi_watermark as u64,
+            );
             self.reclaim_with_signals(ctx);
         }
     }

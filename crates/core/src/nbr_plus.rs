@@ -21,6 +21,7 @@
 //! (see the `ablation_nbr` bench and EXPERIMENTS.md).
 
 use crate::neutralize::{HandshakeOutcome, NeutralizationCore};
+use smr_common::telemetry::{self, trace, TraceKind};
 use smr_common::{
     BlockPool, LimboBag, Magazine, Retired, ScanPolicy, ScanState, Shared, Smr, SmrConfig, SmrNode,
     ThreadStats,
@@ -104,7 +105,12 @@ impl NbrPlus {
         // round's prefix — they were unlinked before their owner departed,
         // so the broadcast below covers them like the thread's own retires
         // (`take_orphans` is non-blocking).
-        for r in self.core.take_orphans() {
+        let orphaned = self.core.take_orphans();
+        if !orphaned.is_empty() {
+            ctx.stats.orphan_adoptions += orphaned.len() as u64;
+            trace::emit(ctx.tid, TraceKind::OrphanAdopt, orphaned.len() as u64, 0);
+        }
+        for r in orphaned {
             ctx.limbo.push(r);
         }
         let tail = ctx.limbo.len();
@@ -113,11 +119,18 @@ impl NbrPlus {
         }
         ctx.stats.reclaim_scans += 1;
         ctx.scan.note_scan();
+        let sw = telemetry::stopwatch_if(self.core.config().telemetry);
+        trace::emit(ctx.tid, TraceKind::ScanBegin, tail as u64, 0);
         self.core.announce_rgp_begin(ctx.tid);
+        let ping_sw = telemetry::stopwatch_if(self.core.config().telemetry);
         let (seq, sent) = self.core.signal_all(ctx.tid);
         ctx.stats.signals_sent += sent;
-        match self.core.await_neutralization(ctx.tid, seq) {
+        let freed = match self.core.await_neutralization(ctx.tid, seq) {
             HandshakeOutcome::TimedOut => {
+                if let Some(ping_sw) = ping_sw {
+                    ctx.stats.tel.ping_stall.record(ping_sw.elapsed_ns());
+                }
+                ctx.stats.ping_concessions += 1;
                 // The RGP could not be verified: roll the announcement back so
                 // LoWatermark observers cannot mistake it for a completed one.
                 self.core.announce_rgp_abort(ctx.tid);
@@ -125,12 +138,20 @@ impl NbrPlus {
                 0
             }
             HandshakeOutcome::AllNeutralized => {
+                if let Some(ping_sw) = ping_sw {
+                    ctx.stats.tel.ping_rtt.record(ping_sw.elapsed_ns());
+                }
                 self.core.announce_rgp_end(ctx.tid);
                 let freed = self.reclaim_freeable(ctx, tail);
                 Self::clean_up(ctx);
                 freed
             }
+        };
+        trace::emit(ctx.tid, TraceKind::ScanEnd, freed as u64, 0);
+        if let Some(sw) = sw {
+            ctx.stats.tel.scan.record(sw.elapsed_ns());
         }
+        freed
     }
 
     /// The piggyback core (ungated): if some *other* thread completed an RGP
@@ -143,7 +164,13 @@ impl NbrPlus {
         }
         if self.core.rgp_elapsed_since(ctx.tid, &ctx.scan_snapshot) {
             let bookmark = ctx.bookmark;
+            let sw = telemetry::stopwatch_if(self.core.config().telemetry);
+            trace::emit(ctx.tid, TraceKind::ScanBegin, bookmark as u64, 1);
             let freed = self.reclaim_freeable(ctx, bookmark);
+            trace::emit(ctx.tid, TraceKind::ScanEnd, freed as u64, 1);
+            if let Some(sw) = sw {
+                ctx.stats.tel.scan.record(sw.elapsed_ns());
+            }
             ctx.stats.rgp_reclaims += 1;
             // A piggyback is a reclamation event: restart the heartbeat
             // window so the next op exit does not immediately re-fire and
@@ -242,6 +269,7 @@ impl Smr for NbrPlus {
     fn checkpoint(&self, ctx: &mut NbrPlusCtx) -> bool {
         if self.core.checkpoint(ctx.tid) {
             ctx.stats.neutralizations += 1;
+            trace::emit(ctx.tid, TraceKind::Neutralized, 0, 0);
             true
         } else {
             false
@@ -300,6 +328,12 @@ impl Smr for NbrPlus {
         ctx.stats.observe_limbo(ctx.limbo.len());
         let len = ctx.limbo.len();
         if self.policy.scan_on_retire(len) {
+            trace::emit(
+                ctx.tid,
+                TraceKind::LimboHigh,
+                len as u64,
+                self.policy.hi_watermark as u64,
+            );
             // Broadcast-stacking defence. When every thread retires at the
             // same rate (a timed trial starts all bags empty on one
             // barrier), the whole group crosses HiWatermark within a few

@@ -10,19 +10,38 @@ use crate::driver::TrialResult;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+/// Formats a structured harness note: `@note[kind] message`.
+///
+/// Every advisory the harness emits alongside results (fault-plan banners,
+/// "leaky never scans" caveats, replay hints) flows through this one shape so
+/// scripts can grep `@note\[` and filter by kind instead of parsing ad-hoc
+/// prose scattered across bench binaries.
+pub fn format_note(kind: &str, msg: &str) -> String {
+    format!("@note[{kind}] {msg}")
+}
+
+/// Prints a structured note to stderr (results stay clean on stdout).
+pub fn note(kind: &str, msg: &str) {
+    eprintln!("{}", format_note(kind, msg));
+}
+
 /// Renders trials as a markdown-style table.
 pub fn to_table(title: &str, results: &[TrialResult]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "### {title}");
     let _ = writeln!(
         out,
-        "| structure | reclaimer | mix | key range | threads | stalled | Mops/s | retired | freed | unreclaimed | signals | neutralized | peak MiB |"
+        "| structure | reclaimer | mix | key range | threads | stalled | Mops/s | retired | freed | unreclaimed | signals | neutralized | heartbeats | conceded | adopted | pool hit | op p50/p99/p999 ns | peak MiB |"
     );
-    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|---|---|---|");
+    let _ = writeln!(
+        out,
+        "|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|"
+    );
     for r in results {
+        let (p50, p99, p999) = r.smr_totals.tel.op.p50_p99_p999();
         let _ = writeln!(
             out,
-            "| {} | {} | {} | {} | {} | {} | {:.3} | {} | {} | {} | {} | {} | {:.2} |",
+            "| {} | {} | {} | {} | {} | {} | {:.3} | {} | {} | {} | {} | {} | {} | {} | {} | {:.1}% | {}/{}/{} | {:.2} |",
             r.ds,
             r.smr,
             r.mix,
@@ -35,6 +54,13 @@ pub fn to_table(title: &str, results: &[TrialResult]) -> String {
             r.outstanding_garbage(),
             r.smr_totals.signals_sent,
             r.smr_totals.neutralizations,
+            r.smr_totals.heartbeat_scans,
+            r.smr_totals.ping_concessions,
+            r.smr_totals.orphan_adoptions,
+            r.smr_totals.pool_hit_rate() * 100.0,
+            p50,
+            p99,
+            p999,
             r.peak_mem_bytes as f64 / (1024.0 * 1024.0),
         );
     }
@@ -44,12 +70,16 @@ pub fn to_table(title: &str, results: &[TrialResult]) -> String {
 /// Renders trials as CSV (header + one row per trial).
 pub fn to_csv(results: &[TrialResult]) -> String {
     let mut out = String::from(
-        "structure,reclaimer,mix,key_range,threads,stalled,mops,total_ops,duration_ms,retired,freed,unreclaimed,signals,neutralizations,peak_mem_bytes\n",
+        "structure,reclaimer,mix,key_range,threads,stalled,mops,total_ops,duration_ms,retired,freed,unreclaimed,signals,neutralizations,heartbeat_scans,ping_concessions,orphan_adoptions,pool_hit_rate,op_p50_ns,op_p99_ns,op_p999_ns,op_max_ns,scan_p50_ns,scan_p99_ns,scan_p999_ns,scan_max_ns,ping_rtt_p99_ns,ping_stall_p99_ns,peak_mem_bytes\n",
     );
     for r in results {
+        let (op50, op99, op999) = r.smr_totals.tel.op.p50_p99_p999();
+        let (sc50, sc99, sc999) = r.smr_totals.tel.scan.p50_p99_p999();
+        let (_, rtt99, _) = r.smr_totals.tel.ping_rtt.p50_p99_p999();
+        let (_, stall99, _) = r.smr_totals.tel.ping_stall.p50_p99_p999();
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{:.4},{},{:.1},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{:.4},{},{:.1},{},{},{},{},{},{},{},{},{:.4},{},{},{},{},{},{},{},{},{},{},{}",
             r.ds,
             r.smr,
             r.mix,
@@ -64,6 +94,20 @@ pub fn to_csv(results: &[TrialResult]) -> String {
             r.outstanding_garbage(),
             r.smr_totals.signals_sent,
             r.smr_totals.neutralizations,
+            r.smr_totals.heartbeat_scans,
+            r.smr_totals.ping_concessions,
+            r.smr_totals.orphan_adoptions,
+            r.smr_totals.pool_hit_rate(),
+            op50,
+            op99,
+            op999,
+            r.smr_totals.tel.op.max(),
+            sc50,
+            sc99,
+            sc999,
+            r.smr_totals.tel.scan.max(),
+            rtt99,
+            stall99,
             r.peak_mem_bytes,
         );
     }
@@ -146,6 +190,41 @@ mod tests {
         assert!(c.starts_with("structure,"));
         assert_eq!(c.lines().count(), 2);
         assert!(c.contains("HP"));
+        // Header and row column counts must agree (the telemetry columns are
+        // easy to desynchronize).
+        let mut lines = c.lines();
+        let header_cols = lines.next().unwrap().split(',').count();
+        let row_cols = lines.next().unwrap().split(',').count();
+        assert_eq!(header_cols, row_cols);
+        assert!(c.contains("op_p50_ns"));
+        assert!(c.contains("ping_concessions"));
+        assert!(c.contains("pool_hit_rate"));
+    }
+
+    #[test]
+    fn table_surfaces_latency_percentiles() {
+        let mut row = fake("NBR", 2, 1.0);
+        for v in [100u64, 200, 400, 800] {
+            row.smr_totals.tel.op.record(v);
+        }
+        row.smr_totals.ping_concessions = 3;
+        row.smr_totals.orphan_adoptions = 7;
+        let t = to_table("cells", &[row]);
+        // Percentile cells are bucket upper bounds clamped to the max.
+        assert!(t.contains("op p50/p99/p999 ns"));
+        assert!(t.contains("| 3 | 7 |"));
+        // Header and row must have the same number of columns.
+        let lines: Vec<&str> = t.lines().collect();
+        let header_cols = lines[1].matches('|').count();
+        let row_cols = lines[3].matches('|').count();
+        assert_eq!(header_cols, row_cols);
+    }
+
+    #[test]
+    fn note_channel_shape_is_greppable() {
+        let n = format_note("fault-plan", "seed=0x1 [t2@512:stall(1024)]");
+        assert_eq!(n, "@note[fault-plan] seed=0x1 [t2@512:stall(1024)]");
+        assert!(n.starts_with("@note["));
     }
 
     #[test]

@@ -123,6 +123,12 @@ pub struct WorkloadSpec {
     /// Optional fault-injection plan (stalls, departures, black-holed
     /// pings); `None` runs the trial fault-free.
     pub fault_plan: Option<std::sync::Arc<crate::fault::FaultPlan>>,
+    /// Tier-1 telemetry: when true (the default) workers sample operation
+    /// latency into per-thread histograms (one clock pair per
+    /// [`crate::driver::OP_SAMPLE_PERIOD`] ops). `false` bypasses every
+    /// harness-side clock read — the A/B baseline for measuring the
+    /// telemetry layer's own overhead.
+    pub telemetry: bool,
 }
 
 impl WorkloadSpec {
@@ -139,6 +145,7 @@ impl WorkloadSpec {
             seed: 0x5EED_0BAD_F00D,
             key_dist: KeyDist::Uniform,
             fault_plan: None,
+            telemetry: true,
         }
     }
 
@@ -169,6 +176,13 @@ impl WorkloadSpec {
     /// Attaches a fault-injection plan (see [`crate::fault`]).
     pub fn with_fault_plan(mut self, plan: crate::fault::FaultPlan) -> Self {
         self.fault_plan = Some(std::sync::Arc::new(plan));
+        self
+    }
+
+    /// Enables or disables tier-1 telemetry (op-latency sampling); see the
+    /// field docs. `with_telemetry(false)` is the A/B overhead baseline.
+    pub fn with_telemetry(mut self, telemetry: bool) -> Self {
+        self.telemetry = telemetry;
         self
     }
 }

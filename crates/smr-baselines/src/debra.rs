@@ -18,6 +18,7 @@
 //! DEBRA's amortized incremental scanning.
 
 use crate::util::{EraClock, OrphanPool};
+use smr_common::telemetry::{self, trace, TraceKind};
 use smr_common::{
     BlockPool, CachePadded, LimboBag, Magazine, Registry, Retired, ScanPolicy, ScanState, Shared,
     Smr, SmrConfig, SmrNode, ThreadStats,
@@ -98,6 +99,7 @@ impl Debra {
         }
         if self.epoch.advance_from(current) {
             ctx.stats.epoch_advances += 1;
+            trace::emit(ctx.tid, TraceKind::EraAdvance, current + 1, 0);
         }
     }
 
@@ -109,12 +111,33 @@ impl Debra {
             return;
         }
         ctx.local_epoch = observed;
+        let reclaimable =
+            (0..BAGS).any(|i| !ctx.bags[i].is_empty() && ctx.bag_epochs[i] + 2 <= observed);
+        let sw = if reclaimable {
+            let limbo: usize = ctx.bags.iter().map(|b| b.len()).sum();
+            trace::emit(ctx.tid, TraceKind::ScanBegin, limbo as u64, 0);
+            telemetry::stopwatch_if(self.config.telemetry)
+        } else {
+            None
+        };
+        let frees_before = ctx.stats.frees;
         for i in 0..BAGS {
             if !ctx.bags[i].is_empty() && ctx.bag_epochs[i] + 2 <= observed {
                 // SAFETY: the global epoch advanced at least twice since every
                 // record in this bag was retired; every operation that could
                 // have held a reference has completed (classic EBR argument).
                 unsafe { ctx.bags[i].reclaim_all(&mut ctx.stats, &mut ctx.mag) };
+            }
+        }
+        if reclaimable {
+            trace::emit(
+                ctx.tid,
+                TraceKind::ScanEnd,
+                ctx.stats.frees - frees_before,
+                0,
+            );
+            if let Some(sw) = sw {
+                ctx.stats.tel.scan.record(sw.elapsed_ns());
             }
         }
         // Point the "current" bag at the slot for the new epoch; it is either
@@ -128,6 +151,8 @@ impl Debra {
         // (`take_all` is non-blocking).
         let orphaned = self.orphans.take_all();
         if !orphaned.is_empty() {
+            ctx.stats.orphan_adoptions += orphaned.len() as u64;
+            trace::emit(ctx.tid, TraceKind::OrphanAdopt, orphaned.len() as u64, 0);
             let idx = (observed as usize) % BAGS;
             for r in orphaned {
                 ctx.bags[idx].push(r);

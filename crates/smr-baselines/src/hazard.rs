@@ -14,6 +14,7 @@
 //! only when unprotected, which bounds garbage by `HiWatermark + K·N`.
 
 use crate::util::OrphanPool;
+use smr_common::telemetry::{self, trace, TraceKind};
 use smr_common::{
     Atomic, BlockPool, CachePadded, LimboBag, Magazine, Registry, Retired, ScanPolicy, ScanState,
     Shared, Smr, SmrConfig, SmrNode, ThreadStats,
@@ -61,10 +62,17 @@ impl HazardPointers {
     }
 
     fn scan_and_reclaim(&self, ctx: &mut HpCtx) {
+        let sw = telemetry::stopwatch_if(self.config.telemetry);
+        trace::emit(ctx.tid, TraceKind::ScanBegin, ctx.limbo.len() as u64, 0);
         // Survivor adoption: fold departed threads' orphaned records into
         // this thread's limbo bag so they flow through the ordinary
         // protection-checked sweep below (`take_all` is non-blocking).
-        for r in self.orphans.take_all() {
+        let orphaned = self.orphans.take_all();
+        if !orphaned.is_empty() {
+            ctx.stats.orphan_adoptions += orphaned.len() as u64;
+            trace::emit(ctx.tid, TraceKind::OrphanAdopt, orphaned.len() as u64, 0);
+        }
+        for r in orphaned {
             ctx.limbo.push(r);
         }
         ctx.stats.reclaim_scans += 1;
@@ -106,6 +114,10 @@ impl HazardPointers {
         };
         if freed == 0 && before > 0 {
             ctx.stats.reclaim_skips += 1;
+        }
+        trace::emit(ctx.tid, TraceKind::ScanEnd, freed as u64, 0);
+        if let Some(sw) = sw {
+            ctx.stats.tel.scan.record(sw.elapsed_ns());
         }
     }
 
@@ -256,6 +268,12 @@ impl Smr for HazardPointers {
         ctx.stats.retires += 1;
         ctx.stats.observe_limbo(ctx.limbo.len());
         if self.policy.scan_on_retire(ctx.limbo.len()) {
+            trace::emit(
+                ctx.tid,
+                TraceKind::LimboHigh,
+                ctx.limbo.len() as u64,
+                self.config.hi_watermark as u64,
+            );
             self.scan_and_reclaim(ctx);
         }
     }

@@ -11,6 +11,7 @@
 //! validation is needed.
 
 use crate::util::{EraClock, OrphanPool};
+use smr_common::telemetry::{self, trace, TraceKind};
 use smr_common::{
     Atomic, BlockPool, CachePadded, LimboBag, Magazine, Registry, Retired, ScanPolicy, ScanState,
     Shared, Smr, SmrConfig, SmrNode, ThreadStats,
@@ -62,10 +63,17 @@ pub struct Ibr {
 
 impl Ibr {
     fn scan_and_reclaim(&self, ctx: &mut IbrCtx) {
+        let sw = telemetry::stopwatch_if(self.config.telemetry);
+        trace::emit(ctx.tid, TraceKind::ScanBegin, ctx.limbo.len() as u64, 0);
         // Survivor adoption: fold departed threads' orphaned records into
         // this thread's limbo bag so they flow through the ordinary
         // protection-checked sweep below (`take_all` is non-blocking).
-        for r in self.orphans.take_all() {
+        let orphaned = self.orphans.take_all();
+        if !orphaned.is_empty() {
+            ctx.stats.orphan_adoptions += orphaned.len() as u64;
+            trace::emit(ctx.tid, TraceKind::OrphanAdopt, orphaned.len() as u64, 0);
+        }
+        for r in orphaned {
             ctx.limbo.push(r);
         }
         ctx.stats.reclaim_scans += 1;
@@ -111,6 +119,10 @@ impl Ibr {
         };
         if freed == 0 && before > 0 {
             ctx.stats.reclaim_skips += 1;
+        }
+        trace::emit(ctx.tid, TraceKind::ScanEnd, freed as u64, 0);
+        if let Some(sw) = sw {
+            ctx.stats.tel.scan.record(sw.elapsed_ns());
         }
     }
 
@@ -284,7 +296,8 @@ impl Smr for Ibr {
             ctx.allocs_since_advance += 1;
             if ctx.allocs_since_advance >= self.config.epoch_freq {
                 ctx.allocs_since_advance = 0;
-                self.era.advance();
+                let era = self.era.advance();
+                trace::emit(ctx.tid, TraceKind::EraAdvance, era, 0);
                 ctx.stats.epoch_advances += 1;
             }
             ctx.stats.allocs += 1;
@@ -301,7 +314,8 @@ impl Smr for Ibr {
         ctx.allocs_since_advance += 1;
         if ctx.allocs_since_advance >= self.config.epoch_freq {
             ctx.allocs_since_advance = 0;
-            self.era.advance();
+            let era = self.era.advance();
+            trace::emit(ctx.tid, TraceKind::EraAdvance, era, 0);
             ctx.stats.epoch_advances += 1;
         }
         ctx.stats.allocs += 1;
@@ -318,6 +332,14 @@ impl Smr for Ibr {
         if ctx.retires_since_scan >= self.config.empty_freq
             || self.policy.scan_on_retire(ctx.limbo.len())
         {
+            if self.policy.scan_on_retire(ctx.limbo.len()) {
+                trace::emit(
+                    ctx.tid,
+                    TraceKind::LimboHigh,
+                    ctx.limbo.len() as u64,
+                    self.config.hi_watermark as u64,
+                );
+            }
             ctx.retires_since_scan = 0;
             self.scan_and_reclaim(ctx);
         }

@@ -13,6 +13,7 @@
 //! forever (experiment E2).
 
 use crate::util::{EraClock, OrphanPool};
+use smr_common::telemetry::{self, trace, TraceKind};
 use smr_common::{
     BlockPool, CachePadded, LimboBag, Magazine, Registry, Retired, ScanPolicy, ScanState, Shared,
     Smr, SmrConfig, SmrNode, ThreadStats,
@@ -73,6 +74,7 @@ impl Qsbr {
         }
         if self.epoch.advance_from(current) {
             ctx.stats.epoch_advances += 1;
+            trace::emit(ctx.tid, TraceKind::EraAdvance, current + 1, 0);
         }
     }
 
@@ -81,12 +83,33 @@ impl Qsbr {
             return;
         }
         ctx.local_epoch = observed;
+        let reclaimable =
+            (0..BAGS).any(|i| !ctx.bags[i].is_empty() && ctx.bag_epochs[i] + 2 <= observed);
+        let sw = if reclaimable {
+            let limbo: usize = ctx.bags.iter().map(|b| b.len()).sum();
+            trace::emit(ctx.tid, TraceKind::ScanBegin, limbo as u64, 0);
+            telemetry::stopwatch_if(self.config.telemetry)
+        } else {
+            None
+        };
+        let frees_before = ctx.stats.frees;
         for i in 0..BAGS {
             if !ctx.bags[i].is_empty() && ctx.bag_epochs[i] + 2 <= observed {
                 // SAFETY: two epoch advances require every online thread to
                 // have been quiescent twice since these records were retired;
                 // any operation that could have referenced them has ended.
                 unsafe { ctx.bags[i].reclaim_all(&mut ctx.stats, &mut ctx.mag) };
+            }
+        }
+        if reclaimable {
+            trace::emit(
+                ctx.tid,
+                TraceKind::ScanEnd,
+                ctx.stats.frees - frees_before,
+                0,
+            );
+            if let Some(sw) = sw {
+                ctx.stats.tel.scan.record(sw.elapsed_ns());
             }
         }
         let idx = (observed as usize) % BAGS;
@@ -98,6 +121,8 @@ impl Qsbr {
         // (`take_all` is non-blocking).
         let orphaned = self.orphans.take_all();
         if !orphaned.is_empty() {
+            ctx.stats.orphan_adoptions += orphaned.len() as u64;
+            trace::emit(ctx.tid, TraceKind::OrphanAdopt, orphaned.len() as u64, 0);
             let idx = (observed as usize) % BAGS;
             for r in orphaned {
                 ctx.bags[idx].push(r);

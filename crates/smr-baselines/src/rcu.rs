@@ -16,6 +16,7 @@
 //! the behaviour experiment E2 demonstrates for RCU.
 
 use crate::util::{EraClock, OrphanPool};
+use smr_common::telemetry::{self, trace, TraceKind};
 use smr_common::{
     BlockPool, CachePadded, LimboBag, Magazine, Registry, Retired, ScanPolicy, ScanState, Shared,
     Smr, SmrConfig, SmrNode, ThreadStats,
@@ -69,10 +70,17 @@ impl Rcu {
     }
 
     fn scan_and_reclaim(&self, ctx: &mut RcuCtx) {
+        let sw = telemetry::stopwatch_if(self.config.telemetry);
+        trace::emit(ctx.tid, TraceKind::ScanBegin, ctx.limbo.len() as u64, 0);
         // Survivor adoption: fold departed threads' orphaned records into
         // this thread's limbo bag so they flow through the ordinary
         // protection-checked sweep below (`take_all` is non-blocking).
-        for r in self.orphans.take_all() {
+        let orphaned = self.orphans.take_all();
+        if !orphaned.is_empty() {
+            ctx.stats.orphan_adoptions += orphaned.len() as u64;
+            trace::emit(ctx.tid, TraceKind::OrphanAdopt, orphaned.len() as u64, 0);
+        }
+        for r in orphaned {
             ctx.limbo.push(r);
         }
         ctx.stats.reclaim_scans += 1;
@@ -88,6 +96,10 @@ impl Rcu {
         };
         if freed == 0 && before > 0 {
             ctx.stats.reclaim_skips += 1;
+        }
+        trace::emit(ctx.tid, TraceKind::ScanEnd, freed as u64, 0);
+        if let Some(sw) = sw {
+            ctx.stats.tel.scan.record(sw.elapsed_ns());
         }
     }
 }
@@ -189,8 +201,9 @@ impl Smr for Rcu {
         ctx.retires_since_advance += 1;
         if ctx.retires_since_advance >= self.config.epoch_freq {
             ctx.retires_since_advance = 0;
-            self.era.advance();
+            let era = self.era.advance();
             ctx.stats.epoch_advances += 1;
+            trace::emit(ctx.tid, TraceKind::EraAdvance, era, 0);
         }
         ctx.retires_since_scan += 1;
         if ctx.retires_since_scan >= self.config.empty_freq {

@@ -34,6 +34,7 @@
 //! scheduler-atomic, the same discipline as the recycling depot mutex.
 
 use crate::util::{EraClock, OrphanPool};
+use smr_common::telemetry::{self, trace, TraceKind};
 use smr_common::{
     Atomic, BlockPool, CachePadded, LimboBag, Magazine, Registry, Retired, ScanPolicy, ScanState,
     Shared, Smr, SmrConfig, SmrNode, ThreadStats,
@@ -174,6 +175,8 @@ impl Wfe {
         slot: usize,
         src: &Atomic<T>,
     ) -> Shared<T> {
+        let sw = telemetry::stopwatch_if(self.config.telemetry);
+        trace::emit(ctx.tid, TraceKind::HelpSlowBegin, slot as u64, 0);
         let board = &self.boards[ctx.tid];
         let seq = board.seq.load(Ordering::Relaxed);
         debug_assert_eq!(seq % 2, 0, "own board must be idle");
@@ -200,6 +203,10 @@ impl Wfe {
         }
         debug_assert_eq!(board.seq.load(Ordering::Relaxed), seq + 2);
         debug_assert_ne!(board.result_era.load(Ordering::Relaxed), NONE);
+        trace::emit(ctx.tid, TraceKind::HelpSlowEnd, waited as u64, 0);
+        if let Some(sw) = sw {
+            ctx.stats.tel.help_slow.record(sw.elapsed_ns());
+        }
         Shared::from_usize(board.result_ptr.load(Ordering::Relaxed))
     }
 
@@ -207,12 +214,19 @@ impl Wfe {
     /// thread's limbo bag, so they flow through the ordinary hull-checked
     /// sweep below instead of waiting for the reclaimer's `Drop`.
     fn adopt_orphans(&self, ctx: &mut WfeCtx) {
-        for r in self.orphans.take_all() {
+        let orphaned = self.orphans.take_all();
+        if !orphaned.is_empty() {
+            ctx.stats.orphan_adoptions += orphaned.len() as u64;
+            trace::emit(ctx.tid, TraceKind::OrphanAdopt, orphaned.len() as u64, 0);
+        }
+        for r in orphaned {
             ctx.limbo.push(r);
         }
     }
 
     fn scan_and_reclaim(&self, ctx: &mut WfeCtx) {
+        let sw = telemetry::stopwatch_if(self.config.telemetry);
+        trace::emit(ctx.tid, TraceKind::ScanBegin, ctx.limbo.len() as u64, 0);
         self.adopt_orphans(ctx);
         ctx.stats.reclaim_scans += 1;
         ctx.scan.note_scan();
@@ -261,6 +275,10 @@ impl Wfe {
         };
         if freed == 0 && before > 0 {
             ctx.stats.reclaim_skips += 1;
+        }
+        trace::emit(ctx.tid, TraceKind::ScanEnd, freed as u64, 0);
+        if let Some(sw) = sw {
+            ctx.stats.tel.scan.record(sw.elapsed_ns());
         }
     }
 
@@ -420,8 +438,9 @@ impl Smr for Wfe {
         ctx.allocs_since_advance += 1;
         if ctx.allocs_since_advance >= self.config.epoch_freq {
             ctx.allocs_since_advance = 0;
-            self.advance_era();
+            let era = self.advance_era();
             ctx.stats.epoch_advances += 1;
+            trace::emit(ctx.tid, TraceKind::EraAdvance, era, 0);
         }
         ctx.stats.allocs += 1;
         Shared::from_raw(raw)
@@ -437,13 +456,22 @@ impl Smr for Wfe {
         if ctx.retires_since_scan >= self.config.empty_freq
             || self.policy.scan_on_retire(ctx.limbo.len())
         {
+            if self.policy.scan_on_retire(ctx.limbo.len()) {
+                trace::emit(
+                    ctx.tid,
+                    TraceKind::LimboHigh,
+                    ctx.limbo.len() as u64,
+                    self.policy.hi_watermark as u64,
+                );
+            }
             ctx.retires_since_scan = 0;
             self.scan_and_reclaim(ctx);
         }
     }
 
     fn flush(&self, ctx: &mut WfeCtx) {
-        self.advance_era();
+        let era = self.advance_era();
+        trace::emit(ctx.tid, TraceKind::EraAdvance, era, 0);
         self.scan_and_reclaim(ctx);
     }
 

@@ -60,6 +60,7 @@ pub mod registry;
 pub mod retired;
 pub mod smr;
 pub mod stats;
+pub mod telemetry;
 pub mod util;
 pub mod vlock;
 
@@ -75,5 +76,6 @@ pub use registry::{Registry, ThreadSlot};
 pub use retired::Retired;
 pub use smr::{Smr, SmrConfig};
 pub use stats::{SmrStats, ThreadStats};
+pub use telemetry::{Histo, Stopwatch, Telemetry};
 pub use util::{EraClock, OrphanPool};
 pub use vlock::SeqLock;

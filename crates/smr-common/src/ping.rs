@@ -170,6 +170,7 @@ impl PingChannel {
             sent += 1;
             self.simulate_ping_cost();
         }
+        crate::telemetry::trace::emit(sender, crate::telemetry::TraceKind::PingSent, seq, sent);
         (seq, sent)
     }
 
@@ -213,6 +214,7 @@ impl PingChannel {
     pub fn ack(&self, tid: usize, seq: u64) {
         let slot = &self.slots[tid];
         slot.acked.store(seq, Ordering::SeqCst);
+        crate::telemetry::trace::emit(tid, crate::telemetry::TraceKind::PingAcked, seq, 0);
         // An ack proves the owner is alive and polling: forgive its strikes
         // so the next handshake grants it a full spin window again.
         if slot.strikes.load(Ordering::Relaxed) != 0 {
@@ -254,6 +256,7 @@ impl PingChannel {
         mut while_waiting: impl FnMut(),
     ) -> PingOutcome {
         let mut conceded = false;
+        let mut silent = 0u64;
         for tid in registry.active_tids() {
             if tid == sender {
                 continue;
@@ -280,9 +283,16 @@ impl PingChannel {
                 iterations += 1;
                 if iterations > allowance {
                     if allowance > 0 {
-                        slot.strikes.fetch_add(1, Ordering::SeqCst);
+                        let strikes = slot.strikes.fetch_add(1, Ordering::SeqCst) + 1;
+                        crate::telemetry::trace::emit(
+                            sender,
+                            crate::telemetry::TraceKind::PingStrike,
+                            tid as u64,
+                            strikes,
+                        );
                     }
                     conceded = true;
+                    silent += 1;
                     break;
                 }
                 // Under the deterministic explorer this is the *only* way the
@@ -293,6 +303,12 @@ impl PingChannel {
             }
         }
         if conceded {
+            crate::telemetry::trace::emit(
+                sender,
+                crate::telemetry::TraceKind::PingConceded,
+                seq,
+                silent,
+            );
             PingOutcome::TimedOut
         } else {
             PingOutcome::AllAcked

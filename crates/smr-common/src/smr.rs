@@ -70,6 +70,13 @@ pub struct SmrConfig {
     /// `magazine_cap × max_threads + 2 × hi_watermark` blocks per class —
     /// steady-state circulation plus one full reclamation burst).
     pub magazine_cap: usize,
+    /// Tier-1 telemetry: time reclamation scans, ping handshakes and helping
+    /// slow paths into the per-thread latency histograms
+    /// ([`telemetry`](crate::telemetry)). These sit off the operation fast
+    /// path, but `false` bypasses even their clock reads — the same-binary
+    /// A/B the bench bins use (`--no-telemetry`) to prove tier 1 costs
+    /// nothing measurable.
+    pub telemetry: bool,
 }
 
 impl Default for SmrConfig {
@@ -87,6 +94,7 @@ impl Default for SmrConfig {
             scan_heartbeat_ops: 1024,
             recycle: true,
             magazine_cap: 128,
+            telemetry: true,
         }
     }
 }
@@ -108,6 +116,7 @@ impl SmrConfig {
             scan_heartbeat_ops: 64,
             recycle: true,
             magazine_cap: 8,
+            telemetry: true,
         }
     }
 
@@ -155,6 +164,13 @@ impl SmrConfig {
     pub fn with_magazine_cap(mut self, cap: usize) -> Self {
         assert!(cap > 0, "magazine capacity must be positive");
         self.magazine_cap = cap;
+        self
+    }
+
+    /// Builder-style setter for [`SmrConfig::telemetry`] (false bypasses the
+    /// tier-1 latency histograms' clock reads).
+    pub fn with_telemetry(mut self, telemetry: bool) -> Self {
+        self.telemetry = telemetry;
         self
     }
 

@@ -7,6 +7,7 @@
 //! These counters are collected per thread with zero synchronization on the
 //! fast path and merged by the harness after each trial.
 
+use crate::telemetry::Telemetry;
 use std::ops::AddAssign;
 
 /// Per-thread counters, owned by the thread's context (no atomics involved).
@@ -50,6 +51,13 @@ pub struct ThreadStats {
     pub pool_misses: u64,
     /// Reclaimed blocks accepted back into the pool for reuse.
     pub pool_recycled: u64,
+    /// Ping/neutralization handshake rounds this thread conceded (a peer
+    /// stayed silent past its spin window and the scan was skipped).
+    pub ping_concessions: u64,
+    /// Orphaned records adopted from departed threads' limbo bags.
+    pub orphan_adoptions: u64,
+    /// Tier-1 latency histograms (see [`telemetry`](crate::telemetry)).
+    pub tel: Telemetry,
 }
 
 impl ThreadStats {
@@ -62,6 +70,17 @@ impl ThreadStats {
     /// Unreclaimed records implied by the counters (retires minus frees).
     pub fn outstanding(&self) -> u64 {
         self.retires.saturating_sub(self.frees)
+    }
+
+    /// Fraction of pool-eligible allocations served from the recycling pool
+    /// (`NaN`-free: 0 when no eligible allocation happened).
+    pub fn pool_hit_rate(&self) -> f64 {
+        let eligible = self.pool_hits + self.pool_misses;
+        if eligible == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / eligible as f64
+        }
     }
 }
 
@@ -83,6 +102,9 @@ impl AddAssign for ThreadStats {
         self.pool_hits += rhs.pool_hits;
         self.pool_misses += rhs.pool_misses;
         self.pool_recycled += rhs.pool_recycled;
+        self.ping_concessions += rhs.ping_concessions;
+        self.orphan_adoptions += rhs.orphan_adoptions;
+        self.tel += rhs.tel;
     }
 }
 

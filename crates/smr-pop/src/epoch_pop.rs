@@ -36,6 +36,7 @@
 //! contrast [`HpPop`](crate::HpPop), whose published reservations bound the
 //! damage to `K` records per thread).
 
+use smr_common::telemetry::{self, trace, TraceKind};
 use smr_common::{
     BlockPool, CachePadded, EraClock, LimboBag, Magazine, OrphanPool, PingChannel, PingOutcome,
     Registry, Retired, ScanPolicy, ScanState, Shared, Smr, SmrConfig, SmrNode, ThreadStats,
@@ -126,7 +127,12 @@ impl EpochPop {
         // this thread's limbo bag before the empty check, so orphans are
         // freed even by threads with nothing of their own to reclaim
         // (`take_all` is non-blocking).
-        for r in self.orphans.take_all() {
+        let orphaned = self.orphans.take_all();
+        if !orphaned.is_empty() {
+            ctx.stats.orphan_adoptions += orphaned.len() as u64;
+            trace::emit(ctx.tid, TraceKind::OrphanAdopt, orphaned.len() as u64, 0);
+        }
+        for r in orphaned {
             ctx.limbo.push(r);
         }
         let tail = ctx.limbo.len();
@@ -136,6 +142,9 @@ impl EpochPop {
         ctx.stats.reclaim_scans += 1;
         ctx.scan.note_scan();
         ctx.retires_since_scan = 0;
+        let sw = telemetry::stopwatch_if(self.config.telemetry);
+        trace::emit(ctx.tid, TraceKind::ScanBegin, tail as u64, 0);
+        let ping_sw = telemetry::stopwatch_if(self.config.telemetry);
         let (seq, sent) = self.ping.ping_all(ctx.tid, &self.registry);
         ctx.stats.signals_sent += sent;
         let tid = ctx.tid;
@@ -157,11 +166,19 @@ impl EpochPop {
                 }
             },
         );
+        let mut freed_total = 0u64;
         match outcome {
             PingOutcome::TimedOut => {
+                if let Some(ping_sw) = ping_sw {
+                    ctx.stats.tel.ping_stall.record(ping_sw.elapsed_ns());
+                }
+                ctx.stats.ping_concessions += 1;
                 ctx.stats.reclaim_skips += 1;
             }
             PingOutcome::AllAcked => {
+                if let Some(ping_sw) = ping_sw {
+                    ctx.stats.tel.ping_rtt.record(ping_sw.elapsed_ns());
+                }
                 // Single-fence scan over the published slots (DESIGN.md); the
                 // ack edges already order each publishing store before our
                 // loads, the fence covers the slots of threads that
@@ -198,7 +215,12 @@ impl EpochPop {
                 if freed == 0 && before > 0 {
                     ctx.stats.reclaim_skips += 1;
                 }
+                freed_total = freed as u64;
             }
+        }
+        trace::emit(ctx.tid, TraceKind::ScanEnd, freed_total, 0);
+        if let Some(sw) = sw {
+            ctx.stats.tel.scan.record(sw.elapsed_ns());
         }
     }
 }
@@ -314,13 +336,20 @@ impl Smr for EpochPop {
         ctx.retires_since_advance += 1;
         if ctx.retires_since_advance >= self.config.epoch_freq {
             ctx.retires_since_advance = 0;
-            self.era.advance();
+            let era = self.era.advance();
             ctx.stats.epoch_advances += 1;
+            trace::emit(ctx.tid, TraceKind::EraAdvance, era, 0);
         }
         ctx.retires_since_scan += 1;
         if self.policy.scan_on_retire(ctx.limbo.len())
             && ctx.retires_since_scan >= self.config.empty_freq
         {
+            trace::emit(
+                ctx.tid,
+                TraceKind::LimboHigh,
+                ctx.limbo.len() as u64,
+                self.policy.hi_watermark as u64,
+            );
             self.reclaim_with_pings(ctx);
         }
     }

@@ -37,6 +37,7 @@
 //! reservations per thread. A stalled reader pins at most its `K` published
 //! slots, not an epoch's worth of garbage.
 
+use smr_common::telemetry::{self, trace, TraceKind};
 use smr_common::{
     Atomic, BlockPool, CachePadded, LimboBag, Magazine, OrphanPool, PingChannel, PingOutcome,
     Registry, Retired, ScanPolicy, ScanState, Shared, Smr, SmrConfig, SmrNode, ThreadStats,
@@ -114,7 +115,12 @@ impl HpPop {
         // this thread's limbo bag before the empty check, so orphans are
         // freed even by threads with nothing of their own to reclaim
         // (`take_all` is non-blocking).
-        for r in self.orphans.take_all() {
+        let orphaned = self.orphans.take_all();
+        if !orphaned.is_empty() {
+            ctx.stats.orphan_adoptions += orphaned.len() as u64;
+            trace::emit(ctx.tid, TraceKind::OrphanAdopt, orphaned.len() as u64, 0);
+        }
+        for r in orphaned {
             ctx.limbo.push(r);
         }
         let tail = ctx.limbo.len();
@@ -124,6 +130,9 @@ impl HpPop {
         ctx.stats.reclaim_scans += 1;
         ctx.scan.note_scan();
         ctx.retires_since_scan = 0;
+        let sw = telemetry::stopwatch_if(self.config.telemetry);
+        trace::emit(ctx.tid, TraceKind::ScanBegin, tail as u64, 0);
+        let ping_sw = telemetry::stopwatch_if(self.config.telemetry);
         let (seq, sent) = self.ping.ping_all(ctx.tid, &self.registry);
         ctx.stats.signals_sent += sent;
         let tid = ctx.tid;
@@ -146,11 +155,19 @@ impl HpPop {
                 },
             )
         };
+        let mut freed_total = 0u64;
         match outcome {
             PingOutcome::TimedOut => {
+                if let Some(ping_sw) = ping_sw {
+                    ctx.stats.tel.ping_stall.record(ping_sw.elapsed_ns());
+                }
+                ctx.stats.ping_concessions += 1;
                 ctx.stats.reclaim_skips += 1;
             }
             PingOutcome::AllAcked => {
+                if let Some(ping_sw) = ping_sw {
+                    ctx.stats.tel.ping_rtt.record(ping_sw.elapsed_ns());
+                }
                 // Single-fence scan over the published slots (DESIGN.md).
                 fence(Ordering::SeqCst);
                 ctx.protected.clear();
@@ -194,7 +211,12 @@ impl HpPop {
                 if freed == 0 && before > 0 {
                     ctx.stats.reclaim_skips += 1;
                 }
+                freed_total = freed as u64;
             }
+        }
+        trace::emit(ctx.tid, TraceKind::ScanEnd, freed_total, 0);
+        if let Some(sw) = sw {
+            ctx.stats.tel.scan.record(sw.elapsed_ns());
         }
     }
 }
@@ -369,6 +391,12 @@ impl Smr for HpPop {
         if self.policy.scan_on_retire(ctx.limbo.len())
             && ctx.retires_since_scan >= self.config.empty_freq
         {
+            trace::emit(
+                ctx.tid,
+                TraceKind::LimboHigh,
+                ctx.limbo.len() as u64,
+                self.policy.hi_watermark as u64,
+            );
             self.reclaim_with_pings(ctx);
         }
     }

@@ -1,0 +1,288 @@
+//! `bench-diff` — compare two `BENCH_*.json` trajectory documents.
+//!
+//! ```text
+//! cargo run -p xtask -- bench-diff <baseline.json> <new.json> [--threshold 0.95]
+//! ```
+//!
+//! Both files are outputs of the `throughput` bin: line-oriented cell arrays
+//! where each cell carries `"key":"..."` and `"mops":<f64>` (and, since the
+//! telemetry layer landed, `"op_p99_ns":<u64>`). Cells are matched by key;
+//! the report lists per-cell speedups (new / baseline) worst-first, then the
+//! worst / median / geometric-mean summary. With `--threshold t`, exits
+//! non-zero when any matched cell's speedup falls below `t` — the regression
+//! gate used both by CI and by the telemetry-overhead A/B
+//! (`throughput` vs `throughput --no-telemetry`).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// One parsed cell: throughput plus the optional op-latency p99.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellSample {
+    pub mops: f64,
+    pub op_p99_ns: Option<u64>,
+}
+
+/// Extracts the cells of a `throughput` JSON document. Line-oriented by the
+/// emitter's construction — no full JSON parser needed (same contract as the
+/// `--baseline` parser inside the `throughput` bin).
+pub fn parse_cells(text: &str) -> BTreeMap<String, CellSample> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let Some(key) = extract_str(line, "\"key\":\"") else {
+            continue;
+        };
+        let Some(mops) = extract_num(line, "\"mops\":") else {
+            continue;
+        };
+        let op_p99_ns = extract_num(line, "\"op_p99_ns\":").map(|v| v as u64);
+        out.insert(key, CellSample { mops, op_p99_ns });
+    }
+    out
+}
+
+fn extract_str(line: &str, tag: &str) -> Option<String> {
+    let start = line.find(tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+fn extract_num(line: &str, tag: &str) -> Option<f64> {
+    let start = line.find(tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// One row of the diff: a key matched in both documents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    pub key: String,
+    pub base_mops: f64,
+    pub new_mops: f64,
+    pub speedup: f64,
+    pub base_p99: Option<u64>,
+    pub new_p99: Option<u64>,
+}
+
+/// Joins two cell maps on key and computes per-cell speedups, worst first.
+pub fn diff(
+    base: &BTreeMap<String, CellSample>,
+    new: &BTreeMap<String, CellSample>,
+) -> Vec<DiffRow> {
+    let mut rows: Vec<DiffRow> = new
+        .iter()
+        .filter_map(|(key, n)| {
+            let b = base.get(key)?;
+            if b.mops <= 0.0 {
+                return None;
+            }
+            Some(DiffRow {
+                key: key.clone(),
+                base_mops: b.mops,
+                new_mops: n.mops,
+                speedup: n.mops / b.mops,
+                base_p99: b.op_p99_ns,
+                new_p99: n.op_p99_ns,
+            })
+        })
+        .collect();
+    rows.sort_by(|a, b| a.speedup.partial_cmp(&b.speedup).unwrap());
+    rows
+}
+
+/// Summary statistics over the matched rows: (worst, median, geometric mean).
+/// `None` when nothing matched.
+pub fn summarize(rows: &[DiffRow]) -> Option<(f64, f64, f64)> {
+    if rows.is_empty() {
+        return None;
+    }
+    // Rows are sorted ascending by construction.
+    let worst = rows[0].speedup;
+    let median = rows[rows.len() / 2].speedup;
+    let geomean = (rows.iter().map(|r| r.speedup.ln()).sum::<f64>() / rows.len() as f64).exp();
+    Some((worst, median, geomean))
+}
+
+/// Renders the diff as a markdown table plus the summary line.
+pub fn render(rows: &[DiffRow], base_name: &str, new_name: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "### bench-diff: {new_name} vs {base_name}");
+    let _ = writeln!(
+        out,
+        "| cell | base Mops/s | new Mops/s | speedup | base p99 ns | new p99 ns |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|");
+    for r in rows {
+        let fmt_p99 = |p: Option<u64>| p.map(|v| v.to_string()).unwrap_or_else(|| "-".into());
+        let _ = writeln!(
+            out,
+            "| {} | {:.3} | {:.3} | {:.3}x | {} | {} |",
+            r.key,
+            r.base_mops,
+            r.new_mops,
+            r.speedup,
+            fmt_p99(r.base_p99),
+            fmt_p99(r.new_p99),
+        );
+    }
+    if let Some((worst, median, geomean)) = summarize(rows) {
+        let _ = writeln!(
+            out,
+            "\n{} cells matched; worst {:.3}x, median {:.3}x, geomean {:.3}x",
+            rows.len(),
+            worst,
+            median,
+            geomean
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "\nno cell keys matched — were the two runs taken with the same \
+             --threads / key ranges / distribution?"
+        );
+    }
+    out
+}
+
+/// Entry point for `cargo run -p xtask -- bench-diff`.
+pub fn run(args: &mut impl Iterator<Item = String>) -> ExitCode {
+    let mut files: Vec<String> = Vec::new();
+    let mut threshold: Option<f64> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threshold" => {
+                let v = args.next().unwrap_or_else(|| {
+                    eprintln!("--threshold requires a value");
+                    std::process::exit(2);
+                });
+                threshold = Some(v.parse().unwrap_or_else(|e| {
+                    eprintln!("--threshold: {e}");
+                    std::process::exit(2);
+                }));
+            }
+            other => files.push(other.to_string()),
+        }
+    }
+    let [base_path, new_path] = files.as_slice() else {
+        eprintln!(
+            "usage: cargo run -p xtask -- bench-diff <baseline.json> <new.json> [--threshold 0.95]"
+        );
+        return ExitCode::FAILURE;
+    };
+    let read = |p: &str| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("read {p}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let base = parse_cells(&read(base_path));
+    let new = parse_cells(&read(new_path));
+    let rows = diff(&base, &new);
+    print!("{}", render(&rows, base_path, new_path));
+    if rows.is_empty() {
+        // A diff that compared nothing must not pass a threshold gate.
+        return if threshold.is_some() {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+    if let Some(t) = threshold {
+        let (worst, _, _) = summarize(&rows).expect("rows is non-empty");
+        if worst < t {
+            let below = rows.iter().filter(|r| r.speedup < t).count();
+            eprintln!("FAIL: {below} cell(s) below the {t:.2}x threshold (worst {worst:.3}x)");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("OK: every matched cell is at or above {t:.2}x");
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(cells: &[(&str, f64, Option<u64>)]) -> String {
+        let mut s = String::from("{\n  \"cells\": [\n");
+        for (k, m, p) in cells {
+            s.push_str(&format!("    {{\"key\":\"{k}\",\"mops\":{m:.4}"));
+            if let Some(p) = p {
+                s.push_str(&format!(",\"op_p99_ns\":{p}"));
+            }
+            s.push_str("},\n");
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    #[test]
+    fn parses_cells_with_and_without_percentiles() {
+        let text = doc(&[("a|r200|t4", 1.5, Some(900)), ("b|r200|t4", 0.5, None)]);
+        let cells = parse_cells(&text);
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells["a|r200|t4"].op_p99_ns, Some(900));
+        assert_eq!(cells["b|r200|t4"].op_p99_ns, None);
+        assert!((cells["b|r200|t4"].mops - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diff_matches_keys_and_sorts_worst_first() {
+        let base = parse_cells(&doc(&[
+            ("fast", 1.0, None),
+            ("slow", 1.0, None),
+            ("only-in-base", 1.0, None),
+        ]));
+        let new = parse_cells(&doc(&[
+            ("fast", 2.0, None),
+            ("slow", 0.5, None),
+            ("only-in-new", 9.0, None),
+        ]));
+        let rows = diff(&base, &new);
+        assert_eq!(rows.len(), 2, "unmatched keys are dropped");
+        assert_eq!(rows[0].key, "slow");
+        assert!((rows[0].speedup - 0.5).abs() < 1e-9);
+        assert_eq!(rows[1].key, "fast");
+    }
+
+    #[test]
+    fn summary_reports_worst_median_geomean() {
+        let base = parse_cells(&doc(&[
+            ("a", 1.0, None),
+            ("b", 1.0, None),
+            ("c", 1.0, None),
+        ]));
+        let new = parse_cells(&doc(&[
+            ("a", 0.8, None),
+            ("b", 1.0, None),
+            ("c", 1.25, None),
+        ]));
+        let rows = diff(&base, &new);
+        let (worst, median, geomean) = summarize(&rows).unwrap();
+        assert!((worst - 0.8).abs() < 1e-9);
+        assert!((median - 1.0).abs() < 1e-9);
+        assert!((geomean - 1.0).abs() < 1e-9, "0.8 * 1.0 * 1.25 = 1.0");
+    }
+
+    #[test]
+    fn zero_baseline_cells_are_skipped() {
+        let base = parse_cells(&doc(&[("z", 0.0, None)]));
+        let new = parse_cells(&doc(&[("z", 1.0, None)]));
+        assert!(diff(&base, &new).is_empty());
+    }
+
+    #[test]
+    fn render_includes_summary_and_percentiles() {
+        let base = parse_cells(&doc(&[("k", 1.0, Some(1000))]));
+        let new = parse_cells(&doc(&[("k", 1.1, Some(1100))]));
+        let rows = diff(&base, &new);
+        let text = render(&rows, "old.json", "new.json");
+        assert!(text.contains("| k | 1.000 | 1.100 | 1.100x | 1000 | 1100 |"));
+        assert!(text.contains("1 cells matched"));
+    }
+}

@@ -1,6 +1,12 @@
 //! Workspace maintenance tasks, invoked as `cargo run -p xtask -- <task>`.
 //!
-//! Currently one task:
+//! Two tasks:
+//!
+//! * `bench-diff <a.json> <b.json> [--threshold t]` — compares two
+//!   `BENCH_*.json` documents cell-by-cell and prints a speedup table with a
+//!   worst / median / geomean summary; with `--threshold` it exits non-zero
+//!   when any cell regresses below `t`, which is how CI gates the
+//!   telemetry-overhead A/B. See the `bench_diff` module.
 //!
 //! * `lint` — the SAFETY-comment lint. Walks every `.rs` file under
 //!   `crates/` and fails (exit 1) when
@@ -28,16 +34,21 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+mod bench_diff;
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint") => lint(),
+        Some("bench-diff") => bench_diff::run(&mut args),
         Some(other) => {
-            eprintln!("unknown task `{other}` (available: lint)");
+            eprintln!("unknown task `{other}` (available: lint, bench-diff)");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo run -p xtask -- lint");
+            eprintln!(
+                "usage: cargo run -p xtask -- <lint | bench-diff <a.json> <b.json> [--threshold t]>"
+            );
             ExitCode::FAILURE
         }
     }

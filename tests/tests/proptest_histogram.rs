@@ -1,0 +1,113 @@
+//! Property-based tests (proptest) for the tier-1 latency histogram.
+//!
+//! The histogram is the foundation of every latency number the harness
+//! reports, so its contract is pinned against a sorted-vector oracle:
+//!
+//! 1. percentiles are monotone in the quantile,
+//! 2. merging per-thread histograms (`+=`) is commutative and equivalent to
+//!    recording every sample into one histogram in any order, and
+//! 3. each percentile brackets the oracle's exact order statistic from above
+//!    within the documented ≤2× bucket error, and `percentile(1.0)` is the
+//!    exact maximum.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use smr_common::telemetry::Histo;
+
+fn histo_of(samples: &[u64]) -> Histo {
+    let mut h = Histo::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+/// Exact order statistic the bucketed percentile approximates: the sample at
+/// ceil(q * n) in sorted order (1-indexed), i.e. the smallest value v such
+/// that at least a q-fraction of samples are ≤ v.
+fn oracle_percentile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+/// Nanosecond-ish sample spread: mixes sub-microsecond fast-path values with
+/// occasional multi-millisecond stalls so both ends of the bucket range are
+/// exercised.
+fn sample() -> impl Strategy<Value = u64> {
+    (0u64..1 << 22, 0u8..8).prop_map(|(v, shift)| v << (shift * 4))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn percentiles_are_monotone_in_q(samples in vec(sample(), 1..300)) {
+        let h = histo_of(&samples);
+        let qs = [0.0, 0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 0.999, 1.0];
+        let mut prev = 0u64;
+        for q in qs {
+            let p = h.percentile(q);
+            assert!(
+                p >= prev,
+                "percentile({q}) = {p} < percentile at the previous quantile {prev}"
+            );
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_and_order_free(
+        left in vec(sample(), 0..150),
+        right in vec(sample(), 0..150),
+    ) {
+        let (hl, hr) = (histo_of(&left), histo_of(&right));
+
+        let mut lr = hl;
+        lr += hr;
+        let mut rl = hr;
+        rl += hl;
+        assert_eq!(lr, rl, "a += b and b += a must agree bucket-for-bucket");
+
+        // Merging per-thread histograms must equal recording the union of
+        // samples into one histogram — interleaving order included.
+        let mut joined: Vec<u64> = Vec::with_capacity(left.len() + right.len());
+        for i in 0..left.len().max(right.len()) {
+            if let Some(&v) = right.get(i) {
+                joined.push(v);
+            }
+            if let Some(&v) = left.get(i) {
+                joined.push(v);
+            }
+        }
+        assert_eq!(lr, histo_of(&joined));
+        assert_eq!(lr.count(), (left.len() + right.len()) as u64);
+    }
+
+    #[test]
+    fn percentiles_bracket_the_sorted_oracle(samples in vec(sample(), 1..300)) {
+        let h = histo_of(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+
+        for q in [0.50, 0.90, 0.99, 0.999] {
+            let exact = oracle_percentile(&sorted, q);
+            let approx = h.percentile(q);
+            // Documented contract: never an under-estimate, at most the
+            // covering power-of-two bucket's upper bound (≤ 2v + 1), and
+            // never past the true maximum.
+            assert!(
+                approx >= exact,
+                "percentile({q}) = {approx} under-estimates the oracle {exact}"
+            );
+            assert!(
+                approx <= (2 * exact + 1).min(*sorted.last().unwrap()).max(exact),
+                "percentile({q}) = {approx} exceeds the 2x bucket bound for oracle {exact}"
+            );
+        }
+
+        assert_eq!(h.percentile(1.0), *sorted.last().unwrap());
+        assert_eq!(h.max(), *sorted.last().unwrap());
+        assert_eq!(h.count(), samples.len() as u64);
+    }
+}
