@@ -128,6 +128,37 @@ fn main() {
                             "    ok: {:.3} Mops/s, {} retired, {} freed",
                             r.mops, r.smr_totals.retires, r.smr_totals.frees
                         );
+                        // ISSUE-9 hot-path batching visibility: the combiner
+                        // only trips under genuine scan concurrency and the
+                        // memo only under a stamp-capable scheme, so the
+                        // counters go through the greppable note channel
+                        // rather than silently reading 0.
+                        if r.smr_totals.combine_publishes > 0 || r.smr_totals.combine_adoptions > 0
+                        {
+                            report::note(
+                                "scan-combining",
+                                &format!(
+                                    "smr={} {} bags published to the combiner, {} adopted by peer scans",
+                                    kind.label(),
+                                    r.smr_totals.combine_publishes,
+                                    r.smr_totals.combine_adoptions,
+                                ),
+                            );
+                        }
+                        if r.smr_totals.memo_hits > 0 || r.smr_totals.memo_misses > 0 {
+                            report::note(
+                                "lookup-memo",
+                                &format!(
+                                    "smr={} memo {} hits / {} misses ({:.1}% of validated lookups)",
+                                    kind.label(),
+                                    r.smr_totals.memo_hits,
+                                    r.smr_totals.memo_misses,
+                                    100.0 * r.smr_totals.memo_hits as f64
+                                        / (r.smr_totals.memo_hits + r.smr_totals.memo_misses)
+                                            as f64,
+                                ),
+                            );
+                        }
                         if r.smr_totals.frees == 0 && r.smr_totals.retires > 0 {
                             // A run that frees nothing must say why rather
                             // than silently reporting 0: either the scheme

@@ -88,6 +88,14 @@ struct Args {
     /// CI smoke scale (`--tiny`): short trials, one key range, and a bounded
     /// A/B pass budget so the smoke job can't run open-ended.
     tiny: bool,
+    /// Feature-ablation arm for `--ab`: instead of telemetry on/off, the off
+    /// arm disables one hot-path feature (`no-coalesce` | `no-combine` |
+    /// `no-memo`) while both arms keep telemetry on. Same cell-interleaved
+    /// paired-median protocol either way.
+    ab_arm: Option<&'static str>,
+    coalesce: bool,
+    combine: bool,
+    memo: bool,
 }
 
 fn default_threads() -> usize {
@@ -112,6 +120,10 @@ fn parse_args() -> Args {
         zipf_block: true,
         recycle: true,
         tiny: false,
+        ab_arm: None,
+        coalesce: true,
+        combine: true,
+        memo: true,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -138,6 +150,16 @@ fn parse_args() -> Args {
             "--no-recycle" => args.recycle = false,
             "--no-telemetry" => args.telemetry = false,
             "--ab" => args.ab = Some(val("--ab")),
+            "--ab-arm" => {
+                args.ab_arm = Some(match val("--ab-arm").as_str() {
+                    "no-coalesce" => "no-coalesce",
+                    "no-combine" => "no-combine",
+                    "no-memo" => "no-memo",
+                    other => {
+                        panic!("unknown --ab-arm {other} (expected no-coalesce|no-combine|no-memo)")
+                    }
+                });
+            }
             "--tiny" => {
                 // CI smoke scale: one short trial, one key range.
                 args.trials = 1;
@@ -175,6 +197,13 @@ struct Cell {
     heartbeat_scans: u64,
     ping_concessions: u64,
     orphan_adoptions: u64,
+    /// Flat-combined scan publication traffic (hand-offs / sweeps that
+    /// adopted at least one published bag).
+    combine_publishes: u64,
+    combine_adoptions: u64,
+    /// Zipf-hot lookup memo traffic (stamp-validated hits / fallbacks).
+    memo_hits: u64,
+    memo_misses: u64,
 }
 
 impl Cell {
@@ -270,7 +299,10 @@ fn run_once<F: smr_harness::DsFamily>(
         .with_watermarks(1024, 256)
         .with_signal_cost_ns(2_000)
         .with_recycle(args.recycle)
-        .with_telemetry(args.telemetry);
+        .with_telemetry(args.telemetry)
+        .with_coalesce(args.coalesce)
+        .with_combine(args.combine)
+        .with_memo(args.memo);
     run_with::<F>(kind, &spec, config)
 }
 
@@ -367,13 +399,28 @@ fn main() {
     let passes = args.trials.max(1);
     let mut best: Samples = runners.iter().map(|_| Vec::new()).collect();
     let mut best_off: Samples = runners.iter().map(|_| Vec::new()).collect();
+    assert!(
+        args.ab_arm.is_none() || args.ab.is_some(),
+        "--ab-arm requires --ab <path> for the feature-off arm's document"
+    );
     let args_off = args.ab.as_ref().map(|_| {
-        assert!(
-            args.telemetry,
-            "--ab measures telemetry overhead; it cannot be combined with --no-telemetry"
-        );
         let mut a = args.clone();
-        a.telemetry = false;
+        match args.ab_arm {
+            // Default A/B: telemetry overhead (on vs. clocks bypassed).
+            None => {
+                assert!(
+                    args.telemetry,
+                    "--ab measures telemetry overhead; it cannot be combined with --no-telemetry"
+                );
+                a.telemetry = false;
+            }
+            // Feature-ablation A/B: both arms keep telemetry; the off arm
+            // disables exactly one hot-path feature.
+            Some("no-coalesce") => a.coalesce = false,
+            Some("no-combine") => a.combine = false,
+            Some("no-memo") => a.memo = false,
+            Some(other) => unreachable!("validated at parse time: {other}"),
+        }
         a
     });
     if let Some(off) = &args_off {
@@ -521,6 +568,10 @@ fn main() {
                     heartbeat_scans: r.smr_totals.heartbeat_scans,
                     ping_concessions: r.smr_totals.ping_concessions,
                     orphan_adoptions: r.smr_totals.orphan_adoptions,
+                    combine_publishes: r.smr_totals.combine_publishes,
+                    combine_adoptions: r.smr_totals.combine_adoptions,
+                    memo_hits: r.smr_totals.memo_hits,
+                    memo_misses: r.smr_totals.memo_misses,
                 };
                 if verbose {
                     eprintln!(
@@ -544,7 +595,7 @@ fn main() {
     let cells = build_cells(reduced_on, true);
 
     let render_doc = |cells: &[Cell],
-                      telemetry: bool,
+                      arm: &Args,
                       baseline: Option<&BTreeMap<String, (f64, u64)>>| {
         let mut out = String::new();
         let _ = writeln!(out, "{{");
@@ -554,7 +605,13 @@ fn main() {
         let _ = writeln!(out, "  \"key_dist\": \"{}\",", args.key_dist.label());
         let _ = writeln!(out, "  \"zipf_block\": {},", args.zipf_block);
         let _ = writeln!(out, "  \"recycle\": {},", args.recycle);
-        let _ = writeln!(out, "  \"telemetry\": {},", telemetry);
+        let _ = writeln!(out, "  \"telemetry\": {},", arm.telemetry);
+        let _ = writeln!(out, "  \"coalesce\": {},", arm.coalesce);
+        let _ = writeln!(out, "  \"combine\": {},", arm.combine);
+        let _ = writeln!(out, "  \"memo\": {},", arm.memo);
+        if let Some(name) = args.ab_arm {
+            let _ = writeln!(out, "  \"ab_arm\": \"{name}\",");
+        }
         let _ = writeln!(out, "  \"threads\": {},", args.threads);
         let _ = if args.ab.is_some() {
             // `--trials` is ignored in A/B mode; the pass count is adaptive
@@ -568,9 +625,10 @@ fn main() {
         let n = cells.len();
         for (i, c) in cells.iter().enumerate() {
             let mut line = format!(
-                    "    {{\"key\":\"{}\",\"scheme\":\"{}\",\"ds\":\"{}\",\"mops\":{:.4},\"peak_limbo\":{},\"retires\":{},\"frees\":{},\"pool_hits\":{},\"pool_misses\":{},\"global_allocs\":{},\"op_p50_ns\":{},\"op_p99_ns\":{},\"op_p999_ns\":{},\"op_max_ns\":{},\"scan_p99_ns\":{},\"heartbeat_scans\":{},\"ping_concessions\":{},\"orphan_adoptions\":{}",
+                    "    {{\"key\":\"{}\",\"scheme\":\"{}\",\"ds\":\"{}\",\"mops\":{:.4},\"peak_limbo\":{},\"retires\":{},\"frees\":{},\"pool_hits\":{},\"pool_misses\":{},\"global_allocs\":{},\"op_p50_ns\":{},\"op_p99_ns\":{},\"op_p999_ns\":{},\"op_max_ns\":{},\"scan_p99_ns\":{},\"heartbeat_scans\":{},\"ping_concessions\":{},\"orphan_adoptions\":{},\"combine_publishes\":{},\"combine_adoptions\":{},\"memo_hits\":{},\"memo_misses\":{}",
                     c.key, c.scheme, c.ds, c.mops, c.peak_limbo, c.retires, c.frees, c.pool_hits, c.pool_misses, c.global_allocs,
-                    c.op_p50, c.op_p99, c.op_p999, c.op_max, c.scan_p99, c.heartbeat_scans, c.ping_concessions, c.orphan_adoptions
+                    c.op_p50, c.op_p99, c.op_p999, c.op_max, c.scan_p99, c.heartbeat_scans, c.ping_concessions, c.orphan_adoptions,
+                    c.combine_publishes, c.combine_adoptions, c.memo_hits, c.memo_misses
                 );
             if let Some(base) = baseline {
                 if let Some(&(bm, bp)) = base.get(&c.key) {
@@ -591,17 +649,25 @@ fn main() {
         out
     };
 
-    let out = render_doc(&cells, args.telemetry, baseline.as_ref());
+    let out = render_doc(&cells, &args, baseline.as_ref());
     std::fs::write(&args.out, &out).unwrap_or_else(|e| panic!("write {}: {e}", args.out));
     eprintln!("wrote {}", args.out);
 
     if let Some(ab_path) = &args.ab {
         // The off arm's document never embeds the PR baseline: its one job
-        // is the telemetry A/B via `xtask bench-diff <off> <on>`.
+        // is the feature/telemetry A/B via `xtask bench-diff <off> <on>`.
+        let off = args_off.as_ref().expect("--ab implies an off arm");
         let cells_off = build_cells(reduced_off, false);
-        let out_off = render_doc(&cells_off, false, None);
+        let out_off = render_doc(&cells_off, off, None);
         std::fs::write(ab_path, &out_off).unwrap_or_else(|e| panic!("write {ab_path}: {e}"));
-        eprintln!("wrote {ab_path} (telemetry-off arm, interleaved same-process A/B)");
+        let arm_name = match args.ab_arm {
+            None => "telemetry-off arm",
+            Some("no-coalesce") => "coalescing-off arm",
+            Some("no-combine") => "combining-off arm",
+            Some("no-memo") => "memo-off arm",
+            Some(other) => unreachable!("validated at parse time: {other}"),
+        };
+        eprintln!("wrote {ab_path} ({arm_name}, interleaved same-process A/B)");
     }
 
     let (hits, misses) = cells.iter().fold((0u64, 0u64), |(h, m), c| {

@@ -52,6 +52,25 @@ impl Nbr {
     /// records freed (0 when the handshake timed out and the round was
     /// conceded — see DESIGN.md substitution S1).
     fn reclaim_with_signals(&self, ctx: &mut NbrCtx) -> usize {
+        // Combiner adoption: sweep peer bags published while an earlier scan
+        // was mid-flight. Adopted records join the prefix before the
+        // broadcast below, so they are covered by the same handshake
+        // argument as the thread's own retires.
+        if self.core.config().combine {
+            let (published, bags) = self.core.combiner().adopt();
+            if bags > 0 {
+                ctx.stats.combine_adoptions += bags;
+                trace::emit(
+                    ctx.tid,
+                    TraceKind::CombineAdopt,
+                    published.len() as u64,
+                    bags,
+                );
+            }
+            for r in published {
+                ctx.limbo.push(r);
+            }
+        }
         // Survivor adoption: fold departed threads' orphans into this
         // round's prefix — they were unlinked before their owner departed,
         // so the broadcast below covers them like the thread's own retires
@@ -111,6 +130,37 @@ impl Nbr {
         }
         freed
     }
+
+    /// HiWatermark trigger: run the scan as the domain's active scanner, or —
+    /// when a peer's scan is already mid-flight — publish this thread's bag
+    /// to the combiner so that scan (or the next one) sweeps it in the same
+    /// ping round instead of stacking a second broadcast.
+    fn scan_or_publish(&self, ctx: &mut NbrCtx) {
+        if !self.core.config().combine {
+            self.reclaim_with_signals(ctx);
+            return;
+        }
+        if self.core.combiner().try_begin() {
+            self.reclaim_with_signals(ctx);
+            self.core.combiner().finish();
+            return;
+        }
+        let records = ctx.limbo.drain();
+        let published = records.len() as u64;
+        match self.core.combiner().publish(ctx.tid, records) {
+            Ok(()) => {
+                ctx.stats.combine_publishes += 1;
+                trace::emit(ctx.tid, TraceKind::CombinePublish, published, 0);
+            }
+            Err(records) => {
+                // The slot still holds an unadopted bag: keep the records
+                // and retry at the next trigger.
+                for r in records {
+                    ctx.limbo.push(r);
+                }
+            }
+        }
+    }
 }
 
 impl Smr for Nbr {
@@ -137,7 +187,10 @@ impl Smr for Nbr {
         self.core.register(tid);
         NbrCtx {
             tid,
-            limbo: LimboBag::with_capacity(self.core.config().hi_watermark + 1),
+            limbo: LimboBag::with_capacity_and_batch(
+                self.core.config().hi_watermark + 1,
+                self.core.config().retire_batch_cap(),
+            ),
             scan: ScanState::new(),
             reserved: Vec::with_capacity(
                 self.core.config().max_reservations * self.core.config().max_threads,
@@ -197,17 +250,22 @@ impl Smr for Nbr {
 
     unsafe fn retire<T: SmrNode>(&self, ctx: &mut NbrCtx, ptr: Shared<T>) {
         debug_assert!(!ptr.is_null());
-        ctx.limbo.push(Retired::new(ptr.as_raw(), 0));
+        // Retire coalescing: records stage in a small thread-local batch and
+        // the watermark policy is only consulted when a batch flushes, so the
+        // bag can overshoot the trigger by at most RETIRE_BATCH_CAP - 1.
+        let flushed = ctx.limbo.stage(Retired::new(ptr.as_raw(), 0));
         ctx.stats.retires += 1;
-        ctx.stats.observe_limbo(ctx.limbo.len());
-        if self.policy.scan_on_retire(ctx.limbo.len()) {
-            trace::emit(
-                ctx.tid,
-                TraceKind::LimboHigh,
-                ctx.limbo.len() as u64,
-                self.policy.hi_watermark as u64,
-            );
-            self.reclaim_with_signals(ctx);
+        if flushed {
+            ctx.stats.observe_limbo(ctx.limbo.len());
+            if self.policy.scan_on_retire(ctx.limbo.len()) {
+                trace::emit(
+                    ctx.tid,
+                    TraceKind::LimboHigh,
+                    ctx.limbo.len() as u64,
+                    self.policy.hi_watermark as u64,
+                );
+                self.scan_or_publish(ctx);
+            }
         }
     }
 
@@ -416,7 +474,11 @@ mod tests {
         let nbr = new_nbr();
         let cfg = nbr.config().clone();
         let mut ctx = nbr.register(0);
-        let bound = cfg.hi_watermark + cfg.max_reservations * (cfg.max_threads - 1);
+        // Coalescing slack: the policy is consulted only on batch flush, so
+        // the bag may overshoot the trigger by at most one unfilled batch.
+        let bound = cfg.hi_watermark
+            + cfg.max_reservations * (cfg.max_threads - 1)
+            + (smr_common::RETIRE_BATCH_CAP - 1);
         for i in 0..(cfg.hi_watermark * 8) {
             let p = nbr.alloc(
                 &mut ctx,

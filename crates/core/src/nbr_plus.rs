@@ -101,6 +101,25 @@ impl NbrPlus {
     /// HiWatermark path: induce an RGP (signals + verified handshake) and
     /// reclaim everything retired before the broadcast.
     fn reclaim_at_hi_watermark(&self, ctx: &mut NbrPlusCtx) -> usize {
+        // Combiner adoption: sweep peer bags published while an earlier scan
+        // was mid-flight. Adopted records append *after* the LoWatermark
+        // bookmark prefix, so the bookmark indices stay valid, and they join
+        // this round's prefix before the broadcast below.
+        if self.core.config().combine {
+            let (published, bags) = self.core.combiner().adopt();
+            if bags > 0 {
+                ctx.stats.combine_adoptions += bags;
+                trace::emit(
+                    ctx.tid,
+                    TraceKind::CombineAdopt,
+                    published.len() as u64,
+                    bags,
+                );
+            }
+            for r in published {
+                ctx.limbo.push(r);
+            }
+        }
         // Survivor adoption: fold departed threads' orphans into this
         // round's prefix — they were unlinked before their owner departed,
         // so the broadcast below covers them like the thread's own retires
@@ -201,6 +220,44 @@ impl NbrPlus {
         }
         self.piggyback_if_rgp_elapsed(ctx)
     }
+
+    /// HiWatermark trigger (after the RGP ride/defer checks declined): run
+    /// the scan as the domain's active scanner, or — when a peer's scan is
+    /// already mid-flight — publish this thread's bag to the combiner so
+    /// that scan sweeps it in the same ping round.
+    fn scan_or_publish(&self, ctx: &mut NbrPlusCtx) {
+        if !self.core.config().combine {
+            self.reclaim_at_hi_watermark(ctx);
+            return;
+        }
+        if self.core.combiner().try_begin() {
+            self.reclaim_at_hi_watermark(ctx);
+            self.core.combiner().finish();
+            return;
+        }
+        let records = ctx.limbo.drain();
+        let published = records.len() as u64;
+        match self.core.combiner().publish(ctx.tid, records) {
+            Ok(()) => {
+                ctx.stats.combine_publishes += 1;
+                trace::emit(ctx.tid, TraceKind::CombinePublish, published, 0);
+                // The bag is empty now, so the LoWatermark bookmark refers
+                // to nothing: reset Algorithm 2's bookkeeping and restart
+                // the heartbeat window (publication is a reclamation event
+                // from this thread's perspective).
+                ctx.bookmark = 0;
+                Self::clean_up(ctx);
+                ctx.scan.note_scan();
+            }
+            Err(records) => {
+                // The slot still holds an unadopted bag: keep the records
+                // and retry at the next trigger.
+                for r in records {
+                    ctx.limbo.push(r);
+                }
+            }
+        }
+    }
 }
 
 impl Smr for NbrPlus {
@@ -227,7 +284,10 @@ impl Smr for NbrPlus {
         self.core.register(tid);
         NbrPlusCtx {
             tid,
-            limbo: LimboBag::with_capacity(self.core.config().hi_watermark + 1),
+            limbo: LimboBag::with_capacity_and_batch(
+                self.core.config().hi_watermark + 1,
+                self.core.config().retire_batch_cap(),
+            ),
             scan: ScanState::new(),
             reserved: Vec::with_capacity(
                 self.core.config().max_reservations * self.core.config().max_threads,
@@ -323,11 +383,18 @@ impl Smr for NbrPlus {
 
     unsafe fn retire<T: SmrNode>(&self, ctx: &mut NbrPlusCtx, ptr: Shared<T>) {
         debug_assert!(!ptr.is_null());
-        ctx.limbo.push(Retired::new(ptr.as_raw(), 0));
+        // Retire coalescing: records stage in a small thread-local batch;
+        // the HiWatermark trigger is only consulted when a batch flushes
+        // (bounded overshoot of RETIRE_BATCH_CAP - 1), while the cheap
+        // amortized LoWatermark/piggyback path keeps running per retire so
+        // a completed peer RGP is still ridden promptly.
+        let flushed = ctx.limbo.stage(Retired::new(ptr.as_raw(), 0));
         ctx.stats.retires += 1;
-        ctx.stats.observe_limbo(ctx.limbo.len());
         let len = ctx.limbo.len();
-        if self.policy.scan_on_retire(len) {
+        if flushed {
+            ctx.stats.observe_limbo(len);
+        }
+        if flushed && self.policy.scan_on_retire(len) {
             trace::emit(
                 ctx.tid,
                 TraceKind::LimboHigh,
@@ -358,7 +425,7 @@ impl Smr for NbrPlus {
                 // A peer's grace period is mid-handshake; keep running so it
                 // can complete, then piggyback on it.
             } else {
-                self.reclaim_at_hi_watermark(ctx);
+                self.scan_or_publish(ctx);
             }
         } else if self.policy.opportunistic_on_retire(len) {
             self.try_reclaim_at_lo_watermark(ctx);
@@ -457,9 +524,11 @@ mod tests {
         assert!(smr.limbo_len(&waiter) > cfg.hi_watermark);
 
         // The peer's RGP completes — fully after the waiter's snapshot — so
-        // the very next retire piggybacks the bookmark prefix, signal-free.
+        // the next few retires (the gated LoWatermark check is amortized
+        // over LO_WM_SCAN_PERIOD retires) piggyback the bookmark prefix,
+        // signal-free.
         smr.neutralization().announce_rgp_end(1);
-        alloc_and_retire(&smr, &mut waiter, 1);
+        alloc_and_retire(&smr, &mut waiter, LO_WM_SCAN_PERIOD as usize);
         let s = smr.thread_stats(&waiter);
         assert_eq!(s.rgp_reclaims, 1, "completed peer RGP must be ridden");
         assert_eq!(s.signals_sent, 0);
@@ -634,7 +703,11 @@ mod tests {
         let smr = new_nbr_plus();
         let cfg = smr.config().clone();
         let mut ctx = smr.register(0);
-        let bound = cfg.hi_watermark + cfg.max_reservations * (cfg.max_threads - 1);
+        // Coalescing slack: the HiWatermark trigger is consulted only on
+        // batch flush, so the bag may overshoot by one unfilled batch.
+        let bound = cfg.hi_watermark
+            + cfg.max_reservations * (cfg.max_threads - 1)
+            + (smr_common::RETIRE_BATCH_CAP - 1);
         for i in 0..(cfg.hi_watermark * 8) {
             let p = smr.alloc(
                 &mut ctx,

@@ -56,7 +56,7 @@
 //! `Acquire` loads (see DESIGN.md, "Memory-ordering argument for single-fence
 //! scans").
 
-use smr_common::{CachePadded, PingChannel, PingOutcome, Registry, SmrConfig};
+use smr_common::{CachePadded, PingChannel, PingOutcome, Registry, ScanCombiner, SmrConfig};
 use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// Per-thread shared neutralization state (single-writer for `restartable`,
@@ -102,6 +102,10 @@ pub struct NeutralizationCore {
     /// The pending/acked handshake, shared with the Publish-on-Ping
     /// reclaimers (`smr-pop`) via `smr-common`.
     ping: PingChannel,
+    /// Flat-combined scan publication for this ping domain: NBR and NBR+
+    /// threads whose HiWatermark fires mid-broadcast publish here instead
+    /// of stacking a second signal storm.
+    combiner: ScanCombiner,
     orphans: std::sync::Mutex<Vec<smr_common::Retired>>,
 }
 
@@ -136,9 +140,17 @@ impl NeutralizationCore {
             registry: Registry::new(config.max_threads),
             slots,
             ping: PingChannel::new(config.max_threads, config.signal_cost_ns),
+            combiner: ScanCombiner::new(config.max_threads),
             orphans: std::sync::Mutex::new(Vec::new()),
             config,
         }
+    }
+
+    /// The flat-combining domain shared by every thread on this core's
+    /// [`PingChannel`].
+    #[inline]
+    pub fn combiner(&self) -> &ScanCombiner {
+        &self.combiner
     }
 
     /// The configuration.

@@ -15,7 +15,7 @@
 //! unlinked by *this* thread and are not yet in any limbo bag, so walking them
 //! to retire them cannot race with their reclamation.
 
-use crate::{check_key, ConcurrentSet, KEY_MAX, KEY_MIN};
+use crate::{check_key, memo, ConcurrentSet, KEY_MAX, KEY_MIN};
 use smr_common::{recycle, Atomic, NodeHeader, Shared, Smr, SmrConfig};
 use std::sync::atomic::Ordering;
 
@@ -58,6 +58,8 @@ pub struct HarrisList<S: Smr> {
     smr: S,
     head: Box<Node>,
     tail: Shared<Node>,
+    /// Identity of this instance in the thread-local lookup memo.
+    memo_id: u64,
 }
 
 // SAFETY: the list owns its nodes through `Atomic` links; every shared
@@ -82,7 +84,12 @@ impl<S: Smr> HarrisList<S> {
             key: KEY_MIN,
             next: Atomic::new(tail),
         });
-        Self { smr, head, tail }
+        Self {
+            smr,
+            head,
+            tail,
+            memo_id: memo::next_memo_id(),
+        }
     }
 
     #[inline]
@@ -253,9 +260,41 @@ impl<S: Smr> ConcurrentSet<S> for HarrisList<S> {
     fn contains(&self, ctx: &mut S::ThreadCtx, key: u64) -> bool {
         check_key(key);
         self.smr.begin_op(ctx);
+        // Zipf-hot lookup memo: when the reclaimer clock can validate a
+        // cached pointer (`validation_stamp`), a hit skips the traversal.
+        let stamp = self.smr.validation_stamp(ctx);
+        if let Some(stamp) = stamp {
+            if let Some(addr) = memo::lookup(self.memo_id, key, stamp) {
+                let node = addr as *const Node;
+                // SAFETY: the entry was stored under an operation with the
+                // same validation stamp, pointing at a node then observed
+                // unmarked (hence reachable, not yet retired). By the
+                // `validation_stamp` contract, stamp equality means no
+                // record retired at or after that era has been freed, so
+                // the memory is still this node.
+                let next = unsafe { &(*node).next }.load(Ordering::Acquire);
+                // SAFETY: as above — the node is still allocated.
+                if next.tag() & MARK == 0 && unsafe { (*node).key } == key {
+                    // Unmarked ⇒ still reachable (Harris unlinks only after
+                    // marking): the key is present, linearized at the load.
+                    self.smr.thread_stats_mut(ctx).memo_hits += 1;
+                    self.smr.end_op(ctx);
+                    return true;
+                }
+                memo::invalidate(self.memo_id, key);
+            }
+            self.smr.thread_stats_mut(ctx).memo_misses += 1;
+        }
         let r = self.search(ctx, key);
         // SAFETY: `search` returned with `r.right` reserved for this thread.
         let found = !r.right.ptr_eq(self.tail) && unsafe { r.right.deref() }.key == key;
+        if found {
+            if let Some(stamp) = stamp {
+                // `search` observed `r.right` unmarked at its linearization
+                // point — the precondition for memoizing it.
+                memo::store(self.memo_id, key, r.right.untagged_usize(), stamp);
+            }
+        }
         self.smr.clear_protections(ctx);
         self.smr.end_op(ctx);
         found
@@ -322,6 +361,10 @@ impl<S: Smr> ConcurrentSet<S> for HarrisList<S> {
             {
                 continue;
             }
+            // Eager memo invalidation: this thread just logically deleted
+            // the node its memo may be caching for `key`. (Other threads'
+            // entries die at the stamp/mark validation.)
+            memo::invalidate(self.memo_id, key);
             // Physical delete: try to unlink it ourselves; if we fail, a
             // subsequent search (ours, below, or any other thread's) unlinks
             // and retires it.
@@ -467,6 +510,102 @@ mod tests {
     fn concurrent_disjoint_stress_debra() {
         let list = Arc::new(HarrisList::<Debra>::new(SmrConfig::for_tests()));
         disjoint_key_stress(list, 4, 3_000);
+    }
+
+    #[test]
+    fn memo_hits_on_repeated_hot_lookup() {
+        // DEBRA supplies a validation stamp, so the second lookup of an
+        // undisturbed key must be served from the memo.
+        let list = HarrisList::<Debra>::new(SmrConfig::for_tests());
+        let mut ctx = list.smr().register(0);
+        assert!(list.insert(&mut ctx, 42));
+        assert!(list.contains(&mut ctx, 42)); // miss + store
+        let miss_baseline = list.smr().thread_stats(&ctx).memo_misses;
+        assert!(miss_baseline >= 1);
+        assert!(list.contains(&mut ctx, 42)); // hit
+        let s = list.smr().thread_stats(&ctx);
+        assert_eq!(s.memo_hits, 1, "hot repeat lookup must hit the memo");
+        assert_eq!(
+            s.memo_misses, miss_baseline,
+            "a hit must not count as a miss"
+        );
+        list.smr().unregister(&mut ctx);
+    }
+
+    #[test]
+    fn memo_disabled_by_config_never_hits() {
+        let list = HarrisList::<Debra>::new(SmrConfig::for_tests().with_memo(false));
+        let mut ctx = list.smr().register(0);
+        assert!(list.insert(&mut ctx, 42));
+        assert!(list.contains(&mut ctx, 42));
+        assert!(list.contains(&mut ctx, 42));
+        let s = list.smr().thread_stats(&ctx);
+        assert_eq!(s.memo_hits, 0);
+        assert_eq!(s.memo_misses, 0, "no stamp ⇒ the memo is bypassed entirely");
+        list.smr().unregister(&mut ctx);
+    }
+
+    #[test]
+    fn memo_entry_dies_with_local_remove() {
+        let list = HarrisList::<Debra>::new(SmrConfig::for_tests());
+        let mut ctx = list.smr().register(0);
+        assert!(list.insert(&mut ctx, 7));
+        assert!(list.contains(&mut ctx, 7)); // memoized
+        assert!(list.remove(&mut ctx, 7)); // eager invalidation
+        assert!(!list.contains(&mut ctx, 7), "removed key must read absent");
+        assert!(list.insert(&mut ctx, 7));
+        assert!(
+            list.contains(&mut ctx, 7),
+            "re-inserted key must read present"
+        );
+        list.smr().unregister(&mut ctx);
+    }
+
+    #[test]
+    fn stale_memo_entry_across_unlink_misses_validation() {
+        // The resurrection scenario: an entry recorded before an unlink must
+        // fail the stamp check once the reclaimer clock has advanced — even
+        // if (as here) the entry is maliciously re-planted after the node
+        // was retired, churned over and possibly freed. A correct memo falls
+        // back to the traversal and reports the key absent; a broken one
+        // would dereference reclaimed memory and may report it present.
+        let list = HarrisList::<Debra>::new(SmrConfig::for_tests());
+        let mut ctx = list.smr().register(0);
+        assert!(list.insert(&mut ctx, 7));
+        assert!(list.contains(&mut ctx, 7)); // memoized at the current stamp
+        list.smr().begin_op(&mut ctx);
+        let stale_stamp = list.smr().validation_stamp(&mut ctx).unwrap();
+        let stale_addr = crate::memo::lookup(list.memo_id, 7, stale_stamp)
+            .expect("the lookup above must have memoized key 7");
+        list.smr().end_op(&mut ctx);
+
+        assert!(list.remove(&mut ctx, 7));
+        // Churn far past the epoch frequency so the global epoch advances
+        // and the unlinked node is actually reclaimed.
+        for k in 100..300u64 {
+            assert!(list.insert(&mut ctx, k));
+            assert!(list.remove(&mut ctx, k));
+        }
+        list.smr().flush(&mut ctx);
+
+        // Re-plant the stale entry, as if this thread had never observed
+        // the removal.
+        crate::memo::store(list.memo_id, 7, stale_addr, stale_stamp);
+        list.smr().begin_op(&mut ctx);
+        let now_stamp = list.smr().validation_stamp(&mut ctx).unwrap();
+        list.smr().end_op(&mut ctx);
+        assert_ne!(now_stamp, stale_stamp, "churn must have advanced the clock");
+        let hits_before = list.smr().thread_stats(&ctx).memo_hits;
+        assert!(
+            !list.contains(&mut ctx, 7),
+            "stale entry must miss validation and fall back to the traversal"
+        );
+        assert_eq!(
+            list.smr().thread_stats(&ctx).memo_hits,
+            hits_before,
+            "the stale entry must not be served as a hit"
+        );
+        list.smr().unregister(&mut ctx);
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //! phase-rule violation for NBR/NBR+, exactly as the paper describes); the
 //! benches only use it with DEBRA and the leaky reclaimer.
 
-use crate::{check_key, ConcurrentSet, KEY_MAX, KEY_MIN};
+use crate::{check_key, memo, ConcurrentSet, KEY_MAX, KEY_MIN};
 use smr_common::{recycle, Atomic, NodeHeader, Shared, Smr, SmrConfig};
 use std::sync::atomic::Ordering;
 
@@ -75,6 +75,10 @@ pub(crate) struct HmCore {
     head: Box<Node>,
     tail: Shared<Node>,
     policy: RestartPolicy,
+    /// Identity of this core in the thread-local lookup memo. Every bucket
+    /// of an [`HmHashMap`](crate::HmHashMap) gets its own identity, so two
+    /// buckets never serve each other's cached pointers.
+    memo_id: u64,
 }
 
 impl HmCore {
@@ -87,7 +91,12 @@ impl HmCore {
             key: KEY_MIN,
             next: Atomic::new(tail),
         });
-        Self { head, tail, policy }
+        Self {
+            head,
+            tail,
+            policy,
+            memo_id: memo::next_memo_id(),
+        }
     }
 
     #[inline]
@@ -176,9 +185,41 @@ impl HmCore {
     pub(crate) fn contains<S: Smr>(&self, smr: &S, ctx: &mut S::ThreadCtx, key: u64) -> bool {
         check_key(key);
         smr.begin_op(ctx);
+        // Zipf-hot lookup memo: when the reclaimer clock can validate a
+        // cached pointer (`validation_stamp`), a hit skips the traversal.
+        let stamp = smr.validation_stamp(ctx);
+        if let Some(stamp) = stamp {
+            if let Some(addr) = memo::lookup(self.memo_id, key, stamp) {
+                let node = addr as *const Node;
+                // SAFETY: the entry was stored under an operation with the
+                // same validation stamp, pointing at a node then observed
+                // unmarked (hence reachable, not yet retired). By the
+                // `validation_stamp` contract, stamp equality means no
+                // record retired at or after that era has been freed, so
+                // the memory is still this node.
+                let next = unsafe { &(*node).next }.load(Ordering::Acquire);
+                // SAFETY: as above — the node is still allocated.
+                if next.tag() & MARK == 0 && unsafe { (*node).key } == key {
+                    // Unmarked ⇒ still reachable (HM04 unlinks only after
+                    // marking): the key is present, linearized at the load.
+                    smr.thread_stats_mut(ctx).memo_hits += 1;
+                    smr.end_op(ctx);
+                    return true;
+                }
+                memo::invalidate(self.memo_id, key);
+            }
+            smr.thread_stats_mut(ctx).memo_misses += 1;
+        }
         let r = self.find(smr, ctx, key);
         // SAFETY: `find` returned with `r.curr` still protected.
         let found = !r.curr.ptr_eq(self.tail) && unsafe { r.curr.deref() }.key == key;
+        if found {
+            if let Some(stamp) = stamp {
+                // `find` observed `r.curr` unmarked at its linearization
+                // point — the precondition for memoizing it.
+                memo::store(self.memo_id, key, r.curr.untagged_usize(), stamp);
+            }
+        }
         smr.end_read_phase(ctx, &[]);
         smr.clear_protections(ctx);
         smr.end_op(ctx);
@@ -248,6 +289,10 @@ impl HmCore {
             {
                 continue;
             }
+            // Eager memo invalidation: this thread just logically deleted
+            // the node its memo may be caching for `key`. (Other threads'
+            // entries die at the stamp/mark validation.)
+            memo::invalidate(self.memo_id, key);
             // Physical delete: if our unlink fails, some traversal will do it
             // (and retire the node).
             // SAFETY: `r.pred` was reserved by `end_read_phase` above.

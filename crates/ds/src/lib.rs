@@ -38,6 +38,7 @@ pub mod harris_list;
 pub mod hm_hashmap;
 pub mod hm_list;
 pub mod lazy_list;
+pub mod memo;
 
 pub use ab_tree::AbTree;
 pub use dgt_tree::DgtTree;

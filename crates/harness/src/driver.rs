@@ -12,7 +12,7 @@ use crate::workload::{Op, OpGenerator, StopCondition, WorkloadSpec};
 use conc_ds::ConcurrentSet;
 use smr_common::telemetry::{self, trace, Histo, TraceKind};
 use smr_common::{Smr, SmrConfig, ThreadStats};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
@@ -143,6 +143,31 @@ struct SharedState {
     /// Workers publish their batch counts into `ops_done` even without an
     /// ops budget — needed when a fault plan measures stalls in global ops.
     track_ops: bool,
+    /// Workers that will reach a normal loop exit (threads minus planned
+    /// departures). Used to close the counted stats window in lockstep.
+    expected_finishers: usize,
+    /// Workers that have snapshotted their [`ThreadStats`] after the stop
+    /// flag. No thread may `unregister` (and no stalled thread may lift its
+    /// reservation) before this reaches `expected_finishers`: otherwise the
+    /// last worker still draining its op batch runs a trivially-completing
+    /// scan against an emptied registry and frees its whole limbo bag
+    /// *inside* the counted window, collapsing the outstanding-garbage
+    /// signal the E2 assertions measure (scheduling-dependent, so the
+    /// garbage-bound tests flip between "pinned" and "all freed" runs).
+    finished: AtomicUsize,
+}
+
+impl SharedState {
+    /// Closes this worker's counted window and waits for the peers to close
+    /// theirs, running `service` (ping/neutralization acknowledgement) in
+    /// the wait loop so still-draining workers' handshakes keep completing.
+    fn finish_counting(&self, mut service: impl FnMut()) {
+        self.finished.fetch_add(1, Ordering::AcqRel);
+        while self.finished.load(Ordering::Acquire) < self.expected_finishers {
+            service();
+            std::thread::yield_now();
+        }
+    }
 }
 
 /// Builds a structure and prefills it per `spec` — the setup phase of
@@ -186,12 +211,25 @@ where
         StopCondition::TotalOps(n) => n,
         StopCondition::Duration(_) => u64::MAX,
     };
+    // A worker that departs mid-trial never reaches the lockstep window
+    // close (its stats are snapshotted at the fault site), so it must not be
+    // waited for. `fault_for` assigns at most one fault per tid.
+    let planned_departures = (0..spec.threads)
+        .filter(|&t| {
+            spec.fault_plan
+                .as_ref()
+                .and_then(|p| p.fault_for(t))
+                .is_some_and(|f| matches!(f.kind, FaultKind::Depart))
+        })
+        .count();
     let shared = Arc::new(SharedState {
         start: Barrier::new(spec.threads + usize::from(spec.stalled_thread) + 1),
         stop: AtomicBool::new(false),
         ops_done: AtomicU64::new(0),
         ops_budget,
         track_ops: ops_budget != u64::MAX || spec.fault_plan.is_some(),
+        expected_finishers: spec.threads - planned_departures,
+        finished: AtomicUsize::new(0),
     });
 
     let mut handles = Vec::new();
@@ -403,6 +441,12 @@ where
     }
     let mut stats = ds.smr().thread_stats(&ctx);
     stats.tel.op += op_hist;
+    // Counted window closed — hold the registry steady (keep acknowledging
+    // pings, don't unregister) until every surviving worker has snapshotted
+    // its stats too. See `SharedState::finished`.
+    shared.finish_counting(|| {
+        let _ = ds.smr().checkpoint(&mut ctx);
+    });
     ds.smr().unregister(&mut ctx);
     (ops, stats)
 }
@@ -451,10 +495,23 @@ where
 {
     let smr = ds.smr();
     let mut ctx = smr.register(tid);
-    shared.start.wait();
+    // Pin *before* the start barrier: the E2 scenario is "a reader stalled
+    // for the whole trial", so the reservation must cover every record the
+    // workers retire. Entering the op after the barrier instead would race
+    // the workers for the first quantum — on a single-core host the stalled
+    // thread can be starved deep into the run, leaving a long unpinned
+    // prefix that reclamation legitimately frees and turning the
+    // does-not-bound assertions for the epoch family into a coin flip.
     smr.begin_op(&mut ctx);
     smr.begin_read_phase(&mut ctx);
-    while !shared.stop.load(Ordering::Acquire) {
+    shared.start.wait();
+    // The reservation is held not just until the stop flag but until every
+    // worker has closed its counted stats window: lifting the pin while the
+    // last worker is still draining its op batch would let that worker's
+    // final scans free the pinned backlog inside the counted window.
+    while !shared.stop.load(Ordering::Acquire)
+        || shared.finished.load(Ordering::Acquire) < shared.expected_finishers
+    {
         // The cooperative analogue of the signal arriving during sleep(): the
         // stalled thread holds no pointers, so acknowledging is always safe and
         // happens promptly (a real POSIX signal would interrupt the sleep and

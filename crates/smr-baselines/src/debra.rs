@@ -198,9 +198,14 @@ impl Smr for Debra {
         assert!(self.registry.register_tid(tid), "slot {tid} already taken");
         self.slots[tid].announced.store(QUIESCENT, Ordering::SeqCst);
         let now = self.epoch.now();
+        let cap = self.config.retire_batch_cap();
         DebraCtx {
             tid,
-            bags: [LimboBag::new(), LimboBag::new(), LimboBag::new()],
+            bags: [
+                LimboBag::with_batch(cap),
+                LimboBag::with_batch(cap),
+                LimboBag::with_batch(cap),
+            ],
             bag_epochs: [now; BAGS],
             local_epoch: now,
             ops_since_advance: 0,
@@ -282,10 +287,29 @@ impl Smr for Debra {
         // list; replay: strategy=random/1 within the seeded sweep).
         self.sync_local_epoch(ctx, self.epoch.now());
         let idx = Self::current_bag_index(ctx);
-        ctx.bags[idx].push(Retired::new(ptr.as_raw(), ctx.local_epoch));
+        // Retire coalescing: the record stages in the current epoch's bag
+        // (stamped before staging, so a mid-batch epoch advance retargets
+        // later retires without disturbing the staged ones); the peak-limbo
+        // bookkeeping is amortized to batch flushes.
+        let flushed = ctx.bags[idx].stage(Retired::new(ptr.as_raw(), ctx.local_epoch));
         ctx.stats.retires += 1;
-        let total: usize = ctx.bags.iter().map(|b| b.len()).sum();
-        ctx.stats.observe_limbo(total);
+        if flushed {
+            let total: usize = ctx.bags.iter().map(|b| b.len()).sum();
+            ctx.stats.observe_limbo(total);
+        }
+    }
+
+    #[inline]
+    fn validation_stamp(&self, ctx: &mut DebraCtx) -> Option<u64> {
+        // Sound for DEBRA: `local_epoch` re-syncs to the global epoch at
+        // every `begin_op`, so stamp equality between two operations means
+        // the global epoch never advanced in between — and a record retired
+        // at epoch `e` is only freed once the global epoch reaches `e + 2`.
+        if self.config.memo {
+            Some(ctx.local_epoch)
+        } else {
+            None
+        }
     }
 
     fn flush(&self, ctx: &mut DebraCtx) {

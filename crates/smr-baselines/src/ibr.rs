@@ -187,7 +187,7 @@ impl Smr for Ibr {
         self.slots[tid].upper.store(IDLE, Ordering::SeqCst);
         IbrCtx {
             tid,
-            limbo: LimboBag::new(),
+            limbo: LimboBag::with_batch(self.config.retire_batch_cap()),
             scan: ScanState::new(),
             lowers: Vec::with_capacity(self.config.max_threads),
             uppers: Vec::with_capacity(self.config.max_threads),
@@ -325,12 +325,18 @@ impl Smr for Ibr {
     unsafe fn retire<T: SmrNode>(&self, ctx: &mut IbrCtx, ptr: Shared<T>) {
         debug_assert!(!ptr.is_null());
         let era = self.era.now();
-        ctx.limbo.push(Retired::new(ptr.as_raw(), era));
+        // Retire coalescing: stage the record (era-stamped before staging).
+        // The `empty_freq` scan cadence stays per-retire; the watermark
+        // trigger is consulted only when a batch flushes (bounded overshoot
+        // of RETIRE_BATCH_CAP - 1).
+        let flushed = ctx.limbo.stage(Retired::new(ptr.as_raw(), era));
         ctx.stats.retires += 1;
-        ctx.stats.observe_limbo(ctx.limbo.len());
+        if flushed {
+            ctx.stats.observe_limbo(ctx.limbo.len());
+        }
         ctx.retires_since_scan += 1;
         if ctx.retires_since_scan >= self.config.empty_freq
-            || self.policy.scan_on_retire(ctx.limbo.len())
+            || (flushed && self.policy.scan_on_retire(ctx.limbo.len()))
         {
             if self.policy.scan_on_retire(ctx.limbo.len()) {
                 trace::emit(

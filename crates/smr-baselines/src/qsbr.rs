@@ -165,9 +165,14 @@ impl Smr for Qsbr {
         let now = self.epoch.now();
         // A freshly registered thread is quiescent by definition.
         self.slots[tid].quiescent_epoch.store(now, Ordering::SeqCst);
+        let cap = self.config.retire_batch_cap();
         QsbrCtx {
             tid,
-            bags: [LimboBag::new(), LimboBag::new(), LimboBag::new()],
+            bags: [
+                LimboBag::with_batch(cap),
+                LimboBag::with_batch(cap),
+                LimboBag::with_batch(cap),
+            ],
             bag_epochs: [now; BAGS],
             local_epoch: now,
             retires_since_check: 0,
@@ -258,10 +263,29 @@ impl Smr for Qsbr {
         // caught in DEBRA).
         self.sync_local_epoch(ctx, self.epoch.now());
         let idx = (ctx.local_epoch as usize) % BAGS;
-        ctx.bags[idx].push(Retired::new(ptr.as_raw(), ctx.local_epoch));
+        // Retire coalescing: stage in the current epoch's bag (stamped
+        // before staging — see the sync above); peak-limbo bookkeeping is
+        // amortized to batch flushes.
+        let flushed = ctx.bags[idx].stage(Retired::new(ptr.as_raw(), ctx.local_epoch));
         ctx.stats.retires += 1;
-        let total: usize = ctx.bags.iter().map(|b| b.len()).sum();
-        ctx.stats.observe_limbo(total);
+        if flushed {
+            let total: usize = ctx.bags.iter().map(|b| b.len()).sum();
+            ctx.stats.observe_limbo(total);
+        }
+    }
+
+    #[inline]
+    fn validation_stamp(&self, ctx: &mut QsbrCtx) -> Option<u64> {
+        // Sound for QSBR for the same reason as DEBRA: `local_epoch`
+        // re-syncs to the global epoch at every `begin_op`, so stamp
+        // equality between two operations means the global epoch never
+        // advanced in between — and a record retired at epoch `e` is only
+        // freed once its owner observes epoch `e + 2`.
+        if self.config.memo {
+            Some(ctx.local_epoch)
+        } else {
+            None
+        }
     }
 
     fn flush(&self, ctx: &mut QsbrCtx) {

@@ -38,6 +38,9 @@ pub struct RcuCtx {
     scan: ScanState,
     retires_since_scan: usize,
     retires_since_advance: usize,
+    /// The era announced at `begin_op` (the op's read-side pin). This — not
+    /// `era.now()` — is the memo validation stamp: see `validation_stamp`.
+    op_epoch: u64,
     mag: Magazine,
     stats: ThreadStats,
 }
@@ -66,7 +69,13 @@ impl Rcu {
                 min = min.min(a);
             }
         }
-        min
+        // Frontier clamp: never report a reclamation frontier past the
+        // current era, even when every thread is idle. This makes "a record
+        // retired at era `e` was freed" imply "the era advanced past `e`" —
+        // the property the epoch-stamped lookup memo validates against
+        // (`validation_stamp`): with no active readers and no clamp, a
+        // same-era free could slip under an unchanged memo stamp.
+        min.min(self.era.now())
     }
 
     fn scan_and_reclaim(&self, ctx: &mut RcuCtx) {
@@ -138,10 +147,11 @@ impl Smr for Rcu {
         self.slots[tid].announced.store(IDLE, Ordering::SeqCst);
         RcuCtx {
             tid,
-            limbo: LimboBag::new(),
+            limbo: LimboBag::with_batch(self.config.retire_batch_cap()),
             scan: ScanState::new(),
             retires_since_scan: 0,
             retires_since_advance: 0,
+            op_epoch: 0,
             mag: Magazine::from_config(&self.pool, &self.config),
             stats: ThreadStats::default(),
         }
@@ -164,6 +174,7 @@ impl Smr for Rcu {
     fn begin_op(&self, ctx: &mut RcuCtx) {
         let e = self.era.now();
         self.slots[ctx.tid].announced.store(e, Ordering::SeqCst);
+        ctx.op_epoch = e;
         // Oracle mirror (after the real announcement): frees require
         // `retire_era < min announced`, so while `e` is published no record
         // with retire era >= e may be freed.
@@ -194,9 +205,15 @@ impl Smr for Rcu {
     unsafe fn retire<T: SmrNode>(&self, ctx: &mut RcuCtx, ptr: Shared<T>) {
         debug_assert!(!ptr.is_null());
         let era = self.era.now();
-        ctx.limbo.push(Retired::new(ptr.as_raw(), era));
+        // Retire coalescing: stage the record (era-stamped before staging);
+        // peak-limbo bookkeeping is amortized to batch flushes. The scan and
+        // era-advance cadences below stay per-retire so the reclamation
+        // frontier advances at the configured rates.
+        let flushed = ctx.limbo.stage(Retired::new(ptr.as_raw(), era));
         ctx.stats.retires += 1;
-        ctx.stats.observe_limbo(ctx.limbo.len());
+        if flushed {
+            ctx.stats.observe_limbo(ctx.limbo.len());
+        }
 
         ctx.retires_since_advance += 1;
         if ctx.retires_since_advance >= self.config.epoch_freq {
@@ -215,6 +232,22 @@ impl Smr for Rcu {
     fn flush(&self, ctx: &mut RcuCtx) {
         self.era.advance();
         self.scan_and_reclaim(ctx);
+    }
+
+    #[inline]
+    fn validation_stamp(&self, ctx: &mut RcuCtx) -> Option<u64> {
+        // Sound for RCU *because of the frontier clamp* in
+        // `min_announced_era`: a record retired at era `e` can only be freed
+        // once the global era exceeds `e`. `op_epoch` is the era read at
+        // `begin_op`, so stamp equality between two operations means the
+        // era never advanced in between and nothing retired in the window
+        // can have been freed. (`era.now()` mid-op would be unsound: the
+        // stamp must be the op-pinned value.)
+        if self.config.memo {
+            Some(ctx.op_epoch)
+        } else {
+            None
+        }
     }
 
     fn thread_stats(&self, ctx: &RcuCtx) -> ThreadStats {

@@ -36,8 +36,8 @@
 use crate::util::{EraClock, OrphanPool};
 use smr_common::telemetry::{self, trace, TraceKind};
 use smr_common::{
-    Atomic, BlockPool, CachePadded, LimboBag, Magazine, Registry, Retired, ScanPolicy, ScanState,
-    Shared, Smr, SmrConfig, SmrNode, ThreadStats,
+    Atomic, BlockPool, CachePadded, LimboBag, Magazine, Registry, Retired, ScanCombiner,
+    ScanPolicy, ScanState, Shared, Smr, SmrConfig, SmrNode, ThreadStats,
 };
 use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -113,6 +113,11 @@ pub struct Wfe {
     help_lock: Mutex<()>,
     pool: Arc<BlockPool>,
     orphans: OrphanPool,
+    /// Flat-combined scan publication: a watermark-triggered thread that
+    /// loses the race to an in-flight peer scan hands its limbo over instead
+    /// of stacking a second era-hull sweep (generalizes NBR+'s
+    /// ride-don't-stack to the era family).
+    combiner: ScanCombiner,
 }
 
 impl Wfe {
@@ -227,6 +232,25 @@ impl Wfe {
     fn scan_and_reclaim(&self, ctx: &mut WfeCtx) {
         let sw = telemetry::stopwatch_if(self.config.telemetry);
         trace::emit(ctx.tid, TraceKind::ScanBegin, ctx.limbo.len() as u64, 0);
+        // Flat combining: adopt peers' published limbo bags first so one
+        // era-hull sweep covers them. Safe to fold into this thread's bag:
+        // the sweep below is ownership-agnostic (each record carries its own
+        // retire era, and the hull check covers every active thread).
+        if self.config.combine {
+            let (published, bags) = self.combiner.adopt();
+            if bags > 0 {
+                ctx.stats.combine_adoptions += bags;
+                trace::emit(
+                    ctx.tid,
+                    TraceKind::CombineAdopt,
+                    published.len() as u64,
+                    bags,
+                );
+            }
+            for r in published {
+                ctx.limbo.push(r);
+            }
+        }
         self.adopt_orphans(ctx);
         ctx.stats.reclaim_scans += 1;
         ctx.scan.note_scan();
@@ -282,6 +306,38 @@ impl Wfe {
         }
     }
 
+    /// Watermark-triggered entry: scan directly when no peer's scan is
+    /// mid-flight, otherwise publish this thread's limbo to the combiner so
+    /// the active scanner sweeps both bags in one era-hull pass. The
+    /// heartbeat (`end_op`), `flush`, and `unregister` scans stay direct —
+    /// they must make local progress regardless of peers.
+    fn scan_or_publish(&self, ctx: &mut WfeCtx) {
+        if !self.config.combine {
+            self.scan_and_reclaim(ctx);
+            return;
+        }
+        if self.combiner.try_begin() {
+            self.scan_and_reclaim(ctx);
+            self.combiner.finish();
+            return;
+        }
+        let records = ctx.limbo.drain();
+        let n = records.len() as u64;
+        match self.combiner.publish(ctx.tid, records) {
+            Ok(()) => {
+                ctx.stats.combine_publishes += 1;
+                trace::emit(ctx.tid, TraceKind::CombinePublish, n, 0);
+            }
+            Err(records) => {
+                // Slot still full (the scanner hasn't adopted the previous
+                // hand-off yet): keep the records and retry next trigger.
+                for r in records {
+                    ctx.limbo.push(r);
+                }
+            }
+        }
+    }
+
     fn clear_slots(&self, tid: usize) {
         // Claims drop first: mirrored claims must stay a subset of the real
         // announcements.
@@ -325,6 +381,7 @@ impl Smr for Wfe {
             help_lock: Mutex::new(()),
             pool: BlockPool::from_config(&config),
             orphans: OrphanPool::new(),
+            combiner: ScanCombiner::new(config.max_threads),
             config,
         }
     }
@@ -338,7 +395,7 @@ impl Smr for Wfe {
         self.clear_slots(tid);
         WfeCtx {
             tid,
-            limbo: LimboBag::new(),
+            limbo: LimboBag::with_batch(self.config.retire_batch_cap()),
             scan: ScanState::new(),
             lowers: Vec::with_capacity(self.config.max_threads),
             uppers: Vec::with_capacity(self.config.max_threads),
@@ -449,21 +506,26 @@ impl Smr for Wfe {
     unsafe fn retire<T: SmrNode>(&self, ctx: &mut WfeCtx, ptr: Shared<T>) {
         debug_assert!(!ptr.is_null());
         let era = self.era.now();
-        ctx.limbo.push(Retired::new(ptr.as_raw(), era));
+        // Retire coalescing: stage (era-stamped before staging). The
+        // `empty_freq` cadence stays per-retire so the reclamation frontier
+        // advances at the configured rate; only the watermark check is
+        // amortized to batch flushes (bound slack: batch cap − 1).
+        let flushed = ctx.limbo.stage(Retired::new(ptr.as_raw(), era));
         ctx.stats.retires += 1;
-        ctx.stats.observe_limbo(ctx.limbo.len());
+        if flushed {
+            ctx.stats.observe_limbo(ctx.limbo.len());
+        }
         ctx.retires_since_scan += 1;
-        if ctx.retires_since_scan >= self.config.empty_freq
-            || self.policy.scan_on_retire(ctx.limbo.len())
-        {
-            if self.policy.scan_on_retire(ctx.limbo.len()) {
-                trace::emit(
-                    ctx.tid,
-                    TraceKind::LimboHigh,
-                    ctx.limbo.len() as u64,
-                    self.policy.hi_watermark as u64,
-                );
-            }
+        if flushed && self.policy.scan_on_retire(ctx.limbo.len()) {
+            trace::emit(
+                ctx.tid,
+                TraceKind::LimboHigh,
+                ctx.limbo.len() as u64,
+                self.policy.hi_watermark as u64,
+            );
+            ctx.retires_since_scan = 0;
+            self.scan_or_publish(ctx);
+        } else if ctx.retires_since_scan >= self.config.empty_freq {
             ctx.retires_since_scan = 0;
             self.scan_and_reclaim(ctx);
         }

@@ -137,7 +137,15 @@ pub fn quiet_config(params: &Params) -> SmrConfig {
         .with_watermarks(4, 2)
         .with_scan_heartbeat_ops(1)
         .with_signal_cost_ns(0)
-        .with_magazine_cap(params.magazine_cap);
+        .with_magazine_cap(params.magazine_cap)
+        // Hot-path batching stays ON under the explorer: retire coalescing
+        // and flat-combined scan publication add their own preemption points
+        // ("limbo.flush-stage", "combine.handoff") and must hold up under
+        // adversarial schedules. The per-op heartbeat keeps the config
+        // reclamation-hostile anyway — every op exit flushes the stage and
+        // opens a retire → sweep → free window.
+        .with_coalesce(true)
+        .with_combine(true);
     // Short ack spins: under the one-runnable scheduler the awaited thread
     // cannot make progress while the pinger holds the token, so every spin
     // iteration is a wasted scheduled step. The spin loop preempts at

@@ -1,0 +1,219 @@
+//! Flat-combined scan publication.
+//!
+//! The ping-based schemes (NBR, NBR+, EpochPOP, HP-POP, WFE era advances)
+//! pay one handshake round per reclamation scan: broadcast, await acks (or
+//! help the stragglers), sweep. When two threads cross their HiWatermarks
+//! at nearly the same time, the second scan stacks a second ping storm onto
+//! peers that just answered the first — the broadcast-stacking problem the
+//! PR-5 ride-don't-stack triage solved for NBR+ broadcasts specifically.
+//!
+//! [`ScanCombiner`] generalizes that idea to every ping domain: a thread
+//! whose scan trigger fires while a peer's scan is mid-flight *publishes*
+//! its limbo bag to a per-thread combiner slot instead of starting its own
+//! round, and the next active scanner adopts every published bag at its
+//! scan prologue — sweeping both threads' garbage in one ping round.
+//!
+//! The protocol is deliberately advisory:
+//!
+//! * The `active` flag is best-effort. A thread that observes it clear runs
+//!   its own scan; two threads racing to set it serialize on the CAS, and
+//!   the loser publishes. Nothing blocks on the flag.
+//! * Publication moves *ownership* of the records (with their retire-era
+//!   stamps) into the slot. The adopting scanner pushes them into its own
+//!   limbo bag **before** capturing its sweep bookmark and broadcasting, so
+//!   the adopted records flow through the exact same protection-checked
+//!   sweep — and the same safety argument — as records the scanner retired
+//!   itself. Sweeps are ownership-agnostic: every record carries its own
+//!   eras, and address/reservation checks never ask who retired a record.
+//! * A slot still holding an unadopted bag rejects a second publish; the
+//!   would-be publisher keeps its records and retries at the next trigger.
+//!   Published bags can therefore wait at most until the next scan by
+//!   anyone in the domain (every scan prologue adopts), and the domain
+//!   owner's `Drop` drains whatever is left after all threads deregister.
+
+use crate::pad::CachePadded;
+use crate::retired::Retired;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// One thread's publication slot: `full` flags a waiting bag.
+struct CombinerSlot {
+    full: AtomicBool,
+    bag: Mutex<Vec<Retired>>,
+}
+
+/// A flat-combining domain for reclamation scans, one per ping domain
+/// (shared by NBR and NBR+ through their common neutralization core; owned
+/// directly by EpochPOP, HP-POP and WFE).
+pub struct ScanCombiner {
+    /// Best-effort "a scan is mid-flight in this domain" flag.
+    active: AtomicBool,
+    slots: Vec<CachePadded<CombinerSlot>>,
+}
+
+impl ScanCombiner {
+    /// A combiner with one publication slot per possible thread.
+    pub fn new(max_threads: usize) -> Self {
+        Self {
+            active: AtomicBool::new(false),
+            slots: (0..max_threads)
+                .map(|_| {
+                    CachePadded::new(CombinerSlot {
+                        full: AtomicBool::new(false),
+                        bag: Mutex::new(Vec::new()),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Attempts to become the domain's active scanner. On `true` the caller
+    /// must run its scan and then call [`ScanCombiner::finish`]; on `false`
+    /// a peer's scan is mid-flight and the caller should publish instead.
+    #[inline]
+    pub fn try_begin(&self) -> bool {
+        self.active
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Whether a scan is currently mid-flight (advisory snapshot).
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// Ends the calling thread's turn as the active scanner.
+    #[inline]
+    pub fn finish(&self) {
+        self.active.store(false, Ordering::Release);
+    }
+
+    /// Publishes `records` to thread `tid`'s slot for the next active
+    /// scanner to sweep. Fails — returning the records untouched — when the
+    /// slot still holds a bag no scanner has adopted yet.
+    pub fn publish(&self, tid: usize, records: Vec<Retired>) -> Result<(), Vec<Retired>> {
+        crate::check::preempt("combine.handoff", tid);
+        let slot = &self.slots[tid];
+        let mut bag = slot.bag.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.full.load(Ordering::Acquire) {
+            return Err(records);
+        }
+        *bag = records;
+        slot.full.store(true, Ordering::Release);
+        Ok(())
+    }
+
+    /// Adopts every published bag, returning the records and the number of
+    /// bags taken. Called by the active scanner at its scan prologue, before
+    /// it captures any sweep bookmark or broadcasts its pings, so adopted
+    /// records are covered by the same round-trip safety argument as the
+    /// scanner's own.
+    pub fn adopt(&self) -> (Vec<Retired>, u64) {
+        let mut out = Vec::new();
+        let mut bags = 0u64;
+        for (tid, slot) in self.slots.iter().enumerate() {
+            if !slot.full.load(Ordering::Acquire) {
+                continue;
+            }
+            crate::check::preempt("combine.handoff", tid);
+            let mut bag = slot.bag.lock().unwrap_or_else(|e| e.into_inner());
+            if !slot.full.load(Ordering::Acquire) {
+                continue; // raced with another adopter
+            }
+            out.append(&mut bag);
+            slot.full.store(false, Ordering::Release);
+            bags += 1;
+        }
+        (out, bags)
+    }
+}
+
+impl Drop for ScanCombiner {
+    fn drop(&mut self) {
+        // By the Smr contract every thread has deregistered before the
+        // domain owner drops, so leftover published records are unreachable.
+        let (orphans, _) = self.adopt();
+        for r in orphans {
+            // SAFETY: unreachable per the deregistration contract above —
+            // the final scans/drains that ran at unregister are the last
+            // possible readers.
+            unsafe { r.reclaim() };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::NodeHeader;
+    use crate::recycle::alloc_node_raw;
+
+    struct N {
+        header: NodeHeader,
+        #[allow(dead_code)]
+        k: u64,
+    }
+    crate::impl_smr_node!(N);
+
+    fn retired(k: u64) -> Retired {
+        let raw = alloc_node_raw(N {
+            header: NodeHeader::new(),
+            k,
+        });
+        unsafe { Retired::new(raw, k) }
+    }
+
+    #[test]
+    fn active_flag_is_exclusive_until_finished() {
+        let c = ScanCombiner::new(2);
+        assert!(c.try_begin());
+        assert!(c.is_active());
+        assert!(!c.try_begin(), "second scanner must be turned away");
+        c.finish();
+        assert!(!c.is_active());
+        assert!(c.try_begin());
+        c.finish();
+    }
+
+    #[test]
+    fn publish_then_adopt_moves_every_record_once() {
+        let c = ScanCombiner::new(4);
+        c.publish(1, vec![retired(10), retired(11)]).unwrap();
+        c.publish(3, vec![retired(30)]).unwrap();
+        let (records, bags) = c.adopt();
+        assert_eq!(bags, 2);
+        assert_eq!(records.len(), 3);
+        let (again, bags2) = c.adopt();
+        assert_eq!(bags2, 0, "adopt must be idempotent");
+        assert!(again.is_empty());
+        for r in records {
+            unsafe { r.reclaim() };
+        }
+    }
+
+    #[test]
+    fn full_slot_rejects_second_publish_and_returns_records() {
+        let c = ScanCombiner::new(2);
+        c.publish(0, vec![retired(1)]).unwrap();
+        let back = c.publish(0, vec![retired(2), retired(3)]).unwrap_err();
+        assert_eq!(back.len(), 2, "rejected publish keeps its records");
+        for r in back {
+            unsafe { r.reclaim() };
+        }
+        let (records, bags) = c.adopt();
+        assert_eq!((records.len(), bags), (1, 1));
+        for r in records {
+            unsafe { r.reclaim() };
+        }
+    }
+
+    #[test]
+    fn drop_drains_unadopted_bags() {
+        // Leak detection is the shadow heap's job under `check`; here we
+        // just exercise the path.
+        let c = ScanCombiner::new(2);
+        c.publish(0, vec![retired(7)]).unwrap();
+        drop(c);
+    }
+}

@@ -50,6 +50,7 @@
 pub mod atomic;
 pub mod backoff;
 pub mod check;
+pub mod combine;
 pub mod header;
 pub mod limbo;
 pub mod pad;
@@ -66,8 +67,9 @@ pub mod vlock;
 
 pub use atomic::{Atomic, Shared};
 pub use backoff::Backoff;
+pub use combine::ScanCombiner;
 pub use header::{NodeHeader, SmrNode};
-pub use limbo::LimboBag;
+pub use limbo::{LimboBag, RETIRE_BATCH_CAP};
 pub use pad::CachePadded;
 pub use ping::{PingChannel, PingOutcome};
 pub use policy::{ScanPolicy, ScanState};

@@ -34,8 +34,15 @@ use crate::stats::ThreadStats;
 /// returns memory to the allocator in useful chunks.
 const SEGMENT_CAPACITY: usize = 256;
 
+/// Capacity of the per-thread retire staging buffer (the `RetireBatch`):
+/// 8 × 16-byte [`Retired`] entries — a cache-line-sized batch that amortizes
+/// the segment bookkeeping and the flush-gated policy checks over eight
+/// retires. Also the slack the robust garbage bounds gain when coalescing is
+/// on: at most `RETIRE_BATCH_CAP - 1` records sit staged past a watermark
+/// check, because the check that would trigger a scan runs on every flush.
+pub const RETIRE_BATCH_CAP: usize = 8;
+
 /// An ordered bag of retired records owned by a single thread.
-#[derive(Default)]
 pub struct LimboBag {
     /// Non-empty segments in retire order (older segments first). Each
     /// segment is filled exactly to its capacity before a new one is started,
@@ -47,12 +54,32 @@ pub struct LimboBag {
     /// fresh allocation per segment, putting malloc back on the very path
     /// the recycling pool takes it off.
     spare: Vec<Retired>,
-    /// Total records across all segments.
+    /// Total records held, staged entries included.
     len: usize,
+    /// The `RetireBatch`: the newest retires, staged ahead of the segments
+    /// until a flush moves them over. Always the suffix of the retire order,
+    /// so flushing preserves order and prefix bookmarks taken from [`len`]
+    /// stay valid across flushes.
+    stage: Vec<Retired>,
+    /// Flush threshold for [`stage`](LimboBag::stage); `1` disables staging
+    /// (every record goes straight to the segments, as before coalescing).
+    batch_cap: usize,
+}
+
+impl Default for LimboBag {
+    fn default() -> Self {
+        Self {
+            segments: Vec::new(),
+            spare: Vec::new(),
+            len: 0,
+            stage: Vec::new(),
+            batch_cap: 1,
+        }
+    }
 }
 
 impl LimboBag {
-    /// An empty bag.
+    /// An empty bag with staging disabled.
     pub fn new() -> Self {
         Self::default()
     }
@@ -66,12 +93,92 @@ impl LimboBag {
             segments,
             spare: Vec::new(),
             len: 0,
+            stage: Vec::new(),
+            batch_cap: 1,
         }
     }
 
-    /// Appends a retired record (Algorithm 1, line 19).
+    /// An empty bag whose [`stage`](LimboBag::stage) buffers up to
+    /// `batch_cap` records before touching the segments. `batch_cap <= 1`
+    /// disables staging entirely.
+    pub fn with_batch(batch_cap: usize) -> Self {
+        let batch_cap = batch_cap.max(1);
+        Self {
+            stage: Vec::with_capacity(if batch_cap > 1 { batch_cap } else { 0 }),
+            batch_cap,
+            ..Self::default()
+        }
+    }
+
+    /// [`LimboBag::with_capacity`] combined with [`LimboBag::with_batch`].
+    pub fn with_capacity_and_batch(capacity: usize, batch_cap: usize) -> Self {
+        let batch_cap = batch_cap.max(1);
+        Self {
+            stage: Vec::with_capacity(if batch_cap > 1 { batch_cap } else { 0 }),
+            batch_cap,
+            ..Self::with_capacity(capacity)
+        }
+    }
+
+    /// Appends a retired record (Algorithm 1, line 19) directly to the
+    /// segments. Any staged records flush first so the bag's global retire
+    /// order is preserved — orphan adoption pushes, for instance, must land
+    /// after the adopter's own earlier (staged) retires.
     #[inline]
     pub fn push(&mut self, retired: Retired) {
+        if !self.stage.is_empty() {
+            self.flush_stage();
+        }
+        self.push_seg(retired);
+        self.len += 1;
+    }
+
+    /// Stages a retired record in the `RetireBatch`, flushing to the
+    /// segments when the batch fills. Returns `true` when a flush happened
+    /// (immediately, with staging disabled) — the caller's cue to run its
+    /// watermark/policy checks, which is what bounds the staged overshoot to
+    /// `RETIRE_BATCH_CAP - 1` records.
+    #[inline]
+    pub fn stage(&mut self, retired: Retired) -> bool {
+        if self.batch_cap <= 1 {
+            self.push(retired);
+            return true;
+        }
+        self.stage.push(retired);
+        self.len += 1;
+        if self.stage.len() >= self.batch_cap {
+            self.flush_stage();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Moves every staged record into the segments, in retire order. Called
+    /// on batch fill, and by every sweep/drain entry point so no staged
+    /// record can be skipped by a scan or stranded at departure.
+    pub fn flush_stage(&mut self) {
+        if self.stage.is_empty() {
+            return;
+        }
+        crate::check::preempt("limbo.flush-stage", 0);
+        let mut staged = core::mem::take(&mut self.stage);
+        for r in staged.drain(..) {
+            self.push_seg(r);
+        }
+        // Keep the allocation for the next batch.
+        self.stage = staged;
+    }
+
+    /// Records currently sitting in the staging buffer (diagnostics/tests).
+    #[inline]
+    pub fn staged_len(&self) -> usize {
+        self.stage.len()
+    }
+
+    /// Segment append without touching `len` (shared by push and flush).
+    #[inline]
+    fn push_seg(&mut self, retired: Retired) {
         match self.segments.last_mut() {
             Some(seg) if seg.len() < seg.capacity() => seg.push(retired),
             _ => {
@@ -84,7 +191,6 @@ impl LimboBag {
                 self.segments.push(seg);
             }
         }
-        self.len += 1;
     }
 
     /// Number of unreclaimed records currently held.
@@ -99,10 +205,10 @@ impl LimboBag {
         self.len == 0
     }
 
-    /// Iterates over the held records in retire order (used by interval-based
-    /// scans that need eras rather than addresses).
+    /// Iterates over the held records in retire order, staged records last
+    /// (used by interval-based scans that need eras rather than addresses).
     pub fn iter(&self) -> impl Iterator<Item = &Retired> {
-        self.segments.iter().flatten()
+        self.segments.iter().flatten().chain(self.stage.iter())
     }
 
     /// The core sweep: frees every record in the prefix `[0, up_to)` whose
@@ -120,6 +226,11 @@ impl LimboBag {
         mut decide: impl FnMut(&Retired) -> bool,
         mag: &mut Magazine,
     ) -> usize {
+        // Staged records are part of `len` (watermark triggers count them),
+        // so a sweep must see them in the segments: callers capture prefix
+        // bookmarks from `len`, and the staged suffix flushes to exactly the
+        // indices those bookmarks assume.
+        self.flush_stage();
         let limit = up_to.min(self.len);
         if limit == 0 {
             return 0;
@@ -272,8 +383,11 @@ impl LimboBag {
     }
 
     /// Removes and returns all records without freeing them (ownership moves
-    /// to the caller, e.g. a global pool at thread deregistration).
+    /// to the caller, e.g. a global pool at thread deregistration). Staged
+    /// records flush first, so departure/unregister hand-offs that drain the
+    /// bag can never strand a staged node.
     pub fn drain(&mut self) -> Vec<Retired> {
+        self.flush_stage();
         self.len = 0;
         let mut out = Vec::new();
         for mut seg in self.segments.drain(..) {
@@ -322,6 +436,7 @@ impl core::fmt::Debug for LimboBag {
         f.debug_struct("LimboBag")
             .field("len", &self.len)
             .field("segments", &self.segments.len())
+            .field("staged", &self.stage.len())
             .finish()
     }
 }
@@ -509,6 +624,115 @@ mod tests {
             .map(|r| (r.birth_era(), r.retire_era()))
             .collect();
         assert_eq!(remaining, vec![(2, 4), (3, 8), (9, 10)]);
+        unsafe { bag.reclaim_all(&mut stats, &mut mag) };
+    }
+
+    #[test]
+    fn staging_counts_toward_len_and_flushes_on_fill() {
+        let mut bag = LimboBag::with_batch(RETIRE_BATCH_CAP);
+        let mut addrs = Vec::new();
+        for i in 0..RETIRE_BATCH_CAP - 1 {
+            let r = retire_one(i as u64, i as u64);
+            addrs.push(r.address());
+            assert!(!bag.stage(r), "batch must not flush before it fills");
+        }
+        assert_eq!(bag.len(), RETIRE_BATCH_CAP - 1);
+        assert_eq!(bag.staged_len(), RETIRE_BATCH_CAP - 1);
+        let r = retire_one(99, 99);
+        addrs.push(r.address());
+        assert!(bag.stage(r), "the filling record must flush the batch");
+        assert_eq!(bag.staged_len(), 0);
+        assert_eq!(bag.len(), RETIRE_BATCH_CAP);
+        let seen: Vec<usize> = bag.iter().map(|r| r.address()).collect();
+        assert_eq!(seen, addrs, "flush must preserve retire order");
+        let mut stats = ThreadStats::default();
+        let mut mag = Magazine::disabled();
+        unsafe { bag.reclaim_all(&mut stats, &mut mag) };
+    }
+
+    #[test]
+    fn stage_with_batch_cap_one_behaves_like_push() {
+        let mut bag = LimboBag::with_batch(1);
+        for i in 0..3 {
+            assert!(bag.stage(retire_one(i, i)), "cap 1: every stage flushes");
+        }
+        assert_eq!(bag.staged_len(), 0);
+        assert_eq!(bag.len(), 3);
+        let mut stats = ThreadStats::default();
+        let mut mag = Magazine::disabled();
+        unsafe { bag.reclaim_all(&mut stats, &mut mag) };
+    }
+
+    #[test]
+    fn push_after_staging_flushes_first_to_keep_order() {
+        let mut bag = LimboBag::with_batch(RETIRE_BATCH_CAP);
+        let mut addrs = Vec::new();
+        for i in 0..3 {
+            let r = retire_one(i, i);
+            addrs.push(r.address());
+            bag.stage(r);
+        }
+        // An orphan-adoption-style direct push: the staged suffix must land
+        // before it.
+        let orphan = retire_one(50, 50);
+        addrs.push(orphan.address());
+        bag.push(orphan);
+        assert_eq!(bag.staged_len(), 0);
+        let seen: Vec<usize> = bag.iter().map(|r| r.address()).collect();
+        assert_eq!(seen, addrs);
+        let mut stats = ThreadStats::default();
+        let mut mag = Magazine::disabled();
+        unsafe { bag.reclaim_all(&mut stats, &mut mag) };
+    }
+
+    #[test]
+    fn sweeps_and_drain_observe_staged_records() {
+        let mut bag = LimboBag::with_batch(RETIRE_BATCH_CAP);
+        for i in 0..4 {
+            bag.stage(retire_one(i, i));
+        }
+        let mut stats = ThreadStats::default();
+        let mut mag = Magazine::disabled();
+        // A full-bag sweep must flush and free the staged records.
+        let freed = unsafe { bag.reclaim_if(|_| true, &mut stats, &mut mag) };
+        assert_eq!(freed, 4);
+        assert!(bag.is_empty());
+
+        for i in 0..3 {
+            bag.stage(retire_one(i, i));
+        }
+        let drained = bag.drain();
+        assert_eq!(drained.len(), 3, "drain must not strand staged records");
+        assert!(bag.is_empty());
+        for r in drained {
+            unsafe { r.reclaim() };
+        }
+    }
+
+    #[test]
+    fn prefix_bookmark_taken_over_staged_records_stays_valid() {
+        // NBR+'s bookmark is an index into the retire order captured from
+        // `len()`; flushing the staged suffix must keep it pointing at the
+        // same records.
+        let mut bag = LimboBag::with_batch(RETIRE_BATCH_CAP);
+        let mut addrs = Vec::new();
+        for i in 0..5 {
+            let r = retire_one(i, i);
+            addrs.push(r.address());
+            bag.stage(r);
+        }
+        let bookmark = bag.len(); // 5, of which 5 staged
+        for i in 5..10 {
+            let r = retire_one(i, i);
+            addrs.push(r.address());
+            bag.stage(r);
+        }
+        let mut stats = ThreadStats::default();
+        let mut mag = Magazine::disabled();
+        let freed = unsafe { bag.reclaim_prefix_if(bookmark, |_| true, &mut stats, &mut mag) };
+        assert_eq!(freed, 5);
+        let survivors: Vec<usize> = bag.iter().map(|r| r.address()).collect();
+        assert_eq!(survivors, addrs[5..].to_vec());
         unsafe { bag.reclaim_all(&mut stats, &mut mag) };
     }
 

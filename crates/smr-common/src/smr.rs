@@ -77,6 +77,22 @@ pub struct SmrConfig {
     /// A/B the bench bins use (`--no-telemetry`) to prove tier 1 costs
     /// nothing measurable.
     pub telemetry: bool,
+    /// Retire coalescing: stage retires in a per-thread cache-line-sized
+    /// `RetireBatch` (see [`RETIRE_BATCH_CAP`](crate::limbo::RETIRE_BATCH_CAP))
+    /// and run the watermark/policy checks only on flush. `false` restores
+    /// the one-record-per-retire path (`--ab-arm no-coalesce` in the bench).
+    pub coalesce: bool,
+    /// Flat-combined scan publication: when a scan triggers while a peer's
+    /// scan is mid-flight in the same ping domain, publish this thread's
+    /// limbo to a combiner slot and let the active scanner sweep it in the
+    /// same ping round instead of stacking a second ping storm. Only the
+    /// ping-based schemes (NBR, NBR+, EpochPOP, HP-POP, WFE) consult this.
+    pub combine: bool,
+    /// Epoch-stamped lookup memo: lets the `ds` crate cache Zipf-hot lookup
+    /// results keyed by [`Smr::validation_stamp`]. Schemes whose clock
+    /// cannot validate a cached pointer (see that method) ignore this flag
+    /// and keep returning `None`.
+    pub memo: bool,
 }
 
 impl Default for SmrConfig {
@@ -95,6 +111,9 @@ impl Default for SmrConfig {
             recycle: true,
             magazine_cap: 128,
             telemetry: true,
+            coalesce: true,
+            combine: true,
+            memo: true,
         }
     }
 }
@@ -117,6 +136,9 @@ impl SmrConfig {
             recycle: true,
             magazine_cap: 8,
             telemetry: true,
+            coalesce: true,
+            combine: true,
+            memo: true,
         }
     }
 
@@ -179,6 +201,36 @@ impl SmrConfig {
         self.epoch_freq = epoch_freq.max(1);
         self.empty_freq = empty_freq.max(1);
         self
+    }
+
+    /// Builder-style setter for [`SmrConfig::coalesce`].
+    pub fn with_coalesce(mut self, coalesce: bool) -> Self {
+        self.coalesce = coalesce;
+        self
+    }
+
+    /// Builder-style setter for [`SmrConfig::combine`].
+    pub fn with_combine(mut self, combine: bool) -> Self {
+        self.combine = combine;
+        self
+    }
+
+    /// Builder-style setter for [`SmrConfig::memo`].
+    pub fn with_memo(mut self, memo: bool) -> Self {
+        self.memo = memo;
+        self
+    }
+
+    /// Staging capacity the schemes hand to
+    /// [`LimboBag::with_batch`](crate::LimboBag::with_batch):
+    /// [`RETIRE_BATCH_CAP`](crate::limbo::RETIRE_BATCH_CAP) when coalescing
+    /// is on, 1 (staging disabled) otherwise.
+    pub fn retire_batch_cap(&self) -> usize {
+        if self.coalesce {
+            crate::limbo::RETIRE_BATCH_CAP
+        } else {
+            1
+        }
     }
 
     /// Validates internal consistency (used by constructors).
@@ -369,6 +421,32 @@ pub trait Smr: Send + Sync + Sized + 'static {
         0
     }
 
+    /// The stamp a lookup memo must validate cached pointers against, or
+    /// `None` when this reclaimer cannot support stamp-validated caching.
+    ///
+    /// # Contract
+    /// Called only *inside* an operation (after [`Smr::begin_op`]). A
+    /// returned stamp must satisfy: if the stamp equals the one recorded
+    /// when a node pointer was cached (by the same thread, inside an
+    /// earlier operation), then no record retired at or after the recorded
+    /// stamp's era has been freed in between — so dereferencing the cached
+    /// pointer is as safe as it was when it was cached, *without*
+    /// re-traversing or re-protecting. That holds exactly for schemes where
+    /// (a) a free of a record retired at era `e` requires the reclamation
+    /// clock to have advanced past `e`, and (b) the calling thread's
+    /// reservation is already visible to every reclaimer at `begin_op`.
+    /// Epoch schemes with announce-at-begin (DEBRA, QSBR, RCU) qualify and
+    /// return the epoch their current operation is pinned at. The interval
+    /// family (IBR, HE, WFE) frees on interval *disjointness* — records die
+    /// with no clock advance — and the address/phase families (HP, HP-POP,
+    /// NBR, NBR+) and EpochPOP (reservations invisible until pinged) cannot
+    /// give the memo a reachability argument, so all of them return `None`
+    /// and the memo stays off.
+    #[inline]
+    fn validation_stamp(&self, _ctx: &mut Self::ThreadCtx) -> Option<u64> {
+        None
+    }
+
     /// The thread's node-block recycling [`Magazine`], if this reclaimer
     /// carries one in its context (all workspace reclaimers do). `None`
     /// routes every allocation and free through the global allocator.
@@ -482,6 +560,16 @@ mod tests {
         assert_eq!(c.signal_cost_ns, 1500);
         assert_eq!(c.epoch_freq, 16);
         assert_eq!(c.empty_freq, 32);
+    }
+
+    #[test]
+    fn batching_flags_default_on_and_toggle() {
+        let c = SmrConfig::default();
+        assert!(c.coalesce && c.combine && c.memo);
+        assert_eq!(c.retire_batch_cap(), crate::limbo::RETIRE_BATCH_CAP);
+        let c = c.with_coalesce(false).with_combine(false).with_memo(false);
+        assert!(!c.coalesce && !c.combine && !c.memo);
+        assert_eq!(c.retire_batch_cap(), 1);
     }
 
     #[test]

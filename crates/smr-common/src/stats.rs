@@ -56,6 +56,17 @@ pub struct ThreadStats {
     pub ping_concessions: u64,
     /// Orphaned records adopted from departed threads' limbo bags.
     pub orphan_adoptions: u64,
+    /// Scan requests this thread published to a combiner slot instead of
+    /// running its own ping round (a peer's scan was already mid-flight).
+    pub combine_publishes: u64,
+    /// Published peer bags this thread adopted and swept as the active
+    /// combiner in its own scan round.
+    pub combine_adoptions: u64,
+    /// Lookups answered from the epoch-stamped memo (traversal skipped).
+    pub memo_hits: u64,
+    /// Lookups that consulted the memo but fell back to a full traversal
+    /// (stale stamp, key mismatch, or marked node).
+    pub memo_misses: u64,
     /// Tier-1 latency histograms (see [`telemetry`](crate::telemetry)).
     pub tel: Telemetry,
 }
@@ -104,6 +115,10 @@ impl AddAssign for ThreadStats {
         self.pool_recycled += rhs.pool_recycled;
         self.ping_concessions += rhs.ping_concessions;
         self.orphan_adoptions += rhs.orphan_adoptions;
+        self.combine_publishes += rhs.combine_publishes;
+        self.combine_adoptions += rhs.combine_adoptions;
+        self.memo_hits += rhs.memo_hits;
+        self.memo_misses += rhs.memo_misses;
         self.tel += rhs.tel;
     }
 }

@@ -39,7 +39,8 @@
 use smr_common::telemetry::{self, trace, TraceKind};
 use smr_common::{
     BlockPool, CachePadded, EraClock, LimboBag, Magazine, OrphanPool, PingChannel, PingOutcome,
-    Registry, Retired, ScanPolicy, ScanState, Shared, Smr, SmrConfig, SmrNode, ThreadStats,
+    Registry, Retired, ScanCombiner, ScanPolicy, ScanState, Shared, Smr, SmrConfig, SmrNode,
+    ThreadStats,
 };
 use std::sync::atomic::{fence, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -85,6 +86,10 @@ pub struct EpochPop {
     slots: Vec<CachePadded<EpochSlot>>,
     pool: Arc<BlockPool>,
     orphans: OrphanPool,
+    /// Flat-combined scan publication: a watermark-triggered thread that
+    /// finds a peer's ping handshake already in flight hands its limbo over
+    /// instead of launching a second full ping round.
+    combiner: ScanCombiner,
 }
 
 impl EpochPop {
@@ -123,6 +128,26 @@ impl EpochPop {
     /// record retired before the ping whose era is covered by no published
     /// reservation.
     fn reclaim_with_pings(&self, ctx: &mut EpochPopCtx) {
+        // Flat combining: adopt peers' published limbo bags before the
+        // pre-ping tail is captured, so one handshake round covers them.
+        // The prefix-sweep safety argument applies unchanged: adopted
+        // records were retired (by their publisher) before this scan's
+        // ping, exactly like this thread's own pre-ping retires.
+        if self.config.combine {
+            let (published, bags) = self.combiner.adopt();
+            if bags > 0 {
+                ctx.stats.combine_adoptions += bags;
+                trace::emit(
+                    ctx.tid,
+                    TraceKind::CombineAdopt,
+                    published.len() as u64,
+                    bags,
+                );
+            }
+            for r in published {
+                ctx.limbo.push(r);
+            }
+        }
         // Survivor adoption: fold departed threads' orphaned records into
         // this thread's limbo bag before the empty check, so orphans are
         // freed even by threads with nothing of their own to reclaim
@@ -223,6 +248,42 @@ impl EpochPop {
             ctx.stats.tel.scan.record(sw.elapsed_ns());
         }
     }
+
+    /// Watermark-triggered entry: run the ping handshake directly when no
+    /// peer's scan is mid-flight, otherwise publish this thread's limbo to
+    /// the combiner so the active scanner's single ping round sweeps both
+    /// bags. The heartbeat (`end_op`), `flush`, and `unregister` scans stay
+    /// direct — they must make local progress regardless of peers.
+    fn scan_or_publish(&self, ctx: &mut EpochPopCtx) {
+        if !self.config.combine {
+            self.reclaim_with_pings(ctx);
+            return;
+        }
+        if self.combiner.try_begin() {
+            self.reclaim_with_pings(ctx);
+            self.combiner.finish();
+            return;
+        }
+        let records = ctx.limbo.drain();
+        let n = records.len() as u64;
+        match self.combiner.publish(ctx.tid, records) {
+            Ok(()) => {
+                ctx.stats.combine_publishes += 1;
+                trace::emit(ctx.tid, TraceKind::CombinePublish, n, 0);
+                // The bag is empty now — reset the scan pacing as if a scan
+                // had run (the adopter does the actual freeing).
+                ctx.retires_since_scan = 0;
+                ctx.scan.note_scan();
+            }
+            Err(records) => {
+                // Slot still full (the scanner hasn't adopted the previous
+                // hand-off yet): keep the records and retry next trigger.
+                for r in records {
+                    ctx.limbo.push(r);
+                }
+            }
+        }
+    }
 }
 
 impl Smr for EpochPop {
@@ -247,6 +308,7 @@ impl Smr for EpochPop {
             slots,
             pool: BlockPool::from_config(&config),
             orphans: OrphanPool::new(),
+            combiner: ScanCombiner::new(config.max_threads),
             config,
         }
     }
@@ -262,7 +324,10 @@ impl Smr for EpochPop {
         EpochPopCtx {
             tid,
             private_epoch: IDLE,
-            limbo: LimboBag::with_capacity(self.config.hi_watermark + 1),
+            limbo: LimboBag::with_capacity_and_batch(
+                self.config.hi_watermark + 1,
+                self.config.retire_batch_cap(),
+            ),
             scan: ScanState::new(),
             retires_since_advance: 0,
             retires_since_scan: 0,
@@ -330,9 +395,14 @@ impl Smr for EpochPop {
 
     unsafe fn retire<T: SmrNode>(&self, ctx: &mut EpochPopCtx, ptr: Shared<T>) {
         debug_assert!(!ptr.is_null());
-        ctx.limbo.push(Retired::new(ptr.as_raw(), self.era.now()));
+        // Retire coalescing: stage the era-stamped record; the era-advance
+        // cadence stays per-retire, only the watermark check is amortized
+        // to batch flushes (bound slack: batch cap − 1).
+        let flushed = ctx.limbo.stage(Retired::new(ptr.as_raw(), self.era.now()));
         ctx.stats.retires += 1;
-        ctx.stats.observe_limbo(ctx.limbo.len());
+        if flushed {
+            ctx.stats.observe_limbo(ctx.limbo.len());
+        }
         ctx.retires_since_advance += 1;
         if ctx.retires_since_advance >= self.config.epoch_freq {
             ctx.retires_since_advance = 0;
@@ -341,7 +411,8 @@ impl Smr for EpochPop {
             trace::emit(ctx.tid, TraceKind::EraAdvance, era, 0);
         }
         ctx.retires_since_scan += 1;
-        if self.policy.scan_on_retire(ctx.limbo.len())
+        if flushed
+            && self.policy.scan_on_retire(ctx.limbo.len())
             && ctx.retires_since_scan >= self.config.empty_freq
         {
             trace::emit(
@@ -350,7 +421,7 @@ impl Smr for EpochPop {
                 ctx.limbo.len() as u64,
                 self.policy.hi_watermark as u64,
             );
-            self.reclaim_with_pings(ctx);
+            self.scan_or_publish(ctx);
         }
     }
 

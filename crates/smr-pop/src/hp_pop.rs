@@ -40,7 +40,8 @@
 use smr_common::telemetry::{self, trace, TraceKind};
 use smr_common::{
     Atomic, BlockPool, CachePadded, LimboBag, Magazine, OrphanPool, PingChannel, PingOutcome,
-    Registry, Retired, ScanPolicy, ScanState, Shared, Smr, SmrConfig, SmrNode, ThreadStats,
+    Registry, Retired, ScanCombiner, ScanPolicy, ScanState, Shared, Smr, SmrConfig, SmrNode,
+    ThreadStats,
 };
 use std::sync::atomic::{fence, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -80,6 +81,10 @@ pub struct HpPop {
     published: Vec<CachePadded<PublishedSlots>>,
     pool: Arc<BlockPool>,
     orphans: OrphanPool,
+    /// Flat-combined scan publication: a watermark-triggered thread that
+    /// finds a peer's ping handshake already in flight hands its limbo over
+    /// instead of launching a second full ping round.
+    combiner: ScanCombiner,
 }
 
 impl HpPop {
@@ -111,6 +116,26 @@ impl HpPop {
     /// record retired before the ping that no published (or own private)
     /// reservation covers.
     fn reclaim_with_pings(&self, ctx: &mut HpPopCtx) {
+        // Flat combining: adopt peers' published limbo bags before the
+        // pre-ping tail is captured, so one handshake round covers them.
+        // The prefix-sweep safety argument applies unchanged: adopted
+        // records were retired (by their publisher) before this scan's
+        // ping, exactly like this thread's own pre-ping retires.
+        if self.config.combine {
+            let (published, bags) = self.combiner.adopt();
+            if bags > 0 {
+                ctx.stats.combine_adoptions += bags;
+                trace::emit(
+                    ctx.tid,
+                    TraceKind::CombineAdopt,
+                    published.len() as u64,
+                    bags,
+                );
+            }
+            for r in published {
+                ctx.limbo.push(r);
+            }
+        }
         // Survivor adoption: fold departed threads' orphaned records into
         // this thread's limbo bag before the empty check, so orphans are
         // freed even by threads with nothing of their own to reclaim
@@ -219,6 +244,42 @@ impl HpPop {
             ctx.stats.tel.scan.record(sw.elapsed_ns());
         }
     }
+
+    /// Watermark-triggered entry: run the ping handshake directly when no
+    /// peer's scan is mid-flight, otherwise publish this thread's limbo to
+    /// the combiner so the active scanner's single ping round sweeps both
+    /// bags. The heartbeat (`end_op`), `flush`, and `unregister` scans stay
+    /// direct — they must make local progress regardless of peers.
+    fn scan_or_publish(&self, ctx: &mut HpPopCtx) {
+        if !self.config.combine {
+            self.reclaim_with_pings(ctx);
+            return;
+        }
+        if self.combiner.try_begin() {
+            self.reclaim_with_pings(ctx);
+            self.combiner.finish();
+            return;
+        }
+        let records = ctx.limbo.drain();
+        let n = records.len() as u64;
+        match self.combiner.publish(ctx.tid, records) {
+            Ok(()) => {
+                ctx.stats.combine_publishes += 1;
+                trace::emit(ctx.tid, TraceKind::CombinePublish, n, 0);
+                // The bag is empty now — reset the scan pacing as if a scan
+                // had run (the adopter does the actual freeing).
+                ctx.retires_since_scan = 0;
+                ctx.scan.note_scan();
+            }
+            Err(records) => {
+                // Slot still full (the scanner hasn't adopted the previous
+                // hand-off yet): keep the records and retry next trigger.
+                for r in records {
+                    ctx.limbo.push(r);
+                }
+            }
+        }
+    }
 }
 
 impl Smr for HpPop {
@@ -260,6 +321,7 @@ impl Smr for HpPop {
             published,
             pool: BlockPool::from_config(&config),
             orphans: OrphanPool::new(),
+            combiner: ScanCombiner::new(config.max_threads),
             config,
         }
     }
@@ -277,7 +339,10 @@ impl Smr for HpPop {
         HpPopCtx {
             tid,
             private: vec![0usize; self.config.hazards_per_thread].into_boxed_slice(),
-            limbo: LimboBag::with_capacity(self.config.hi_watermark + 1),
+            limbo: LimboBag::with_capacity_and_batch(
+                self.config.hi_watermark + 1,
+                self.config.retire_batch_cap(),
+            ),
             scan: ScanState::new(),
             protected: Vec::with_capacity(self.config.hazards_per_thread * self.config.max_threads),
             retires_since_scan: 0,
@@ -384,11 +449,16 @@ impl Smr for HpPop {
 
     unsafe fn retire<T: SmrNode>(&self, ctx: &mut HpPopCtx, ptr: Shared<T>) {
         debug_assert!(!ptr.is_null());
-        ctx.limbo.push(Retired::new(ptr.as_raw(), 0));
+        // Retire coalescing: stage the record; the watermark check is
+        // amortized to batch flushes (bound slack: batch cap − 1).
+        let flushed = ctx.limbo.stage(Retired::new(ptr.as_raw(), 0));
         ctx.stats.retires += 1;
-        ctx.stats.observe_limbo(ctx.limbo.len());
+        if flushed {
+            ctx.stats.observe_limbo(ctx.limbo.len());
+        }
         ctx.retires_since_scan += 1;
-        if self.policy.scan_on_retire(ctx.limbo.len())
+        if flushed
+            && self.policy.scan_on_retire(ctx.limbo.len())
             && ctx.retires_since_scan >= self.config.empty_freq
         {
             trace::emit(
@@ -397,7 +467,7 @@ impl Smr for HpPop {
                 ctx.limbo.len() as u64,
                 self.policy.hi_watermark as u64,
             );
-            self.reclaim_with_pings(ctx);
+            self.scan_or_publish(ctx);
         }
     }
 
@@ -588,7 +658,11 @@ mod tests {
         let smr = HpPop::new(SmrConfig::for_tests());
         let cfg = smr.config().clone();
         let mut ctx = smr.register(0);
-        let bound = cfg.hi_watermark + cfg.hazards_per_thread * cfg.max_threads;
+        // Retire coalescing amortizes the watermark check to batch flushes,
+        // so the bound gains exactly the fixed batch slack (cap − 1).
+        let bound = cfg.hi_watermark
+            + cfg.hazards_per_thread * cfg.max_threads
+            + (smr_common::RETIRE_BATCH_CAP - 1);
         for i in 0..(cfg.hi_watermark * 8) {
             let p = smr.alloc(
                 &mut ctx,

@@ -128,6 +128,111 @@ fn black_holed_pings_degrade_without_stopping_reclamation() {
     }
 }
 
+mod staged_probe {
+    //! Drop-counting node for the staged-batch departure regression: every
+    //! reclaim runs the destructor exactly once, so the counter separates
+    //! "leaked" (< n) from "double-adopted" (> n, if it doesn't crash first).
+
+    use smr_common::NodeHeader;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    pub static DROPS: AtomicUsize = AtomicUsize::new(0);
+
+    pub struct Probe {
+        pub header: NodeHeader,
+        #[allow(dead_code)]
+        pub key: u64,
+    }
+
+    impl Drop for Probe {
+        fn drop(&mut self) {
+            DROPS.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    smr_common::impl_smr_node!(Probe);
+}
+
+#[test]
+fn staged_retires_survive_departure_and_are_freed_exactly_once() {
+    // ISSUE-9 regression: a worker that departs with a *part-filled* retire
+    // staging buffer (fewer than `RETIRE_BATCH_CAP` retires since the last
+    // flush) must not strand those records. `unregister` flushes the stage
+    // before the final scan / orphan hand-off, so every staged node is freed
+    // exactly once — by the departing thread's last scan, a survivor's
+    // adoption, or the domain owner's drop — and never twice.
+    use smr_baselines::{Debra, HazardEras, HazardPointers, Ibr, Leaky, Qsbr, Rcu, Wfe};
+    use smr_common::{NodeHeader, Smr, RETIRE_BATCH_CAP};
+    use smr_pop::{EpochPop, HpPop};
+    use staged_probe::{Probe, DROPS};
+    use std::sync::atomic::Ordering;
+
+    fn run_one<S: Smr>(smr: S, label: &str) {
+        // Strictly inside one batch: nothing flushed, nothing swept yet.
+        let n = RETIRE_BATCH_CAP - 3;
+        assert!(n >= 1);
+        let before = DROPS.load(Ordering::SeqCst);
+        let mut survivor = smr.register(0);
+        let mut departing = smr.register(1);
+        for i in 0..n {
+            let p = smr.alloc(
+                &mut departing,
+                Probe {
+                    header: NodeHeader::new(),
+                    key: i as u64,
+                },
+            );
+            // SAFETY: `p` was just allocated and never linked into any
+            // structure, so no other thread can hold a reference to it.
+            unsafe { smr.retire(&mut departing, p) };
+        }
+        assert_eq!(
+            smr.limbo_len(&departing),
+            n,
+            "{label}: staged retires must count toward the limbo length"
+        );
+        assert_eq!(
+            smr.thread_stats(&departing).frees,
+            0,
+            "{label}: a part-filled staging batch must not have been swept"
+        );
+        assert_eq!(
+            DROPS.load(Ordering::SeqCst) - before,
+            0,
+            "{label}: no destructor may run while the records are staged"
+        );
+
+        // Departure without quiescing: the stage must flow into the final
+        // scan / orphan hand-off, never be dropped on the floor.
+        smr.unregister(&mut departing);
+        smr.flush(&mut survivor);
+        smr.unregister(&mut survivor);
+        // Whatever neither the departing thread's last scan nor the
+        // survivor could free sits in the orphan pool (or a combiner slot)
+        // and is reclaimed when the domain owner drops.
+        drop(smr);
+        assert_eq!(
+            DROPS.load(Ordering::SeqCst) - before,
+            n,
+            "{label}: every staged node must be freed exactly once"
+        );
+    }
+
+    let cfg = || SmrConfig::for_tests().with_max_threads(4);
+    run_one(nbr::Nbr::new(cfg()), "NBR");
+    run_one(nbr::NbrPlus::new(cfg()), "NBR+");
+    run_one(Debra::new(cfg()), "DEBRA");
+    run_one(Qsbr::new(cfg()), "QSBR");
+    run_one(Rcu::new(cfg()), "RCU");
+    run_one(HazardPointers::new(cfg()), "HP");
+    run_one(Ibr::new(cfg()), "IBR");
+    run_one(HazardEras::new(cfg()), "HE");
+    run_one(Wfe::new(cfg()), "WFE");
+    run_one(EpochPop::new(cfg()), "EpochPOP");
+    run_one(HpPop::new(cfg()), "HP-POP");
+    run_one(Leaky::new(cfg()), "Leaky");
+}
+
 #[test]
 fn seeded_fault_plans_replay_identically() {
     // The CI fault cells print their seed as the replay handle; the same

@@ -323,6 +323,81 @@ fn adaptive_trigger_preserves_bounds_for_bounded_schemes() {
 }
 
 #[test]
+fn coalescing_adds_exactly_the_batch_slack_to_robust_bounds() {
+    // ISSUE-9: with retire coalescing ON, each thread's watermark trigger is
+    // only evaluated at batch flushes, so a bag can overshoot the HiWatermark
+    // by at most the records still sitting in the staging buffer — a *fixed*
+    // slack of RETIRE_BATCH_CAP − 1 per participating thread, zero when
+    // coalescing is off. The robust schemes (HP, WFE) must hold their
+    // stalled-reader bounds at exactly that widened figure in both modes.
+    use smr_common::RETIRE_BATCH_CAP;
+    for coalesce in [false, true] {
+        let config = cfg().with_coalesce(coalesce);
+        let slack = if coalesce {
+            (RETIRE_BATCH_CAP as u64 - 1) * 4 // threads + 1 participants
+        } else {
+            0
+        };
+        let hp =
+            run_with::<DgtTreeFamily>(SmrKind::Hp, &stalled_spec(4_096, 60_000), config.clone());
+        assert!(
+            hp.outstanding_garbage() <= bound(&config, 3) + slack,
+            "HP (coalesce={coalesce}): outstanding {} exceeds bound {} + batch slack {}",
+            hp.outstanding_garbage(),
+            bound(&config, 3),
+            slack
+        );
+        assert!(hp.smr_totals.frees > 0);
+
+        let live_at_stall = 2 * (4_096 / 2);
+        let wfe =
+            run_with::<DgtTreeFamily>(SmrKind::Wfe, &stalled_spec(4_096, 60_000), config.clone());
+        assert!(
+            wfe.outstanding_garbage() <= bound(&config, 3) + live_at_stall + slack,
+            "WFE (coalesce={coalesce}): outstanding {} exceeds robust bound {} + batch slack {}",
+            wfe.outstanding_garbage(),
+            bound(&config, 3) + live_at_stall,
+            slack
+        );
+        assert!(wfe.smr_totals.frees > 0);
+    }
+}
+
+#[test]
+fn wfe_robust_bound_holds_with_coalescing_under_permanent_stall() {
+    // The ISSUE-9 acceptance row: coalescing + combining explicitly on, one
+    // worker permanently stalled inside an open operation, and WFE's garbage
+    // still under the fixed robust bound widened by the batch slack only.
+    use smr_common::RETIRE_BATCH_CAP;
+    use smr_harness::{FaultKind, FaultPlan};
+    let config = cfg().with_coalesce(true).with_combine(true);
+    let key_range = 4_096u64;
+    let spec = WorkloadSpec::new(
+        WorkloadMix::UPDATE_HEAVY,
+        key_range,
+        3,
+        StopCondition::TotalOps(60_000),
+    )
+    .with_fault_plan(FaultPlan::single(
+        0,
+        256,
+        FaultKind::Stall { for_ops: u64::MAX },
+    ));
+    let live_at_stall = 2 * (key_range / 2);
+    let slack = (RETIRE_BATCH_CAP as u64 - 1) * 5; // threads + 1 participants
+    let robust_bound = bound(&config, 4) + live_at_stall + slack;
+    let r = run_with::<DgtTreeFamily>(SmrKind::Wfe, &spec, config);
+    assert_eq!(r.injected_faults, 1);
+    assert!(
+        r.outstanding_garbage() <= robust_bound,
+        "WFE with coalescing+combining: outstanding {} exceeds the robust bound {} under a permanent stall",
+        r.outstanding_garbage(),
+        robust_bound
+    );
+    assert!(r.smr_totals.frees > 0);
+}
+
+#[test]
 fn nbr_plus_piggybacks_instead_of_signalling() {
     // System-level version of the Section 5 claim: for the same workload NBR+
     // must send fewer signals than NBR while reclaiming a comparable amount.

@@ -1,0 +1,127 @@
+//! Property-based tests (proptest) for the limbo bag's retire-coalescing
+//! staging layer (ISSUE 9).
+//!
+//! NBR+'s prefix bookmark and the interval schemes' era sweeps both assume
+//! the limbo bag yields records **in retire order** — the staging buffer in
+//! front of the segments must be a pure batching optimization, invisible to
+//! everything downstream. These properties pin that down against arbitrary
+//! batch capacities and arbitrary interleavings of stages and drains:
+//!
+//! 1. `drain()` returns every record exactly once, in exact retire order,
+//!    no matter where the batch boundaries fell;
+//! 2. `len()` always counts staged + flushed records (the watermark trigger
+//!    reads it, so an undercount would defer scans unboundedly);
+//! 3. `stage()` reports a flush exactly at batch-capacity boundaries (and on
+//!    every record when coalescing is off, i.e. cap ≤ 1).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use smr_common::recycle::alloc_node_raw;
+use smr_common::{LimboBag, NodeHeader, Retired, RETIRE_BATCH_CAP};
+
+struct Node {
+    header: NodeHeader,
+    #[allow(dead_code)]
+    key: u64,
+}
+smr_common::impl_smr_node!(Node);
+
+/// A freshly allocated record stamped with `era` as its retire era; the
+/// stamp doubles as the record's sequence number in the properties below.
+fn retired(era: u64) -> Retired {
+    let raw = alloc_node_raw(Node {
+        header: NodeHeader::new(),
+        key: era,
+    });
+    // SAFETY: `raw` was just allocated with the node-heap ABI and is not
+    // linked anywhere; it is retired exactly once.
+    unsafe { Retired::new(raw, era) }
+}
+
+fn reclaim_all(records: Vec<Retired>) {
+    for r in records {
+        // SAFETY: the record left the bag and no thread ever saw the node.
+        unsafe { r.reclaim() };
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// One uninterrupted run of stages followed by a single drain: output
+    /// order equals retire order for every batch capacity, including the
+    /// degenerate cap ≤ 1 (coalescing disabled) and caps larger than the
+    /// default `RETIRE_BATCH_CAP`.
+    #[test]
+    fn drain_preserves_retire_order(
+        cap in 0usize..=2 * RETIRE_BATCH_CAP,
+        n in 0usize..96,
+    ) {
+        let mut bag = LimboBag::with_batch(cap);
+        for i in 0..n {
+            bag.stage(retired(i as u64));
+            assert_eq!(bag.len(), i + 1, "len must count staged records");
+        }
+        let out = bag.drain();
+        let eras: Vec<u64> = out.iter().map(|r| r.retire_era()).collect();
+        let expected: Vec<u64> = (0..n as u64).collect();
+        assert_eq!(eras, expected, "cap {cap}: drain must preserve retire order");
+        assert!(bag.is_empty());
+        reclaim_all(out);
+    }
+
+    /// Arbitrary interleaving of stages and mid-sequence drains: the
+    /// concatenation of all drained outputs is still the exact retire
+    /// sequence — a drain may cut a batch anywhere without reordering or
+    /// dropping the staged suffix.
+    #[test]
+    fn interleaved_drains_concatenate_to_the_retire_sequence(
+        cap in 0usize..=RETIRE_BATCH_CAP + 2,
+        // 1 = stage the next record, 0 = drain the bag
+        script in vec(0u8..2, 0..128),
+    ) {
+        let mut bag = LimboBag::with_batch(cap);
+        let mut next_era = 0u64;
+        let mut collected = Vec::new();
+        for do_stage in script {
+            if do_stage == 1 {
+                bag.stage(retired(next_era));
+                next_era += 1;
+            } else {
+                collected.extend(bag.drain());
+                assert_eq!(bag.len(), 0, "drain must empty the bag, stage included");
+            }
+        }
+        collected.extend(bag.drain());
+        let eras: Vec<u64> = collected.iter().map(|r| r.retire_era()).collect();
+        let expected: Vec<u64> = (0..next_era).collect();
+        assert_eq!(
+            eras, expected,
+            "cap {cap}: drains must neither reorder, drop nor duplicate records"
+        );
+        reclaim_all(collected);
+    }
+
+    /// The flush signal drives every watermark check in the schemes, so its
+    /// cadence is part of the contract: with coalescing on, `stage` reports
+    /// a flush exactly when the staged count reaches the capacity; with cap
+    /// ≤ 1 every stage is an immediate flush.
+    #[test]
+    fn flush_signal_fires_exactly_at_batch_boundaries(
+        cap in 0usize..=RETIRE_BATCH_CAP + 2,
+        n in 1usize..96,
+    ) {
+        let mut bag = LimboBag::with_batch(cap);
+        for i in 0..n {
+            let flushed = bag.stage(retired(i as u64));
+            let expected = if cap <= 1 { true } else { (i + 1) % cap == 0 };
+            assert_eq!(
+                flushed, expected,
+                "cap {cap}: flush signal wrong after {} stages",
+                i + 1
+            );
+            assert_eq!(bag.staged_len(), if cap <= 1 { 0 } else { (i + 1) % cap });
+        }
+        reclaim_all(bag.drain());
+    }
+}
